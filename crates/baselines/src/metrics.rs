@@ -1,0 +1,161 @@
+//! Baseline metrics: everything DvP's metrics track, plus *blocking*.
+//!
+//! The quantity DvP cannot exhibit and 2PC can: a participant that voted
+//! YES and lost its coordinator holds locks for an **unbounded** time.
+//! [`TradMetrics`] measures those windows directly.
+
+use dvp_simnet::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Why a traditional transaction aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TradAbort {
+    /// Lock acquisition / quorum assembly timed out.
+    Timeout,
+    /// Application logic rejected (e.g. insufficient value for a Decr).
+    Insufficient,
+    /// A participant voted NO.
+    VoteNo,
+    /// The coordinator crashed mid-protocol.
+    Crashed,
+}
+
+/// Counters for one traditional site.
+#[derive(Clone, Debug, Default)]
+pub struct TradMetrics {
+    /// Transactions committed with this site as coordinator.
+    pub committed: u64,
+    /// Coordinator-side aborts by reason.
+    pub aborted: BTreeMap<TradAbort, u64>,
+    /// Commit latencies (µs).
+    pub commit_latency_us: Vec<u64>,
+    /// Abort-decision latencies (µs).
+    pub abort_latency_us: Vec<u64>,
+    /// Messages sent by the engine (locks, votes, decisions, queries).
+    pub messages_sent: u64,
+    /// Participant entered the in-doubt (prepared, no decision) state.
+    pub in_doubt_entered: u64,
+    /// Completed in-doubt windows, in µs (lock-hold time while blocked).
+    pub in_doubt_us: Vec<u64>,
+    /// In-doubt windows still open (blocked at harvest time): start
+    /// instants, so the harness can compute open-ended hold times.
+    pub in_doubt_open_since: Vec<SimTime>,
+    /// Remote messages needed to finish recovery (decision queries) —
+    /// the dependent-recovery cost DvP avoids.
+    pub recovery_remote_messages: u64,
+    /// Recoveries performed.
+    pub recoveries: u64,
+    /// Recoveries that completed with unresolved in-doubt transactions.
+    pub recoveries_blocked: u64,
+}
+
+impl TradMetrics {
+    /// Record an abort decision.
+    pub fn record_abort(&mut self, reason: TradAbort, latency_us: u64) {
+        *self.aborted.entry(reason).or_insert(0) += 1;
+        self.abort_latency_us.push(latency_us);
+    }
+
+    /// Total aborts.
+    pub fn total_aborted(&self) -> u64 {
+        self.aborted.values().sum()
+    }
+}
+
+/// Aggregation over a traditional cluster.
+#[derive(Clone, Debug, Default)]
+pub struct TradClusterMetrics {
+    /// Per-site metrics.
+    pub sites: Vec<TradMetrics>,
+}
+
+impl TradClusterMetrics {
+    /// Total commits.
+    pub fn committed(&self) -> u64 {
+        self.sites.iter().map(|s| s.committed).sum()
+    }
+
+    /// Total aborts.
+    pub fn aborted(&self) -> u64 {
+        self.sites.iter().map(|s| s.total_aborted()).sum()
+    }
+
+    /// Commit ratio over decided transactions.
+    pub fn commit_ratio(&self) -> f64 {
+        let c = self.committed();
+        let t = c + self.aborted();
+        if t == 0 {
+            0.0
+        } else {
+            c as f64 / t as f64
+        }
+    }
+
+    /// Transactions still blocked in-doubt at harvest.
+    pub fn still_blocked(&self) -> usize {
+        self.sites.iter().map(|s| s.in_doubt_open_since.len()).sum()
+    }
+
+    /// Longest completed in-doubt window (µs); 0 if none.
+    pub fn max_in_doubt_us(&self) -> u64 {
+        self.sites
+            .iter()
+            .flat_map(|s| s.in_doubt_us.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Longest in-doubt window including still-open ones, measured
+    /// against `now`.
+    pub fn max_blocking_us(&self, now: SimTime) -> u64 {
+        let open = self
+            .sites
+            .iter()
+            .flat_map(|s| s.in_doubt_open_since.iter())
+            .map(|&t0| now.since(t0).as_micros())
+            .max()
+            .unwrap_or(0);
+        open.max(self.max_in_doubt_us())
+    }
+
+    /// Total engine messages.
+    pub fn messages_sent(&self) -> u64 {
+        self.sites.iter().map(|s| s.messages_sent).sum()
+    }
+
+    /// Total remote messages spent on recovery.
+    pub fn recovery_remote_messages(&self) -> u64 {
+        self.sites.iter().map(|s| s.recovery_remote_messages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_accounting() {
+        let mut m = TradMetrics::default();
+        m.record_abort(TradAbort::Timeout, 10);
+        m.record_abort(TradAbort::Timeout, 12);
+        m.record_abort(TradAbort::VoteNo, 5);
+        assert_eq!(m.total_aborted(), 3);
+    }
+
+    #[test]
+    fn blocking_includes_open_windows() {
+        let mut a = TradMetrics::default();
+        a.in_doubt_us.push(500);
+        let mut b = TradMetrics::default();
+        b.in_doubt_open_since.push(SimTime(1_000));
+        let c = TradClusterMetrics { sites: vec![a, b] };
+        assert_eq!(c.still_blocked(), 1);
+        assert_eq!(c.max_in_doubt_us(), 500);
+        assert_eq!(c.max_blocking_us(SimTime(10_000)), 9_000);
+    }
+
+    #[test]
+    fn empty_cluster_ratio_zero() {
+        assert_eq!(TradClusterMetrics::default().commit_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Replica control: which sites must be touched to read/write an item.
+
+use dvp_core::ItemId;
+use dvp_simnet::NodeId;
+
+/// Replica-control strategy for the traditional baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Every site holds a copy; reads and writes lock a **majority**
+    /// quorum (quorum consensus). Survives minority partitions at the
+    /// price of majority coordination on every access.
+    ReplicatedQuorum,
+    /// One primary per item (`item mod n`); all access goes through it.
+    /// Cheap when healthy; the item is wholly unavailable when its
+    /// primary is unreachable.
+    PrimaryCopy,
+}
+
+impl Placement {
+    /// The set of sites a transaction coordinated at `home` must lock for
+    /// `item` in an `n`-site cluster.
+    pub fn quorum(&self, item: ItemId, home: NodeId, n: usize) -> Vec<NodeId> {
+        match self {
+            Placement::ReplicatedQuorum => {
+                let need = n / 2 + 1;
+                // Prefer the home site (free locality), then ascending ids.
+                let mut q = vec![home];
+                q.extend((0..n).filter(|&s| s != home).take(need - 1));
+                q.truncate(need);
+                q
+            }
+            Placement::PrimaryCopy => vec![item.0 as usize % n],
+        }
+    }
+
+    /// Majority size for `n` sites.
+    pub fn majority(n: usize) -> usize {
+        n / 2 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_is_majority_and_includes_home() {
+        let q = Placement::ReplicatedQuorum.quorum(ItemId(0), 2, 5);
+        assert_eq!(q.len(), 3);
+        assert!(q.contains(&2));
+        let uniq: std::collections::HashSet<_> = q.iter().collect();
+        assert_eq!(uniq.len(), q.len(), "no duplicate sites");
+    }
+
+    #[test]
+    fn primary_copy_is_single_site() {
+        assert_eq!(Placement::PrimaryCopy.quorum(ItemId(7), 0, 4), vec![3]);
+        assert_eq!(Placement::PrimaryCopy.quorum(ItemId(8), 0, 4), vec![0]);
+    }
+
+    #[test]
+    fn majority_sizes() {
+        assert_eq!(Placement::majority(1), 1);
+        assert_eq!(Placement::majority(4), 3);
+        assert_eq!(Placement::majority(5), 3);
+    }
+
+    #[test]
+    fn two_site_quorum_needs_both() {
+        let q = Placement::ReplicatedQuorum.quorum(ItemId(0), 1, 2);
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Stable-log records for the traditional engine.
+//!
+//! Presumed-abort 2PC logging: participants force a `Prepared` record
+//! before voting YES; the coordinator forces a `Decision` record before
+//! announcing commit; participants force `Applied` after installing. A
+//! recovering coordinator answers decision queries from its log (absent ⇒
+//! abort); a recovering participant re-enters the in-doubt state for every
+//! `Prepared` without a matching `Applied`/decision — and must ask around,
+//! which is exactly the dependent recovery DvP avoids.
+
+use dvp_core::clock::Ts;
+use dvp_core::ItemId;
+use dvp_storage::{DecodeError, Record, RecordReader, RecordWriter};
+
+/// A write a transaction installs: `(item, new value, new version)`.
+pub type VersionedWrite = (ItemId, u64, u64);
+
+/// One record in a traditional site's log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TradRecord {
+    /// Genesis value of an item's local replica.
+    Init {
+        /// The item.
+        item: ItemId,
+        /// Initial replica value.
+        value: u64,
+    },
+    /// Participant prepared `txn` with these pending writes.
+    Prepared {
+        /// The transaction.
+        txn: Ts,
+        /// Coordinator site (whom to ask for the decision).
+        coordinator: u64,
+        /// Writes to install on commit.
+        writes: Vec<VersionedWrite>,
+    },
+    /// Coordinator decision for `txn`.
+    Decision {
+        /// The transaction.
+        txn: Ts,
+        /// True = commit.
+        commit: bool,
+    },
+    /// Participant installed `txn`'s writes (or learned of its abort).
+    Resolved {
+        /// The transaction.
+        txn: Ts,
+        /// Whether it committed.
+        commit: bool,
+    },
+}
+
+impl Record for TradRecord {
+    fn encode(&self, w: &mut RecordWriter<'_>) {
+        match self {
+            TradRecord::Init { item, value } => {
+                w.u8(0);
+                w.u32(item.0);
+                w.u64(*value);
+            }
+            TradRecord::Prepared {
+                txn,
+                coordinator,
+                writes,
+            } => {
+                w.u8(1);
+                w.u64(txn.0);
+                w.u64(*coordinator);
+                w.u32(writes.len() as u32);
+                for (item, value, version) in writes {
+                    w.u32(item.0);
+                    w.u64(*value);
+                    w.u64(*version);
+                }
+            }
+            TradRecord::Decision { txn, commit } => {
+                w.u8(2);
+                w.u64(txn.0);
+                w.u8(u8::from(*commit));
+            }
+            TradRecord::Resolved { txn, commit } => {
+                w.u8(3);
+                w.u64(txn.0);
+                w.u8(u8::from(*commit));
+            }
+        }
+    }
+
+    fn decode(r: &mut RecordReader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(TradRecord::Init {
+                item: ItemId(r.u32()?),
+                value: r.u64()?,
+            }),
+            1 => {
+                let txn = Ts(r.u64()?);
+                let coordinator = r.u64()?;
+                let n = r.u32()? as usize;
+                if n > 1 << 20 {
+                    return Err(DecodeError::Invalid("write count implausibly large"));
+                }
+                let mut writes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    writes.push((ItemId(r.u32()?), r.u64()?, r.u64()?));
+                }
+                Ok(TradRecord::Prepared {
+                    txn,
+                    coordinator,
+                    writes,
+                })
+            }
+            2 => Ok(TradRecord::Decision {
+                txn: Ts(r.u64()?),
+                commit: r.u8()? != 0,
+            }),
+            3 => Ok(TradRecord::Resolved {
+                txn: Ts(r.u64()?),
+                commit: r.u8()? != 0,
+            }),
+            _ => Err(DecodeError::Invalid("TradRecord tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use dvp_storage::codec::{decode_frame, encode_frame};
+
+    fn roundtrip(rec: TradRecord) {
+        let mut buf = BytesMut::new();
+        encode_frame(&rec, &mut buf);
+        let mut b = buf.freeze();
+        assert_eq!(decode_frame::<TradRecord>(&mut b).unwrap(), rec);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(TradRecord::Init {
+            item: ItemId(1),
+            value: 100,
+        });
+        roundtrip(TradRecord::Prepared {
+            txn: Ts(42),
+            coordinator: 3,
+            writes: vec![(ItemId(0), 95, 7), (ItemId(2), 5, 8)],
+        });
+        roundtrip(TradRecord::Decision {
+            txn: Ts(42),
+            commit: true,
+        });
+        roundtrip(TradRecord::Resolved {
+            txn: Ts(42),
+            commit: false,
+        });
+    }
+
+    #[test]
+    fn empty_writes_roundtrip() {
+        roundtrip(TradRecord::Prepared {
+            txn: Ts(1),
+            coordinator: 0,
+            writes: vec![],
+        });
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end experiment benchmarks: wall-clock cost of regenerating the
+//! headline rows (small configurations). Useful both as a regression
+//! fence on simulator performance and as a smoke test that the full
+//! experiment stack stays runnable under `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvp_baselines::TradConfig;
+use dvp_bench::{run_dvp, run_trad};
+use dvp_core::{FaultPlan, SiteConfig, TxnSpec};
+use dvp_core::item::{Catalog, Split};
+use dvp_core::{Cluster, ClusterConfig};
+use dvp_simnet::network::NetworkConfig;
+use dvp_simnet::partition::PartitionSchedule;
+use dvp_simnet::time::{SimDuration, SimTime};
+use dvp_workloads::AirlineWorkload;
+
+fn until() -> SimTime {
+    SimTime::ZERO + SimDuration::secs(5)
+}
+
+fn airline(txns: usize) -> dvp_workloads::Workload {
+    AirlineWorkload {
+        txns,
+        seats_per_flight: 10_000,
+        ..Default::default()
+    }
+    .generate(1)
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    let w = airline(100);
+    g.bench_function("dvp_airline_100txn", |b| {
+        b.iter(|| {
+            run_dvp(
+                &w,
+                SiteConfig::default(),
+                NetworkConfig::reliable(),
+                FaultPlan::none(),
+                until(),
+                1,
+            )
+        })
+    });
+    g.bench_function("trad_airline_100txn", |b| {
+        b.iter(|| {
+            run_trad(
+                &w,
+                TradConfig::default(),
+                NetworkConfig::reliable(),
+                vec![],
+                vec![],
+                until(),
+                1,
+            )
+        })
+    });
+    let sched = PartitionSchedule::fully_connected(4).split_at(SimTime(50_000), &[&[0, 1], &[2, 3]]);
+    g.bench_function("dvp_airline_100txn_partitioned", |b| {
+        b.iter(|| {
+            run_dvp(
+                &w,
+                SiteConfig::default(),
+                NetworkConfig::reliable().with_partitions(sched.clone()),
+                FaultPlan::none(),
+                until(),
+                1,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_read_gather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_gather");
+    for n in [4usize, 8] {
+        g.bench_function(format!("full_value_read_{n}_sites"), |b| {
+            b.iter(|| {
+                let mut catalog = Catalog::new();
+                let item = catalog.add("x", 1_000, Split::Even);
+                let mut cfg = ClusterConfig::new(n, catalog);
+                cfg = cfg.at(0, SimTime(1_000), TxnSpec::read(item));
+                let mut cl = Cluster::build(cfg);
+                cl.run_to_quiescence();
+                assert_eq!(cl.metrics().committed(), 1);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_end_to_end, bench_read_gather
+);
+criterion_main!(benches);

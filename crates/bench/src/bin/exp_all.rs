@@ -1,0 +1,26 @@
+//! Regenerates every table and figure of the evaluation in sequence
+//! (the `EXPERIMENTS.md` refresh command).
+//!
+//! `DVP_SCALE=full cargo run --release -p dvp-bench --bin exp_all`
+
+use dvp_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("running all experiments at {scale:?} scale\n");
+    let tables = [
+        dvp_bench::exp_t1_availability::run(scale),
+        dvp_bench::exp_t2_blocking::run(scale),
+        dvp_bench::exp_t3_recovery::run(scale),
+        dvp_bench::exp_t4_conc::run(scale),
+        dvp_bench::exp_t5_conservation::run(scale),
+        dvp_bench::exp_f1_quota::run(scale),
+        dvp_bench::exp_f2_readcost::run(scale),
+        dvp_bench::exp_f3_vm::run(scale),
+        dvp_bench::exp_f4_hotspot::run(scale),
+        dvp_bench::exp_f5_traffic::run(scale),
+    ];
+    for t in &tables {
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment f1 (quota).
+fn main() {
+    let scale = dvp_bench::Scale::from_env();
+    print!("{}", dvp_bench::exp_f1_quota::run(scale).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment f2 (readcost).
+fn main() {
+    let scale = dvp_bench::Scale::from_env();
+    print!("{}", dvp_bench::exp_f2_readcost::run(scale).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment f3 (vm).
+fn main() {
+    let scale = dvp_bench::Scale::from_env();
+    print!("{}", dvp_bench::exp_f3_vm::run(scale).render());
+}

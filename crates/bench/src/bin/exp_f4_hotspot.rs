@@ -1,0 +1,5 @@
+//! Regenerates experiment f4 (hotspot).
+fn main() {
+    let scale = dvp_bench::Scale::from_env();
+    print!("{}", dvp_bench::exp_f4_hotspot::run(scale).render());
+}

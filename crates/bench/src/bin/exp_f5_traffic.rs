@@ -1,0 +1,5 @@
+//! Regenerates experiment f5 (traffic).
+fn main() {
+    let scale = dvp_bench::Scale::from_env();
+    print!("{}", dvp_bench::exp_f5_traffic::run(scale).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment T1 (availability under partition).
+fn main() {
+    let scale = dvp_bench::Scale::from_env();
+    print!("{}", dvp_bench::exp_t1_availability::run(scale).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment t2 (blocking).
+fn main() {
+    let scale = dvp_bench::Scale::from_env();
+    print!("{}", dvp_bench::exp_t2_blocking::run(scale).render());
+}

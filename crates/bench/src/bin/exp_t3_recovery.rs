@@ -1,0 +1,5 @@
+//! Regenerates experiment t3 (recovery).
+fn main() {
+    let scale = dvp_bench::Scale::from_env();
+    print!("{}", dvp_bench::exp_t3_recovery::run(scale).render());
+}

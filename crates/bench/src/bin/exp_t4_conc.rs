@@ -1,0 +1,5 @@
+//! Regenerates experiment t4 (conc).
+fn main() {
+    let scale = dvp_bench::Scale::from_env();
+    print!("{}", dvp_bench::exp_t4_conc::run(scale).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment t5 (conservation).
+fn main() {
+    let scale = dvp_bench::Scale::from_env();
+    print!("{}", dvp_bench::exp_t5_conservation::run(scale).render());
+}

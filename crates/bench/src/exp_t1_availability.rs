@@ -1,0 +1,161 @@
+//! **T1 — Availability under network partitions.**
+//!
+//! Claim (Sections 2.2, 8): under partitions a DvP system keeps serving
+//! transactions from local quotas, while a traditional system restricts
+//! access to (at most) one group — the majority under quorum consensus,
+//! the primary's group under primary copy.
+//!
+//! Sweep: partition severity (none → one site cut → 6/2 split → 4/4 split
+//! → fully shattered), with the same airline workload on all three
+//! systems. Metric: commit ratio.
+
+use crate::summary::{run_dvp, run_trad};
+use crate::table::{pct, Table};
+use crate::Scale;
+use dvp_baselines::{Placement, TradConfig};
+use dvp_core::{FaultPlan, SiteConfig};
+use dvp_simnet::network::NetworkConfig;
+use dvp_simnet::partition::PartitionSchedule;
+use dvp_simnet::time::{SimDuration, SimTime};
+use dvp_workloads::AirlineWorkload;
+
+/// Partition severity levels swept by T1.
+pub const SEVERITIES: [&str; 5] = ["none", "isolate-1", "split-6/2", "split-4/4", "shattered"];
+
+fn schedule(severity: &str, n: usize) -> PartitionSchedule {
+    let s = PartitionSchedule::fully_connected(n);
+    let at = SimTime::ZERO; // partition from the very start
+    match severity {
+        "none" => s,
+        "isolate-1" => s.isolate_at(at, &[n - 1]),
+        "split-6/2" => {
+            let big: Vec<usize> = (0..n - 2).collect();
+            let small: Vec<usize> = (n - 2..n).collect();
+            s.split_at(at, &[&big, &small])
+        }
+        "split-4/4" => {
+            let a: Vec<usize> = (0..n / 2).collect();
+            let b: Vec<usize> = (n / 2..n).collect();
+            s.split_at(at, &[&a, &b])
+        }
+        "shattered" => {
+            let singles: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+            let refs: Vec<&[usize]> = singles.iter().map(|v| &v[..]).collect();
+            s.split_at(at, &refs)
+        }
+        _ => unreachable!("unknown severity"),
+    }
+}
+
+/// Run T1 and return the table.
+pub fn run(scale: Scale) -> Table {
+    let n = 8;
+    let txns = scale.pick(160, 2_000);
+    let workload = AirlineWorkload {
+        n_sites: n,
+        flights: 4,
+        seats_per_flight: 10_000, // ample: aborts measure *reachability*, not sellouts
+        txns,
+        mix: (0.8, 0.15, 0.0, 0.05), // reserves, cancels, a few reads
+        ..Default::default()
+    };
+    let until = SimTime::ZERO + SimDuration::secs(scale.pick(10, 60));
+
+    let mut t = Table::new(
+        "T1: commit ratio under partition (8 sites, airline)",
+        &["severity", "DvP", "2PC+quorum", "primary-copy"],
+    );
+    for severity in SEVERITIES {
+        let w = workload.generate(11);
+        let net = || NetworkConfig::reliable().with_partitions(schedule(severity, n));
+        let dvp = run_dvp(
+            &w,
+            SiteConfig::default(),
+            net(),
+            FaultPlan::none(),
+            until,
+            1,
+        );
+        let quorum = run_trad(
+            &w,
+            TradConfig {
+                placement: Placement::ReplicatedQuorum,
+                ..Default::default()
+            },
+            net(),
+            vec![],
+            vec![],
+            until,
+            1,
+        );
+        let primary = run_trad(
+            &w,
+            TradConfig {
+                placement: Placement::PrimaryCopy,
+                ..Default::default()
+            },
+            net(),
+            vec![],
+            vec![],
+            until,
+            1,
+        );
+        t.row(vec![
+            severity.to_string(),
+            pct(dvp.commit_ratio),
+            pct(quorum.commit_ratio),
+            pct(primary.commit_ratio),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ratio(cell: &str) -> f64 {
+        cell.trim_end_matches('%').parse::<f64>().unwrap() / 100.0
+    }
+
+    #[test]
+    fn dvp_dominates_under_every_partition() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.len(), 5);
+        // Partitioned rows (1..): DvP must dominate both baselines. (On a
+        // healthy network — row 0 — the baselines may edge DvP out because
+        // full-value reads are dear for DvP; that is the paper's admitted
+        // trade-off and EXPERIMENTS.md reports it.)
+        for r in 1..t.len() {
+            let dvp = ratio(t.cell(r, 1));
+            let quorum = ratio(t.cell(r, 2));
+            let primary = ratio(t.cell(r, 3));
+            assert!(
+                dvp >= quorum - 1e-9,
+                "row {r}: DvP must dominate quorum under partition"
+            );
+            // Against primary copy allow a small epsilon: when only a
+            // non-primary site is cut, DvP pays for its full-value reads
+            // (they need every site) while primary-copy reads stay cheap.
+            assert!(
+                dvp >= primary - 0.05,
+                "row {r}: DvP must not materially lose to primary copy"
+            );
+        }
+        // Where partitions bite both groups, DvP wins outright.
+        for r in 3..t.len() {
+            assert!(ratio(t.cell(r, 1)) > ratio(t.cell(r, 3)) + 0.2);
+        }
+        // Shattered: DvP still commits plenty; the baselines collapse.
+        let last = t.len() - 1;
+        assert!(ratio(t.cell(last, 1)) > 0.5, "DvP serves local quotas");
+        assert!(ratio(t.cell(last, 2)) < 0.2, "quorum needs a majority");
+    }
+
+    #[test]
+    fn healthy_network_everyone_commits_mostly() {
+        let t = run(Scale::Quick);
+        assert!(ratio(t.cell(0, 1)) > 0.9);
+        assert!(ratio(t.cell(0, 2)) > 0.7);
+    }
+}

@@ -1,0 +1,134 @@
+//! **T5 — Conservation under random fault schedules.**
+//!
+//! Claim (Section 3): `N = ΣNᵢ + N_M` **at all times**, whatever fails.
+//! This is the safety experiment: for a batch of seeds we generate a
+//! random fault schedule (partitions opening and healing, site crashes
+//! and recoveries, message loss and duplication) over a live airline
+//! workload, and audit the invariant at many instants during the run —
+//! not just at quiescence.
+//!
+//! The table is a per-seed verdict; any violation panics the harness
+//! (and the matching proptest in `tests/` shrinks it).
+
+use crate::table::Table;
+use crate::Scale;
+use dvp_core::{Cluster, ClusterConfig, FaultPlan};
+use dvp_simnet::network::{LinkConfig, NetworkConfig};
+use dvp_simnet::partition::PartitionSchedule;
+use dvp_simnet::rng::SimRng;
+use dvp_simnet::time::{SimDuration, SimTime};
+use dvp_workloads::AirlineWorkload;
+
+fn msec(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::millis(n)
+}
+
+/// Build a random fault environment from a seed.
+pub fn random_faults(seed: u64, n: usize, horizon_ms: u64) -> (NetworkConfig, FaultPlan) {
+    let mut rng = SimRng::new(seed ^ 0xFA17);
+    // Lossy, duplicating links.
+    let mut net = NetworkConfig {
+        default_link: LinkConfig {
+            delay_min: SimDuration::millis(1),
+            delay_max: SimDuration::millis(8),
+            loss: 0.15,
+            duplicate: 0.10,
+        },
+        ..Default::default()
+    };
+    // A few partition episodes.
+    let mut sched = PartitionSchedule::fully_connected(n);
+    let episodes = rng.uniform(1, 3);
+    let mut tcur = rng.uniform(10, horizon_ms / 4);
+    for _ in 0..episodes {
+        let cut: Vec<usize> = (0..n).filter(|_| rng.chance(0.4)).collect();
+        if !cut.is_empty() && cut.len() < n {
+            sched = sched.isolate_at(msec(tcur), &cut);
+            let heal = tcur + rng.uniform(50, horizon_ms / 3);
+            sched = sched.heal_at(msec(heal));
+            tcur = heal + rng.uniform(10, horizon_ms / 4);
+        } else {
+            tcur += rng.uniform(10, horizon_ms / 4);
+        }
+    }
+    net = net.with_partitions(sched);
+    // Crash/recover a couple of sites.
+    let mut faults = FaultPlan::none();
+    for site in 0..n {
+        if rng.chance(0.3) {
+            let c = rng.uniform(10, horizon_ms / 2);
+            let r = c + rng.uniform(20, horizon_ms / 2);
+            faults = faults.crash(msec(c), site).recover(msec(r), site);
+        }
+    }
+    (net, faults)
+}
+
+/// Run T5 and return the table.
+pub fn run(scale: Scale) -> Table {
+    let seeds = scale.pick(6, 30);
+    let horizon_ms = scale.pick(1_500u64, 6_000);
+    let n = 6;
+    let mut t = Table::new(
+        "T5: conservation N = ΣNᵢ + N_M under random faults (6 sites)",
+        &["seed", "txns decided", "audits", "verdict"],
+    );
+    for seed in 0..seeds {
+        let w = AirlineWorkload {
+            n_sites: n,
+            flights: 3,
+            seats_per_flight: 500,
+            txns: scale.pick(60, 400),
+            mix: (0.6, 0.2, 0.15, 0.05),
+            ..Default::default()
+        }
+        .generate(seed);
+        let (net, faults) = random_faults(seed, n, horizon_ms);
+        let mut cfg = ClusterConfig::new(n, w.catalog.clone());
+        cfg.net = net;
+        cfg.faults = faults;
+        cfg.scripts = w.scripts.clone();
+        cfg.seed = seed;
+        let mut cl = Cluster::build(cfg);
+        // Audit at many pause points during the run.
+        let mut audits = 0u32;
+        let step = horizon_ms / 20;
+        for k in 1..=20u64 {
+            cl.run_until(msec(k * step));
+            cl.auditor()
+                .check_conservation()
+                .unwrap_or_else(|e| panic!("seed {seed}, t={}ms: {e}", k * step));
+            audits += 1;
+        }
+        let m = cl.metrics();
+        t.row(vec![
+            seed.to_string(),
+            (m.committed() + m.aborted()).to_string(),
+            audits.to_string(),
+            "OK".into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seed_passes_every_audit() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.len(), 6);
+        for r in 0..t.len() {
+            assert_eq!(t.cell(r, 3), "OK");
+            assert_eq!(t.cell(r, 2), "20");
+        }
+    }
+
+    #[test]
+    fn fault_generator_is_deterministic() {
+        let (_, f1) = random_faults(3, 6, 1000);
+        let (_, f2) = random_faults(3, 6, 1000);
+        assert_eq!(format!("{f1:?}"), format!("{f2:?}"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Shared run drivers: take a workload + environment, run either engine,
+//! and reduce to one comparable [`RunSummary`].
+
+use dvp_baselines::{TradCluster, TradClusterConfig, TradConfig};
+use dvp_core::{Cluster, ClusterConfig, FaultPlan, SiteConfig};
+use dvp_simnet::network::NetworkConfig;
+use dvp_simnet::time::SimTime;
+use dvp_workloads::Workload;
+
+/// One engine run, reduced to the metrics every experiment reports.
+#[derive(Clone, Debug, Default)]
+pub struct RunSummary {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted transactions.
+    pub aborted: u64,
+    /// Commit ratio over decided transactions.
+    pub commit_ratio: f64,
+    /// Median decision latency (µs).
+    pub p50_us: u64,
+    /// 95th-percentile decision latency (µs).
+    pub p95_us: u64,
+    /// Maximum decision latency (µs); for the baseline this includes
+    /// open-ended blocking windows measured to harvest time.
+    pub max_us: u64,
+    /// Total network messages sent.
+    pub messages: u64,
+    /// Engine-level solicitations (DvP requests; baseline lock requests
+    /// are folded into `messages`).
+    pub requests: u64,
+    /// DvP donations performed.
+    pub donations: u64,
+    /// Transactions still blocked (in doubt) at harvest — always 0 for
+    /// DvP, possibly nonzero for 2PC under partition.
+    pub still_blocked: u64,
+    /// Remote messages consumed by recovery.
+    pub recovery_remote_msgs: u64,
+}
+
+/// Run the DvP engine on a workload. Panics if the conservation audit
+/// fails — experiments must never report unsound numbers.
+pub fn run_dvp(
+    w: &Workload,
+    site: SiteConfig,
+    net: NetworkConfig,
+    faults: FaultPlan,
+    until: SimTime,
+    seed: u64,
+) -> RunSummary {
+    let mut cfg = ClusterConfig::new(w.scripts.len(), w.catalog.clone());
+    cfg.site = site;
+    cfg.net = net;
+    cfg.faults = faults;
+    cfg.scripts = w.scripts.clone();
+    cfg.seed = seed;
+    let mut cl = Cluster::build(cfg);
+    cl.run_until(until);
+    cl.auditor()
+        .check_conservation()
+        .expect("conservation must hold in every experiment");
+    let m = cl.metrics();
+    RunSummary {
+        committed: m.committed(),
+        aborted: m.aborted(),
+        commit_ratio: m.commit_ratio(),
+        p50_us: m.decision_latency_percentile(50.0),
+        p95_us: m.decision_latency_percentile(95.0),
+        max_us: m.decision_latency_percentile(100.0),
+        messages: cl.sim.stats().sent,
+        requests: m.requests_sent(),
+        donations: m.donations(),
+        still_blocked: 0,
+        recovery_remote_msgs: m
+            .sites
+            .iter()
+            .map(|s| s.recovery_remote_messages)
+            .sum(),
+    }
+}
+
+/// Run the traditional (2PC) engine on the same workload.
+pub fn run_trad(
+    w: &Workload,
+    trad: TradConfig,
+    net: NetworkConfig,
+    crashes: Vec<(SimTime, usize)>,
+    recoveries: Vec<(SimTime, usize)>,
+    until: SimTime,
+    seed: u64,
+) -> RunSummary {
+    let mut cfg = TradClusterConfig::new(w.scripts.len(), w.catalog.clone());
+    cfg.trad = trad;
+    cfg.net = net;
+    cfg.crashes = crashes;
+    cfg.recoveries = recoveries;
+    cfg.scripts = w.scripts.clone();
+    cfg.seed = seed;
+    let mut cl = TradCluster::build(cfg);
+    cl.run_until(until);
+    let m = cl.metrics();
+    let mut decisions: Vec<u64> = m
+        .sites
+        .iter()
+        .flat_map(|s| {
+            s.commit_latency_us
+                .iter()
+                .chain(s.abort_latency_us.iter())
+                .copied()
+        })
+        .collect();
+    let p50 = dvp_core::metrics::percentile(&mut decisions, 50.0);
+    let p95 = dvp_core::metrics::percentile(&mut decisions, 95.0);
+    let max_decided = dvp_core::metrics::percentile(&mut decisions, 100.0);
+    RunSummary {
+        committed: m.committed(),
+        aborted: m.aborted(),
+        commit_ratio: m.commit_ratio(),
+        p50_us: p50,
+        p95_us: p95,
+        // Blocking counts toward the worst case the client experiences.
+        max_us: max_decided.max(m.max_blocking_us(cl.sim.now())),
+        messages: cl.sim.stats().sent,
+        requests: 0,
+        donations: 0,
+        still_blocked: m.still_blocked() as u64,
+        recovery_remote_msgs: m.recovery_remote_messages(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvp_simnet::time::SimDuration;
+    use dvp_workloads::AirlineWorkload;
+
+    #[test]
+    fn both_engines_run_the_same_workload() {
+        let w = AirlineWorkload {
+            txns: 40,
+            ..Default::default()
+        }
+        .generate(1);
+        let until = SimTime::ZERO + SimDuration::secs(5);
+        let d = run_dvp(
+            &w,
+            SiteConfig::default(),
+            NetworkConfig::reliable(),
+            FaultPlan::none(),
+            until,
+            1,
+        );
+        let t = run_trad(
+            &w,
+            TradConfig::default(),
+            NetworkConfig::reliable(),
+            vec![],
+            vec![],
+            until,
+            1,
+        );
+        assert!(d.committed + d.aborted == 40, "dvp decided everything");
+        assert!(t.committed + t.aborted <= 40);
+        assert!(t.committed > 0);
+        assert!(d.commit_ratio > 0.5);
+        assert_eq!(d.still_blocked, 0);
+    }
+}

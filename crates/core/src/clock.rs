@@ -1,0 +1,167 @@
+//! Timestamps and transaction identifiers.
+//!
+//! Section 6.1 assumes "some standard unique time-stamping mechanism" and
+//! Section 7 prescribes the classical fix-ups: the site id lives in the
+//! low-order bits so timestamps are globally unique, and "the reception of
+//! any messages ... would 'bump-up' the counter" so a recovered site's
+//! stale clock heals itself (Lamport's rule).
+
+use std::fmt;
+
+/// Number of low-order bits reserved for the site id (supports up to 1024
+/// sites).
+const SITE_BITS: u32 = 10;
+const SITE_MASK: u64 = (1 << SITE_BITS) - 1;
+
+/// A globally unique, totally ordered timestamp: `(counter << 10) | site`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ts(pub u64);
+
+impl Ts {
+    /// The zero timestamp (smaller than every transaction's).
+    pub const ZERO: Ts = Ts(0);
+
+    /// Logical counter component.
+    pub fn counter(self) -> u64 {
+        self.0 >> SITE_BITS
+    }
+
+    /// Originating site component.
+    pub fn site(self) -> usize {
+        (self.0 & SITE_MASK) as usize
+    }
+}
+
+impl fmt::Debug for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts:{}@s{}", self.counter(), self.site())
+    }
+}
+
+/// A transaction identifier. Per Section 6.1, a transaction's timestamp
+/// "also serves as its identifier", so `TxnId` *is* a [`Ts`].
+pub type TxnId = Ts;
+
+/// A per-site Lamport clock issuing [`Ts`] values.
+#[derive(Clone, Debug)]
+pub struct LamportClock {
+    site: usize,
+    counter: u64,
+}
+
+impl LamportClock {
+    /// A clock for `site` starting at counter 0.
+    pub fn new(site: usize) -> Self {
+        assert!(site < (1 << SITE_BITS) as usize, "site id too large");
+        LamportClock { site, counter: 0 }
+    }
+
+    /// Issue a fresh timestamp (strictly greater than any issued or
+    /// observed before).
+    pub fn tick(&mut self) -> Ts {
+        self.counter += 1;
+        Ts((self.counter << SITE_BITS) | self.site as u64)
+    }
+
+    /// Issue a fresh timestamp that is also at least `floor` in its
+    /// counter component.
+    ///
+    /// Sites pass their local (simulated) real-time here, giving the
+    /// classical "physical clock + logical catch-up + site id" timestamping
+    /// scheme: timestamps of transactions started later in real time
+    /// dominate, so Conc1's `TS(t) > TS(d)` check admits them, while the
+    /// Lamport component preserves uniqueness and monotonicity under
+    /// skew. It also heals recovery staleness instantly (Section 7's
+    /// "bump-up" concern) because real time never runs backwards.
+    pub fn tick_at(&mut self, floor: u64) -> Ts {
+        self.counter = self.counter.max(floor);
+        self.tick()
+    }
+
+    /// Observe a timestamp from a message; the counter jumps forward if
+    /// the sender was ahead (the recovery "bump-up").
+    pub fn observe(&mut self, ts: Ts) {
+        self.counter = self.counter.max(ts.counter());
+    }
+
+    /// Observe a raw counter value piggybacked on a message.
+    pub fn observe_counter(&mut self, counter: u64) {
+        self.counter = self.counter.max(counter);
+    }
+
+    /// Current counter value (for tests and metrics).
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// Reset to zero, as a crashed site that kept no durable clock would.
+    /// (Safe per Section 7: uniqueness comes from the site bits, and
+    /// `observe` heals staleness.)
+    pub fn crash_reset(&mut self) {
+        self.counter = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_strictly_increasing() {
+        let mut c = LamportClock::new(3);
+        let a = c.tick();
+        let b = c.tick();
+        assert!(b > a);
+        assert_eq!(a.site(), 3);
+        assert_eq!(a.counter(), 1);
+    }
+
+    #[test]
+    fn same_counter_different_sites_are_distinct_and_ordered() {
+        let mut c0 = LamportClock::new(0);
+        let mut c1 = LamportClock::new(1);
+        let a = c0.tick();
+        let b = c1.tick();
+        assert_ne!(a, b);
+        assert_eq!(a.counter(), b.counter());
+        assert!(a < b, "ties break by site id");
+    }
+
+    #[test]
+    fn observe_bumps_past_remote() {
+        let mut c = LamportClock::new(0);
+        let mut remote = LamportClock::new(1);
+        for _ in 0..10 {
+            remote.tick();
+        }
+        c.observe(remote.tick());
+        let next = c.tick();
+        assert!(next.counter() > 11 - 1, "local must move past remote");
+    }
+
+    #[test]
+    fn crash_reset_then_observe_heals() {
+        let mut c = LamportClock::new(2);
+        for _ in 0..100 {
+            c.tick();
+        }
+        c.crash_reset();
+        assert_eq!(c.counter(), 0);
+        // A message from a peer that saw our old timestamps heals us.
+        c.observe(Ts(100 << 10));
+        assert!(c.tick().counter() > 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_site_id_rejected() {
+        let _ = LamportClock::new(1 << 10);
+    }
+
+    #[test]
+    fn debug_format_is_readable() {
+        let mut c = LamportClock::new(5);
+        let t = c.tick();
+        assert_eq!(format!("{t:?}"), "ts:1@s5");
+    }
+}

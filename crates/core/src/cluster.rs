@@ -1,0 +1,558 @@
+//! Cluster orchestration: build, run, and harvest a DvP system.
+//!
+//! [`ClusterConfig`] bundles everything an experiment varies — sites,
+//! catalog, per-site protocol config, network (with partition schedule),
+//! fault plan, workload scripts, seed — and [`Cluster`] turns it into a
+//! running [`Simulation`] plus harvesting helpers. All experiment harness
+//! binaries and most integration tests go through this type.
+
+use crate::audit::Auditor;
+use crate::item::Catalog;
+use crate::metrics::ClusterMetrics;
+use crate::policy::SiteConfig;
+use crate::site::SiteNode;
+use crate::txn::TxnSpec;
+use dvp_simnet::network::NetworkConfig;
+use dvp_simnet::sim::Simulation;
+use dvp_simnet::time::SimTime;
+use dvp_simnet::NodeId;
+
+/// Scheduled site failures.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// `(when, site)` crash events.
+    pub crashes: Vec<(SimTime, NodeId)>,
+    /// `(when, site)` recovery events.
+    pub recoveries: Vec<(SimTime, NodeId)>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Crash `site` at `at`.
+    pub fn crash(mut self, at: SimTime, site: NodeId) -> Self {
+        self.crashes.push((at, site));
+        self
+    }
+
+    /// Recover `site` at `at`.
+    pub fn recover(mut self, at: SimTime, site: NodeId) -> Self {
+        self.recoveries.push((at, site));
+        self
+    }
+}
+
+/// Everything needed to instantiate a DvP cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of sites.
+    pub n_sites: usize,
+    /// The data items and their initial splits.
+    pub catalog: Catalog,
+    /// Per-site protocol configuration (same at every site).
+    pub site: SiteConfig,
+    /// Network model (delays, loss, partitions, ordered mode).
+    pub net: NetworkConfig,
+    /// Site crash/recovery schedule.
+    pub faults: FaultPlan,
+    /// Per-site workload scripts: `scripts[s]` is the list of
+    /// `(arrival time, transaction)` pairs initiated at site `s`.
+    pub scripts: Vec<Vec<(SimTime, TxnSpec)>>,
+    /// RNG seed (drives network delays/loss and nothing else — the
+    /// workload is part of the config, pre-generated).
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A minimal config: `n` sites, reliable network, no faults, empty
+    /// scripts.
+    pub fn new(n: usize, catalog: Catalog) -> Self {
+        ClusterConfig {
+            n_sites: n,
+            catalog,
+            site: SiteConfig::default(),
+            net: NetworkConfig::reliable(),
+            faults: FaultPlan::none(),
+            scripts: vec![Vec::new(); n],
+            seed: 0,
+        }
+    }
+
+    /// Append a transaction arrival at `site`.
+    pub fn at(mut self, site: NodeId, when: SimTime, spec: TxnSpec) -> Self {
+        self.scripts[site].push((when, spec));
+        self
+    }
+}
+
+/// A built cluster: the simulation plus the catalog for auditing.
+///
+/// ```
+/// use dvp_core::item::{Catalog, Split};
+/// use dvp_core::{Cluster, ClusterConfig, TxnSpec};
+/// use dvp_simnet::time::SimTime;
+///
+/// let mut catalog = Catalog::new();
+/// let flight = catalog.add("flight-A", 100, Split::Even);
+/// let cfg = ClusterConfig::new(4, catalog)
+///     .at(3, SimTime(1_000), TxnSpec::reserve(flight, 40));
+/// let mut cluster = Cluster::build(cfg);
+/// cluster.run_to_quiescence();
+/// assert_eq!(cluster.metrics().committed(), 1);
+/// cluster.auditor().check_conservation().unwrap();
+/// ```
+pub struct Cluster {
+    /// The underlying simulation (drive it with `run_until` etc.).
+    pub sim: Simulation<SiteNode>,
+    /// The catalog the cluster was built from.
+    pub catalog: Catalog,
+}
+
+impl Cluster {
+    /// Instantiate the simulation: construct sites with their quota
+    /// splits, schedule all workload arrivals and faults.
+    pub fn build(cfg: ClusterConfig) -> Cluster {
+        let n = cfg.n_sites;
+        assert!(n > 0, "cluster needs at least one site");
+        assert_eq!(cfg.scripts.len(), n, "one script per site");
+
+        // Per-site quota vectors, one entry per item.
+        let mut site_quotas: Vec<Vec<crate::Qty>> = vec![Vec::new(); n];
+        for def in cfg.catalog.items() {
+            let qs = cfg.catalog.quotas(def.id, n);
+            for (s, q) in qs.into_iter().enumerate() {
+                site_quotas[s].push(q);
+            }
+        }
+
+        let nodes: Vec<SiteNode> = (0..n)
+            .map(|s| {
+                let script: Vec<TxnSpec> =
+                    cfg.scripts[s].iter().map(|(_, spec)| spec.clone()).collect();
+                SiteNode::new(s, n, cfg.site, site_quotas[s].clone(), script)
+            })
+            .collect();
+
+        let mut sim = Simulation::new(nodes, cfg.net, cfg.seed);
+        for (s, script) in cfg.scripts.iter().enumerate() {
+            for (idx, (when, _)) in script.iter().enumerate() {
+                sim.schedule_external(*when, s, idx as u64);
+            }
+        }
+        for (when, site) in cfg.faults.crashes {
+            sim.schedule_crash(when, site);
+        }
+        for (when, site) in cfg.faults.recoveries {
+            sim.schedule_recover(when, site);
+        }
+        Cluster {
+            sim,
+            catalog: cfg.catalog,
+        }
+    }
+
+    /// Run until `deadline` in simulated time.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.sim.run_until(deadline);
+    }
+
+    /// Run until no events remain (workload exhausted, all Vms settled).
+    pub fn run_to_quiescence(&mut self) {
+        self.sim.run_to_quiescence();
+    }
+
+    /// Collect per-site metrics.
+    pub fn metrics(&self) -> ClusterMetrics {
+        ClusterMetrics {
+            sites: self
+                .sim
+                .nodes()
+                .iter()
+                .map(|s| s.metrics().clone())
+                .collect(),
+        }
+    }
+
+    /// An auditor over the current state.
+    pub fn auditor(&self) -> Auditor<'_> {
+        Auditor::new(self.sim.nodes(), &self.catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Split;
+    use crate::metrics::AbortReason;
+    use crate::policy::{ConcMode, Fanout, RefillPolicy};
+    use dvp_simnet::partition::PartitionSchedule;
+    use dvp_simnet::time::SimDuration;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::millis(n)
+    }
+
+    fn seats_catalog(total: crate::Qty) -> (Catalog, crate::ItemId) {
+        let mut c = Catalog::new();
+        let id = c.add("flight-A", total, Split::Even);
+        (c, id)
+    }
+
+    #[test]
+    fn local_reservation_commits_on_fast_path() {
+        let (catalog, flight) = seats_catalog(100);
+        let cfg = ClusterConfig::new(4, catalog).at(0, ms(1), TxnSpec::reserve(flight, 10));
+        let mut cl = Cluster::build(cfg);
+        cl.run_to_quiescence();
+        let m = cl.metrics();
+        assert_eq!(m.committed(), 1);
+        assert_eq!(m.aborted(), 0);
+        assert_eq!(m.sites[0].fast_path_commits, 1);
+        assert_eq!(cl.sim.node(0).fragments().get(flight), 15); // 25 - 10
+        cl.auditor().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn deficit_triggers_solicitation_and_commits() {
+        // Site 0 has 25 but needs 40: must gather ≥15 from elsewhere.
+        let (catalog, flight) = seats_catalog(100);
+        let cfg = ClusterConfig::new(4, catalog).at(0, ms(1), TxnSpec::reserve(flight, 40));
+        let mut cl = Cluster::build(cfg);
+        cl.run_to_quiescence();
+        let m = cl.metrics();
+        assert_eq!(m.committed(), 1, "solicited reservation must commit");
+        assert!(m.requests_sent() >= 1);
+        assert!(m.donations() >= 1);
+        assert_eq!(m.sites[0].fast_path_commits, 0);
+        // Total seats across the cluster fell by exactly 40.
+        let total: crate::Qty = (0..4).map(|s| cl.sim.node(s).fragments().get(flight)).sum();
+        assert_eq!(total, 60);
+        cl.auditor().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn impossible_demand_aborts_by_timeout() {
+        // 100 seats exist; asking for 150 can never be satisfied.
+        let (catalog, flight) = seats_catalog(100);
+        let cfg = ClusterConfig::new(4, catalog).at(0, ms(1), TxnSpec::reserve(flight, 150));
+        let mut cl = Cluster::build(cfg);
+        cl.run_to_quiescence();
+        let m = cl.metrics();
+        assert_eq!(m.committed(), 0);
+        assert_eq!(m.aborted_for(AbortReason::Timeout), 1);
+        // No seats were consumed; redistribution may have occurred.
+        let total: crate::Qty = (0..4).map(|s| cl.sim.node(s).fragments().get(flight)).sum();
+        assert_eq!(total, 100);
+        cl.auditor().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn partitioned_minority_still_serves_local_quota() {
+        // Site 3 is cut off but its local quota still serves customers.
+        let (catalog, flight) = seats_catalog(100);
+        let sched = PartitionSchedule::fully_connected(4).isolate_at(SimTime::ZERO, &[3]);
+        let mut cfg = ClusterConfig::new(4, catalog).at(3, ms(1), TxnSpec::reserve(flight, 20));
+        cfg.net = NetworkConfig::reliable().with_partitions(sched);
+        let mut cl = Cluster::build(cfg);
+        cl.run_to_quiescence();
+        let m = cl.metrics();
+        assert_eq!(m.committed(), 1, "local work proceeds despite partition");
+        assert_eq!(cl.sim.node(3).fragments().get(flight), 5);
+        cl.auditor().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn partitioned_deficit_aborts_within_timeout_bound() {
+        // Site 3 is isolated and needs more than its quota: the paper's
+        // non-blocking claim says it must reach an abort decision within
+        // the timeout, not hang.
+        let (catalog, flight) = seats_catalog(100);
+        let sched = PartitionSchedule::fully_connected(4).isolate_at(SimTime::ZERO, &[3]);
+        let mut cfg = ClusterConfig::new(4, catalog).at(3, ms(1), TxnSpec::reserve(flight, 40));
+        cfg.net = NetworkConfig::reliable().with_partitions(sched);
+        let mut cl = Cluster::build(cfg);
+        cl.run_to_quiescence();
+        let m = cl.metrics();
+        assert_eq!(m.aborted_for(AbortReason::Timeout), 1);
+        let bound = cl.sim.node(3).config().txn_timeout.as_micros() + 1_000;
+        assert!(
+            m.sites[3].abort_latency_us.iter().all(|&l| l <= bound),
+            "abort decision must be bounded by the timeout"
+        );
+        cl.auditor().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn full_value_read_returns_exact_total() {
+        let (catalog, flight) = seats_catalog(100);
+        let cfg = ClusterConfig::new(4, catalog)
+            .at(1, ms(1), TxnSpec::reserve(flight, 7)) // 100 -> 93
+            .at(0, ms(30), TxnSpec::read(flight));
+        let mut cl = Cluster::build(cfg);
+        cl.run_to_quiescence();
+        let m = cl.metrics();
+        assert_eq!(m.committed(), 2);
+        let reads: Vec<_> = m
+            .global_commit_order()
+            .iter()
+            .flat_map(|e| e.reads.clone())
+            .collect();
+        assert_eq!(reads, vec![(flight, 93)]);
+        cl.auditor().check_conservation().unwrap();
+        cl.auditor().check_reads(&m).unwrap();
+    }
+
+    #[test]
+    fn read_under_partition_aborts() {
+        let (catalog, flight) = seats_catalog(100);
+        let sched = PartitionSchedule::fully_connected(4).isolate_at(SimTime::ZERO, &[2]);
+        let mut cfg = ClusterConfig::new(4, catalog).at(0, ms(1), TxnSpec::read(flight));
+        cfg.net = NetworkConfig::reliable().with_partitions(sched);
+        let mut cl = Cluster::build(cfg);
+        cl.run_to_quiescence();
+        let m = cl.metrics();
+        assert_eq!(m.committed(), 0, "read needs every fragment");
+        assert_eq!(m.aborted_for(AbortReason::Timeout), 1);
+        cl.auditor().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn crash_and_recovery_preserve_value() {
+        let (catalog, flight) = seats_catalog(100);
+        let mut cfg = ClusterConfig::new(4, catalog)
+            .at(0, ms(1), TxnSpec::reserve(flight, 40)) // forces donations
+            .at(2, ms(120), TxnSpec::reserve(flight, 5));
+        cfg.faults = FaultPlan::none().crash(ms(60), 2).recover(ms(100), 2);
+        let mut cl = Cluster::build(cfg);
+        cl.run_to_quiescence();
+        let m = cl.metrics();
+        cl.auditor().check_conservation().unwrap();
+        assert_eq!(m.sites[2].recoveries, 1);
+        assert_eq!(
+            m.sites[2].recovery_remote_messages, 0,
+            "recovery is independent"
+        );
+        // Both reservations eventually committed (site 2's arrives after
+        // recovery).
+        assert_eq!(m.committed(), 2);
+        let total: crate::Qty = (0..4).map(|s| cl.sim.node(s).fragments().get(flight)).sum();
+        assert_eq!(total, 100 - 40 - 5);
+    }
+
+    #[test]
+    fn conc1_rejects_stale_timestamp_conflicts() {
+        // Two simultaneous transfers over the same two items at different
+        // sites: under Conc1 at least one request path hits a lock or
+        // timestamp conflict, but totals stay exact.
+        let mut catalog = Catalog::new();
+        let a = catalog.add("A", 40, Split::Even);
+        let b = catalog.add("B", 40, Split::Even);
+        let cfg = ClusterConfig::new(2, catalog)
+            .at(0, ms(1), TxnSpec::transfer(a, b, 30))
+            .at(1, ms(1), TxnSpec::transfer(b, a, 30));
+        let mut cl = Cluster::build(cfg);
+        cl.run_to_quiescence();
+        let m = cl.metrics();
+        cl.auditor().check_conservation().unwrap();
+        // Whatever committed, totals moved consistently.
+        let ta: crate::Qty = (0..2).map(|s| cl.sim.node(s).fragments().get(a)).sum();
+        let tb: crate::Qty = (0..2).map(|s| cl.sim.node(s).fragments().get(b)).sum();
+        assert_eq!(ta + tb, 80);
+        assert!(m.committed() + m.aborted() == 2);
+    }
+
+    #[test]
+    fn conc2_queues_instead_of_rejecting() {
+        // Under Conc2 with a synchronous-ordered network, two reservations
+        // hitting the same items serialize through the FIFO queue and both
+        // commit.
+        let (catalog, flight) = seats_catalog(100);
+        let mut cfg = ClusterConfig::new(4, catalog)
+            .at(0, ms(1), TxnSpec::reserve(flight, 30)) // needs donation
+            .at(0, ms(2), TxnSpec::reserve(flight, 30)); // queued behind
+        cfg.site.conc = ConcMode::Conc2;
+        cfg.net = NetworkConfig::synchronous_ordered(SimDuration::millis(2));
+        let mut cl = Cluster::build(cfg);
+        cl.run_to_quiescence();
+        let m = cl.metrics();
+        assert_eq!(m.committed(), 2, "both must commit via queueing");
+        cl.auditor().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn lossy_network_still_conserves_value() {
+        let (catalog, flight) = seats_catalog(100);
+        let mut cfg = ClusterConfig::new(4, catalog);
+        for k in 0..10u64 {
+            let site = (k % 4) as usize;
+            cfg = cfg.at(site, ms(1 + k * 3), TxnSpec::reserve(flight, 8));
+        }
+        cfg.net = NetworkConfig::lossy(0.3);
+        cfg.seed = 7;
+        let mut cl = Cluster::build(cfg);
+        cl.run_until(ms(5_000));
+        cl.auditor().check_conservation().unwrap();
+    }
+
+    #[test]
+    fn solicit_retries_rescue_lossy_requests() {
+        // All value lives at site 0; site 1 must solicit over a very
+        // lossy link. Without retries most requests die and the txns
+        // time out; with retries inside the same timeout window they
+        // mostly succeed. (Decision bound unchanged — §5's "variation".)
+        let run = |retries: u32| {
+            let mut catalog = Catalog::new();
+            let item = catalog.add("pool", 100_000, Split::AllAt(0));
+            let mut cfg = ClusterConfig::new(2, catalog);
+            cfg.net = NetworkConfig::lossy(0.6);
+            cfg.seed = 3;
+            cfg.site.solicit_retries = retries;
+            for k in 0..20u64 {
+                cfg = cfg.at(1, ms(1 + k * 60), TxnSpec::reserve(item, 10));
+            }
+            let mut cl = Cluster::build(cfg);
+            cl.run_until(ms(60 * 20 + 2_000));
+            cl.auditor().check_conservation().unwrap();
+            cl.metrics().committed()
+        };
+        let without = run(0);
+        let with = run(4);
+        assert!(
+            with > without,
+            "retries must rescue lost requests: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn rebalancer_ships_surplus_toward_demand() {
+        // Site 0 is the hub: all customers buy there, draining its quota.
+        // After its first solicitation, donors know where demand lives;
+        // with the rebalancer on they ship surplus proactively, so later
+        // hub sales hit the fast path instead of soliciting.
+        let run = |rebalance: bool| {
+            let mut catalog = Catalog::new();
+            let flight = catalog.add("flight", 4_000, Split::Even); // 1000/site
+            let mut cfg = ClusterConfig::new(4, catalog);
+            if rebalance {
+                cfg.site.rebalance = Some(crate::policy::RebalanceConfig {
+                    every: SimDuration::millis(20),
+                    surplus_factor: 0.5, // ship aggressively once demand is known
+                });
+            }
+            for k in 0..30u64 {
+                cfg = cfg.at(0, ms(1 + k * 30), TxnSpec::reserve(flight, 100));
+            }
+            let mut cl = Cluster::build(cfg);
+            cl.run_until(ms(5_000));
+            cl.auditor().check_conservation().unwrap();
+            let m = cl.metrics();
+            (m.committed(), m.requests_sent(), m.sites.iter().map(|s| s.rebalances).sum::<u64>())
+        };
+        let (c0, req0, rb0) = run(false);
+        let (c1, req1, rb1) = run(true);
+        assert_eq!(rb0, 0);
+        assert!(rb1 > 0, "rebalancer must fire");
+        assert!(c1 >= c0, "rebalancing must not lose commits: {c1} vs {c0}");
+        assert!(
+            req1 < req0,
+            "proactive shipping must cut solicitation: {req1} vs {req0}"
+        );
+    }
+
+    #[test]
+    fn checkpoints_bound_the_log() {
+        let run = |every: Option<usize>| {
+            let (catalog, flight) = seats_catalog(100_000);
+            let mut cfg = ClusterConfig::new(2, catalog);
+            cfg.site.checkpoint_every = every;
+            for k in 0..200u64 {
+                cfg = cfg.at(0, ms(1 + k * 2), TxnSpec::reserve(flight, 1));
+            }
+            let mut cl = Cluster::build(cfg);
+            cl.run_to_quiescence();
+            assert_eq!(cl.metrics().committed(), 200);
+            (
+                cl.sim.node(0).log().stable_len(),
+                cl.metrics().sites[0].checkpoints,
+            )
+        };
+        let (unbounded, cps0) = run(None);
+        let (bounded, cps1) = run(Some(50));
+        assert_eq!(cps0, 0);
+        assert!(cps1 >= 3, "checkpoints must fire: {cps1}");
+        assert!(
+            bounded < unbounded / 2,
+            "log must stay bounded: {bounded} vs {unbounded}"
+        );
+    }
+
+    #[test]
+    fn recovery_from_checkpoint_is_exact() {
+        // Same fault scenario with and without checkpointing must yield
+        // identical recovered state.
+        let run = |every: Option<usize>| {
+            let (catalog, flight) = seats_catalog(1_000);
+            let mut cfg = ClusterConfig::new(4, catalog);
+            cfg.site.checkpoint_every = every;
+            // Donation-heavy: site 0 oversells its quota repeatedly.
+            for k in 0..40u64 {
+                cfg = cfg.at(0, ms(1 + k * 10), TxnSpec::reserve(flight, 12));
+            }
+            cfg.faults = FaultPlan::none().crash(ms(250), 0).recover(ms(300), 0);
+            let mut cl = Cluster::build(cfg);
+            cl.run_to_quiescence();
+            cl.auditor().check_conservation().unwrap();
+            (
+                cl.metrics().committed(),
+                (0..4)
+                    .map(|s| cl.sim.node(s).fragments().get(flight))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let (c_plain, frags_plain) = run(None);
+        let (c_ckpt, frags_ckpt) = run(Some(20));
+        assert_eq!(c_plain, c_ckpt, "checkpointing must not change outcomes");
+        assert_eq!(frags_plain, frags_ckpt, "recovered state must be identical");
+    }
+
+    #[test]
+    fn checkpoint_preserves_outstanding_vms_across_crash() {
+        // A donor checkpoints while its Vm is still unacked, then crashes.
+        // The snapshot must carry the outstanding Vm so retransmission
+        // resumes and the value survives.
+        let (catalog, flight) = seats_catalog(100);
+        let sched = PartitionSchedule::fully_connected(4)
+            .isolate_at(ms(2), &[0]) // strand the requester: acks can't flow
+            .heal_at(ms(400));
+        let mut cfg = ClusterConfig::new(4, catalog);
+        cfg.site.checkpoint_every = Some(1); // checkpoint eagerly
+        cfg.net = NetworkConfig::reliable().with_partitions(sched);
+        // Site 0 needs 40 (quota 25): donors ship Vms that cannot be
+        // delivered during the partition.
+        let mut cfg = cfg.at(0, ms(1), TxnSpec::reserve(flight, 40));
+        // Donor crashes mid-partition with the Vm outstanding.
+        cfg.faults = FaultPlan::none().crash(ms(100), 1).recover(ms(200), 1);
+        let mut cl = Cluster::build(cfg);
+        cl.run_until(ms(5_000));
+        cl.auditor().check_conservation().unwrap();
+        let total: crate::Qty = (0..4).map(|s| cl.sim.node(s).fragments().get(flight)).sum();
+        assert_eq!(total, 100, "the reservation aborted; all value survives");
+    }
+
+    #[test]
+    fn fanout_one_round_robin_works() {
+        let (catalog, flight) = seats_catalog(100);
+        let mut cfg = ClusterConfig::new(4, catalog).at(0, ms(1), TxnSpec::reserve(flight, 40));
+        cfg.site.fanout = Fanout::One;
+        cfg.site.refill = RefillPolicy::All;
+        let mut cl = Cluster::build(cfg);
+        cl.run_to_quiescence();
+        let m = cl.metrics();
+        assert_eq!(m.committed(), 1);
+        assert_eq!(m.requests_sent(), 1, "fanout one sends a single request");
+        cl.auditor().check_conservation().unwrap();
+    }
+}

@@ -1,0 +1,374 @@
+//! The algebraic model of Section 4.1: domains Γ, multisets Γ⁺, the
+//! partitioning map Π, and partitionable / redistribution operators.
+//!
+//! A [`Domain`] supplies the map `Π : Γ⁺ → Γ` as a commutative-monoid
+//! fold. That structure is exactly what the paper's *partitionable
+//! property* requires: grouping a multiset `b` into `b₁ … bₘ` and
+//! replacing each group by `Π(bᵢ)` must not change `Π` — i.e. `Π` must be
+//! associative, commutative, and unital. The property tests in this module
+//! (and the proptest suite under `tests/`) check these laws for every
+//! provided instance.
+//!
+//! A [`PartitionableOp`] `f` satisfies `f(Π(b)) = Π(b')` where `b'` is `b`
+//! with `f` *effectively applied* to one element; ineffective applications
+//! are no-ops (`apply` returns `None`). [`ops`](crate::ops) provides the
+//! quantity instances the transaction engine uses; this module's generic
+//! law-checkers are reused by their tests.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+/// A domain Γ together with its partitioning map Π.
+///
+/// `combine` and `empty` make `Value` a commutative monoid; `Π` of a
+/// multiset is the fold of `combine` over its elements. Implementations
+/// must satisfy, for all `a, b, c`:
+///
+/// * `combine(a, combine(b, c)) == combine(combine(a, b), c)` (associative)
+/// * `combine(a, b) == combine(b, a)` (commutative)
+/// * `combine(a, empty()) == a` (unit)
+pub trait Domain {
+    /// An element of Γ (and of the multisets in Γ⁺).
+    type Value: Clone + Debug + PartialEq;
+
+    /// The monoid unit ("null value" in the paper's reads discussion).
+    fn empty() -> Self::Value;
+
+    /// The monoid operation underlying Π.
+    fn combine(a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// Π: fold a multiset down to the data item's value.
+    fn pi<'a, I: IntoIterator<Item = &'a Self::Value>>(values: I) -> Self::Value
+    where
+        Self::Value: 'a,
+    {
+        values
+            .into_iter()
+            .fold(Self::empty(), |acc, v| Self::combine(&acc, v))
+    }
+}
+
+/// An operator `f` that may be applied to a *single element* of `Π⁻¹(d)`
+/// and thereby to `d` itself: `f(Π(b)) = Π(b with f applied to one element)`.
+///
+/// `apply` returns `None` when the application would be *ineffective*
+/// (paper: "for reasons particular to the argument, the result is
+/// equivalent to a no-operation") — e.g. a bounded decrement that would
+/// go below zero.
+pub trait PartitionableOp<D: Domain> {
+    /// Apply effectively to one element, or report ineffectiveness.
+    fn apply(&self, v: &D::Value) -> Option<D::Value>;
+}
+
+/// A multiset over a domain's values (Γ⁺), with the operations the paper
+/// uses: grouping, redistribution, and Π.
+///
+/// This is the *specification-level* object; the transaction engine keeps
+/// only each site's aggregated element (justified by the grouping law).
+#[derive(Debug, PartialEq)]
+pub struct Multiset<D: Domain> {
+    elems: Vec<D::Value>,
+}
+
+impl<D: Domain> Clone for Multiset<D> {
+    fn clone(&self) -> Self {
+        Multiset {
+            elems: self.elems.clone(),
+        }
+    }
+}
+
+impl<D: Domain> Default for Multiset<D> {
+    fn default() -> Self {
+        Multiset { elems: Vec::new() }
+    }
+}
+
+impl<D: Domain> Multiset<D> {
+    /// The empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A multiset from elements.
+    pub fn from_elems(elems: Vec<D::Value>) -> Self {
+        Multiset { elems }
+    }
+
+    /// The elements.
+    pub fn elems(&self) -> &[D::Value] {
+        &self.elems
+    }
+
+    /// Number of elements (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Add an element.
+    pub fn push(&mut self, v: D::Value) {
+        self.elems.push(v);
+    }
+
+    /// Π of this multiset.
+    pub fn pi(&self) -> D::Value {
+        D::pi(self.elems.iter())
+    }
+
+    /// Group the elements into `parts` multisets by round-robin — one of
+    /// the many groupings the partitionable property quantifies over.
+    pub fn group_round_robin(&self, parts: usize) -> Vec<Multiset<D>> {
+        assert!(parts > 0);
+        let mut out = vec![Multiset::new(); parts];
+        for (i, v) in self.elems.iter().enumerate() {
+            out[i % parts].push(v.clone());
+        }
+        out
+    }
+
+    /// Collapse each group to its Π and collect them into a new multiset
+    /// `b'` (the paper's construction); by the partitionable property,
+    /// `b'.pi() == self.pi()`.
+    pub fn collapse_groups(groups: &[Multiset<D>]) -> Multiset<D> {
+        Multiset::from_elems(groups.iter().map(|g| g.pi()).collect())
+    }
+
+    /// Apply `op` effectively to the element at `idx`; returns `false`
+    /// (leaving the multiset unchanged) when the application is
+    /// ineffective.
+    pub fn apply_at<O: PartitionableOp<D>>(&mut self, idx: usize, op: &O) -> bool {
+        match op.apply(&self.elems[idx]) {
+            Some(v) => {
+                self.elems[idx] = v;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Check the monoid laws for a sample of values; used by instance tests
+/// and by the proptest suite.
+pub fn check_monoid_laws<D: Domain>(samples: &[D::Value]) {
+    for a in samples {
+        let lhs = D::combine(a, &D::empty());
+        assert_eq!(&lhs, a, "unit law failed for {a:?}");
+        for b in samples {
+            assert_eq!(
+                D::combine(a, b),
+                D::combine(b, a),
+                "commutativity failed for {a:?}, {b:?}"
+            );
+            for c in samples {
+                assert_eq!(
+                    D::combine(a, &D::combine(b, c)),
+                    D::combine(&D::combine(a, b), c),
+                    "associativity failed for {a:?}, {b:?}, {c:?}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instances
+// ---------------------------------------------------------------------------
+
+/// The paper's canonical domain: non-negative integer quantities under
+/// summation (airline seats, stock units, cents). Π = Σ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SumQty;
+
+impl Domain for SumQty {
+    type Value = u64;
+    fn empty() -> u64 {
+        0
+    }
+    fn combine(a: &u64, b: &u64) -> u64 {
+        a.checked_add(*b)
+            .expect("quantity overflow — totals must fit in u64")
+    }
+}
+
+/// Extension domain ("ways to extend the methods to handle more data
+/// types", Section 9): bags of distinguishable tokens under bag union.
+/// Π = ⊎. Models e.g. a pool of *specific* serial-numbered assets that can
+/// be scattered across sites and shipped between them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BagUnion;
+
+impl Domain for BagUnion {
+    /// token id -> multiplicity.
+    type Value = BTreeMap<u64, u64>;
+    fn empty() -> Self::Value {
+        BTreeMap::new()
+    }
+    fn combine(a: &Self::Value, b: &Self::Value) -> Self::Value {
+        let mut out = a.clone();
+        for (k, v) in b {
+            *out.entry(*k).or_insert(0) += v;
+        }
+        out
+    }
+}
+
+/// Extension domain: high-water marks under max. Π = max. Models e.g. the
+/// largest sequence number issued anywhere; "raise to at least m" is its
+/// partitionable operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MaxMark;
+
+impl Domain for MaxMark {
+    type Value = u64;
+    fn empty() -> u64 {
+        0
+    }
+    fn combine(a: &u64, b: &u64) -> u64 {
+        *a.max(b)
+    }
+}
+
+/// "Raise to at least `m`" — partitionable for [`MaxMark`]:
+/// `max(Π(b), m) = Π(b with one element raised to at least m)`.
+#[derive(Clone, Copy, Debug)]
+pub struct RaiseTo(pub u64);
+
+impl PartitionableOp<MaxMark> for RaiseTo {
+    fn apply(&self, v: &u64) -> Option<u64> {
+        Some(*v.max(&self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Decr, Incr};
+
+    #[test]
+    fn sum_qty_monoid_laws() {
+        check_monoid_laws::<SumQty>(&[0, 1, 2, 7, 100, 12345]);
+    }
+
+    #[test]
+    fn bag_union_monoid_laws() {
+        let bags: Vec<BTreeMap<u64, u64>> = vec![
+            BTreeMap::new(),
+            BTreeMap::from([(1, 2)]),
+            BTreeMap::from([(1, 1), (2, 3)]),
+            BTreeMap::from([(9, 1)]),
+        ];
+        check_monoid_laws::<BagUnion>(&bags);
+    }
+
+    #[test]
+    fn max_mark_monoid_laws() {
+        check_monoid_laws::<MaxMark>(&[0, 1, 5, 5, 9, u64::MAX / 2]);
+    }
+
+    #[test]
+    fn pi_of_quota_split_is_total() {
+        // The Section 3 example: N=100 split as 25+25+25+25.
+        let b = Multiset::<SumQty>::from_elems(vec![25, 25, 25, 25]);
+        assert_eq!(b.pi(), 100);
+    }
+
+    #[test]
+    fn partitionable_property_grouping_invariance() {
+        let b = Multiset::<SumQty>::from_elems(vec![2, 3, 10, 15, 0, 7]);
+        for parts in 1..=6 {
+            let groups = b.group_round_robin(parts);
+            let collapsed = Multiset::collapse_groups(&groups);
+            assert_eq!(collapsed.pi(), b.pi(), "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn partitionable_op_commutes_with_pi() {
+        // f(Π(b)) = Π(b with f applied to one element), for effective f.
+        let mut b = Multiset::<SumQty>::from_elems(vec![5, 10, 3]);
+        let before = b.pi();
+        let f = Incr(4);
+        assert!(b.apply_at(1, &f));
+        assert_eq!(b.pi(), f.apply(&before).unwrap());
+    }
+
+    #[test]
+    fn ineffective_application_is_noop() {
+        // Decrement by 7 on an element of 3: ineffective (would go below 0).
+        let mut b = Multiset::<SumQty>::from_elems(vec![3, 50]);
+        let before = b.clone();
+        assert!(!b.apply_at(0, &Decr(7)));
+        assert_eq!(b, before);
+        // On the element of 50 it is effective.
+        assert!(b.apply_at(1, &Decr(7)));
+        assert_eq!(b.pi(), 46);
+    }
+
+    #[test]
+    fn two_partitionable_ops_commute_on_disjoint_portions() {
+        // g(h(d)) = h(g(d)) when applied to separate portions (Section 4.1).
+        let run = |first_at_0: bool| {
+            let mut b = Multiset::<SumQty>::from_elems(vec![20, 30]);
+            if first_at_0 {
+                assert!(b.apply_at(0, &Decr(5)));
+                assert!(b.apply_at(1, &Incr(9)));
+            } else {
+                assert!(b.apply_at(1, &Incr(9)));
+                assert!(b.apply_at(0, &Decr(5)));
+            }
+            b.pi()
+        };
+        assert_eq!(run(true), run(false));
+        assert_eq!(run(true), 54);
+    }
+
+    #[test]
+    fn raise_to_is_partitionable_for_max() {
+        let b = Multiset::<MaxMark>::from_elems(vec![3, 9, 4]);
+        let f = RaiseTo(7);
+        // f(Π(b)) = max(9, 7) = 9.
+        let expect = f.apply(&b.pi()).unwrap();
+        // Apply to each element in turn — every placement must agree.
+        for i in 0..3 {
+            let mut b2 = b.clone();
+            assert!(b2.apply_at(i, &f));
+            assert_eq!(b2.pi(), expect, "element {i}");
+        }
+    }
+
+    #[test]
+    fn bag_union_ships_specific_tokens() {
+        // Moving token 7 from one element to another is a redistribution:
+        // Π unchanged.
+        let mut a: BTreeMap<u64, u64> = BTreeMap::from([(7, 1), (8, 1)]);
+        let mut b: BTreeMap<u64, u64> = BTreeMap::from([(9, 1)]);
+        let whole_before = BagUnion::combine(&a, &b);
+        // Ship token 7: remove from a, add to b.
+        a.remove(&7);
+        *b.entry(7).or_insert(0) += 1;
+        let whole_after = BagUnion::combine(&a, &b);
+        assert_eq!(whole_before, whole_after);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn sum_overflow_is_detected() {
+        let _ = SumQty::combine(&u64::MAX, &1);
+    }
+
+    #[test]
+    fn multiset_utility_methods() {
+        let mut m = Multiset::<SumQty>::new();
+        assert!(m.is_empty());
+        m.push(4);
+        m.push(6);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.elems(), &[4, 6]);
+        assert_eq!(m.pi(), 10);
+    }
+}

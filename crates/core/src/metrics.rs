@@ -1,0 +1,296 @@
+//! Measurement: per-site and cluster-wide metrics.
+//!
+//! Every experiment in `EXPERIMENTS.md` reduces to these counters and
+//! distributions: commit/abort counts (by reason), decision latencies
+//! (bounded for DvP — the non-blocking claim), message/donation counts,
+//! and the committed-operation journal the auditors replay.
+
+use crate::clock::Ts;
+use crate::item::ItemId;
+use crate::Qty;
+use dvp_simnet::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Why a transaction aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbortReason {
+    /// Solicited value / read grants did not arrive in time (Section 5,
+    /// Step 3 — the pessimistic timeout).
+    Timeout,
+    /// A required local data value was already locked (Conc1 fail-fast).
+    LockConflict,
+    /// The Conc1 timestamp check `TS(t) > TS(d)` failed.
+    TsConflict,
+    /// The home site crashed while the transaction was in flight.
+    Crashed,
+}
+
+impl AbortReason {
+    /// All reasons, for tabulation.
+    pub const ALL: [AbortReason; 4] = [
+        AbortReason::Timeout,
+        AbortReason::LockConflict,
+        AbortReason::TsConflict,
+        AbortReason::Crashed,
+    ];
+}
+
+/// One committed transaction, journaled for the auditors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitEntry {
+    /// Transaction id (timestamp).
+    pub txn: Ts,
+    /// Commit instant.
+    pub at: SimTime,
+    /// Net delta per item.
+    pub deltas: Vec<(ItemId, i64)>,
+    /// Full-value read results, if any.
+    pub reads: Vec<(ItemId, Qty)>,
+}
+
+/// Counters and journals for one site.
+#[derive(Clone, Debug, Default)]
+pub struct SiteMetrics {
+    /// Transactions committed at this site.
+    pub committed: u64,
+    /// Aborts by reason.
+    pub aborted: BTreeMap<AbortReason, u64>,
+    /// Latency (µs) of each committed transaction (start → commit).
+    pub commit_latency_us: Vec<u64>,
+    /// Latency (µs) of each aborted transaction (start → abort decision).
+    /// Boundedness of these is the non-blocking property.
+    pub abort_latency_us: Vec<u64>,
+    /// Requests sent to remote sites.
+    pub requests_sent: u64,
+    /// Requests honoured as donor.
+    pub donations: u64,
+    /// Requests ignored as donor (locked / stale timestamp / outstanding
+    /// Vm on a read).
+    pub requests_ignored: u64,
+    /// Value transfers absorbed (Vm acceptances).
+    pub absorbed: u64,
+    /// Spontaneous rebalance shipments performed.
+    pub rebalances: u64,
+    /// Checkpoints taken (snapshot + log truncation).
+    pub checkpoints: u64,
+    /// Transactions that committed on the write-only fast path (no
+    /// solicitation round).
+    pub fast_path_commits: u64,
+    /// Journal of committed transactions (audit input).
+    pub commits: Vec<CommitEntry>,
+    /// Number of recoveries this site performed.
+    pub recoveries: u64,
+    /// Remote messages this site had to wait for before finishing
+    /// recovery (always 0 for DvP — the independence claim; the 2PC
+    /// baseline reports nonzero).
+    pub recovery_remote_messages: u64,
+}
+
+impl SiteMetrics {
+    /// Record an abort.
+    pub fn record_abort(&mut self, reason: AbortReason, latency_us: u64) {
+        *self.aborted.entry(reason).or_insert(0) += 1;
+        self.abort_latency_us.push(latency_us);
+    }
+
+    /// Record a commit.
+    pub fn record_commit(&mut self, entry: CommitEntry, latency_us: u64, fast_path: bool) {
+        self.committed += 1;
+        self.commit_latency_us.push(latency_us);
+        if fast_path {
+            self.fast_path_commits += 1;
+        }
+        self.commits.push(entry);
+    }
+
+    /// Total aborts.
+    pub fn total_aborted(&self) -> u64 {
+        self.aborted.values().sum()
+    }
+}
+
+/// Aggregated metrics across a cluster.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterMetrics {
+    /// Per-site metrics, indexed by site id.
+    pub sites: Vec<SiteMetrics>,
+}
+
+impl ClusterMetrics {
+    /// Sum of commits.
+    pub fn committed(&self) -> u64 {
+        self.sites.iter().map(|s| s.committed).sum()
+    }
+
+    /// Sum of aborts (all reasons).
+    pub fn aborted(&self) -> u64 {
+        self.sites.iter().map(|s| s.total_aborted()).sum()
+    }
+
+    /// Aborts of one reason.
+    pub fn aborted_for(&self, reason: AbortReason) -> u64 {
+        self.sites
+            .iter()
+            .map(|s| s.aborted.get(&reason).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Commit ratio over all attempts that reached a decision.
+    pub fn commit_ratio(&self) -> f64 {
+        let c = self.committed();
+        let total = c + self.aborted();
+        if total == 0 {
+            0.0
+        } else {
+            c as f64 / total as f64
+        }
+    }
+
+    /// All commit entries across sites, ordered by commit time (ties by
+    /// txn id) — the global committed history the auditors replay.
+    pub fn global_commit_order(&self) -> Vec<&CommitEntry> {
+        let mut all: Vec<&CommitEntry> = self.sites.iter().flat_map(|s| s.commits.iter()).collect();
+        all.sort_by_key(|e| (e.at, e.txn));
+        all
+    }
+
+    /// Percentile (0..=100) of committed-transaction latency in µs.
+    pub fn commit_latency_percentile(&self, p: f64) -> u64 {
+        let mut all: Vec<u64> = self
+            .sites
+            .iter()
+            .flat_map(|s| s.commit_latency_us.iter().copied())
+            .collect();
+        percentile(&mut all, p)
+    }
+
+    /// Percentile of decision latency over *all* decisions (commit or
+    /// abort) — the bounded-decision metric of experiment T2.
+    pub fn decision_latency_percentile(&self, p: f64) -> u64 {
+        let mut all: Vec<u64> = self
+            .sites
+            .iter()
+            .flat_map(|s| {
+                s.commit_latency_us
+                    .iter()
+                    .chain(s.abort_latency_us.iter())
+                    .copied()
+            })
+            .collect();
+        percentile(&mut all, p)
+    }
+
+    /// Sum of requests sent.
+    pub fn requests_sent(&self) -> u64 {
+        self.sites.iter().map(|s| s.requests_sent).sum()
+    }
+
+    /// Sum of donations made.
+    pub fn donations(&self) -> u64 {
+        self.sites.iter().map(|s| s.donations).sum()
+    }
+}
+
+/// Nearest-rank percentile; sorts in place. Returns 0 for empty input.
+pub fn percentile(xs: &mut [u64], p: f64) -> u64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    xs.sort_unstable();
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * (xs.len() as f64 - 1.0)).round() as usize;
+    xs[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut xs = vec![50, 10, 40, 20, 30];
+        assert_eq!(percentile(&mut xs, 0.0), 10);
+        assert_eq!(percentile(&mut xs, 50.0), 30);
+        assert_eq!(percentile(&mut xs, 100.0), 50);
+        assert_eq!(percentile(&mut [], 50.0), 0);
+    }
+
+    #[test]
+    fn site_metrics_counts() {
+        let mut m = SiteMetrics::default();
+        m.record_abort(AbortReason::Timeout, 100);
+        m.record_abort(AbortReason::Timeout, 120);
+        m.record_abort(AbortReason::LockConflict, 5);
+        m.record_commit(
+            CommitEntry {
+                txn: Ts(1),
+                at: SimTime(99),
+                deltas: vec![(ItemId(0), -2)],
+                reads: vec![],
+            },
+            77,
+            true,
+        );
+        assert_eq!(m.total_aborted(), 3);
+        assert_eq!(m.committed, 1);
+        assert_eq!(m.fast_path_commits, 1);
+        assert_eq!(m.aborted[&AbortReason::Timeout], 2);
+    }
+
+    #[test]
+    fn cluster_aggregation_and_ratio() {
+        let mut a = SiteMetrics::default();
+        a.record_commit(
+            CommitEntry {
+                txn: Ts(2),
+                at: SimTime(5),
+                deltas: vec![],
+                reads: vec![],
+            },
+            10,
+            false,
+        );
+        let mut b = SiteMetrics::default();
+        b.record_abort(AbortReason::Timeout, 500);
+        let c = ClusterMetrics { sites: vec![a, b] };
+        assert_eq!(c.committed(), 1);
+        assert_eq!(c.aborted(), 1);
+        assert_eq!(c.aborted_for(AbortReason::Timeout), 1);
+        assert!((c.commit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(c.decision_latency_percentile(100.0), 500);
+    }
+
+    #[test]
+    fn global_commit_order_sorts_by_time() {
+        let mut a = SiteMetrics::default();
+        a.record_commit(
+            CommitEntry {
+                txn: Ts(9),
+                at: SimTime(20),
+                deltas: vec![],
+                reads: vec![],
+            },
+            1,
+            false,
+        );
+        let mut b = SiteMetrics::default();
+        b.record_commit(
+            CommitEntry {
+                txn: Ts(3),
+                at: SimTime(10),
+                deltas: vec![],
+                reads: vec![],
+            },
+            1,
+            false,
+        );
+        let c = ClusterMetrics { sites: vec![a, b] };
+        let order: Vec<Ts> = c.global_commit_order().iter().map(|e| e.txn).collect();
+        assert_eq!(order, vec![Ts(3), Ts(9)]);
+    }
+
+    #[test]
+    fn empty_cluster_ratio_is_zero() {
+        assert_eq!(ClusterMetrics::default().commit_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Operators on the canonical quantity domain.
+//!
+//! Section 4.1's worked examples: "increment the argument by m" and
+//! "decrement the argument by m if the result does not fall below 0" —
+//! both partitionable for Π = Σ. [`Op`] is the transaction-facing
+//! operation vocabulary built from them (plus full-value `Read`, which is
+//! *not* partitionable and therefore needs the gather protocol of
+//! Section 5).
+
+use crate::domain::{PartitionableOp, SumQty};
+use crate::Qty;
+
+/// Increment by a constant: always effective, partitionable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Incr(pub Qty);
+
+impl PartitionableOp<SumQty> for Incr {
+    fn apply(&self, v: &Qty) -> Option<Qty> {
+        v.checked_add(self.0)
+    }
+}
+
+/// Bounded decrement: effective only when the element covers it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decr(pub Qty);
+
+impl PartitionableOp<SumQty> for Decr {
+    fn apply(&self, v: &Qty) -> Option<Qty> {
+        v.checked_sub(self.0)
+    }
+}
+
+/// One operation a transaction performs on one item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Add `m` to the item (deposit, cancellation, restock). Executes at
+    /// the home site alone — the write-only fast path of Section 5.
+    Incr(Qty),
+    /// Subtract `m` from the item if the *gathered local portion* covers
+    /// it (reservation, withdrawal, shipment). May require soliciting
+    /// value from other sites first.
+    Decr(Qty),
+    /// Read the item's full value `d = Π(Π⁻¹(d))` — requires gathering
+    /// every fragment and in-flight Vm (Section 5's read protocol).
+    Read,
+}
+
+impl Op {
+    /// Net change to the item's total value if the op commits.
+    pub fn delta(&self) -> i64 {
+        match self {
+            Op::Incr(m) => *m as i64,
+            Op::Decr(m) => -(*m as i64),
+            Op::Read => 0,
+        }
+    }
+
+    /// How much local value the op consumes (what must be covered by the
+    /// home fragment, possibly after solicitation).
+    pub fn demand(&self) -> Qty {
+        match self {
+            Op::Decr(m) => *m,
+            Op::Incr(_) | Op::Read => 0,
+        }
+    }
+
+    /// Whether this op requires the full-value gather protocol.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Read)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incr_always_effective_until_overflow() {
+        assert_eq!(Incr(5).apply(&7), Some(12));
+        assert_eq!(Incr(1).apply(&u64::MAX), None);
+    }
+
+    #[test]
+    fn decr_bounded_at_zero() {
+        assert_eq!(Decr(5).apply(&7), Some(2));
+        assert_eq!(Decr(7).apply(&7), Some(0));
+        assert_eq!(Decr(8).apply(&7), None, "would fall below 0: ineffective");
+    }
+
+    #[test]
+    fn op_delta_signs() {
+        assert_eq!(Op::Incr(3).delta(), 3);
+        assert_eq!(Op::Decr(3).delta(), -3);
+        assert_eq!(Op::Read.delta(), 0);
+    }
+
+    #[test]
+    fn op_demand_only_for_decr() {
+        assert_eq!(Op::Incr(3).demand(), 0);
+        assert_eq!(Op::Decr(3).demand(), 3);
+        assert_eq!(Op::Read.demand(), 0);
+        assert!(Op::Read.is_read());
+        assert!(!Op::Decr(1).is_read());
+    }
+}

@@ -1,0 +1,200 @@
+//! Site configuration and tunable policies.
+//!
+//! These knobs are the paper's acknowledged open space ("performance
+//! studies to find the best ways to distribute the data, to design the
+//! transactions and to reduce the message traffic are needed", Section 9)
+//! — each is swept by an experiment or an ablation bench.
+
+use crate::Qty;
+use dvp_simnet::time::SimDuration;
+use dvp_vmsg::VmConfig;
+
+/// How much value a donor ships when honouring a refill request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefillPolicy {
+    /// Exactly the deficit (capped by what the donor has). Minimal value
+    /// movement; the requester may need to ask again soon.
+    DemandExact,
+    /// The deficit plus half the donor's surplus beyond it. Fewer future
+    /// requests at the cost of more value drift.
+    DemandHalf,
+    /// Everything the donor has. Concentrates value at busy sites.
+    All,
+}
+
+impl RefillPolicy {
+    /// Amount to donate given the requested `need` and local `have`.
+    pub fn amount(&self, need: Qty, have: Qty) -> Qty {
+        match self {
+            RefillPolicy::DemandExact => need.min(have),
+            RefillPolicy::DemandHalf => {
+                if have <= need {
+                    have
+                } else {
+                    need + (have - need) / 2
+                }
+            }
+            RefillPolicy::All => have,
+        }
+    }
+}
+
+/// Whom a soliciting transaction asks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fanout {
+    /// One site, chosen round-robin. Minimal traffic, fragile under
+    /// failures (no retry — a lost request means a timeout abort).
+    One,
+    /// Every other site (the deficit is requested from each; donors cap
+    /// by policy). Robust, chattier.
+    All,
+}
+
+/// Which concurrency-control scheme the sites run (paper Section 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConcMode {
+    /// Conc1: conservative timestamping — a lock (local or solicited) is
+    /// granted only if `TS(t) > TS(d)`; conflicts and stale timestamps
+    /// abort/ignore immediately. Works on any network.
+    Conc1,
+    /// Conc2: strict two-phase locking with FIFO lock queues. Sound under
+    /// the Section 6.2 network assumptions (message-order synchronicity +
+    /// ordered broadcast) — pair it with
+    /// `NetworkConfig::synchronous_ordered`.
+    Conc2,
+}
+
+/// Spontaneous-redistribution (proactive Rds transaction) policy.
+///
+/// The paper treats Rds transactions as free-standing ("Rds transactions
+/// may actually not redistribute any data item at all... may simply be
+/// used to send requests", §5) and asks for traffic-reducing
+/// distribution policies (§9). This policy ships a site's *surplus* —
+/// fragment value beyond a multiple of its initial quota — toward the
+/// site that most recently solicited the item (the demand hint), on a
+/// periodic timer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RebalanceConfig {
+    /// How often the rebalancer wakes.
+    pub every: SimDuration,
+    /// Keep `factor ×` the initial quota; ship any excess beyond it.
+    pub surplus_factor: f64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            every: SimDuration::millis(25),
+            surplus_factor: 2.0,
+        }
+    }
+}
+
+/// Per-site protocol configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SiteConfig {
+    /// Transaction timeout: solicited value must arrive within this span
+    /// or the transaction aborts (the paper's pessimistic Step 3).
+    pub txn_timeout: SimDuration,
+    /// Retransmission interval for outstanding Vms.
+    pub retransmit_every: SimDuration,
+    /// Refill donation policy.
+    pub refill: RefillPolicy,
+    /// Solicitation fan-out.
+    pub fanout: Fanout,
+    /// Concurrency-control scheme.
+    pub conc: ConcMode,
+    /// How long a donor's read lease pins the drained item. Must exceed
+    /// the requester's `txn_timeout` (plus delays) for committed reads to
+    /// be exact; the constructor enforces 2×.
+    pub read_lease: SimDuration,
+    /// Vm-layer knobs (window, eager acks).
+    pub vm: VmConfig,
+    /// Extra solicitation rounds before the timeout aborts (the paper's
+    /// "the requests could be re-tried a few more times" variation, §5).
+    /// `0` = the paper's baseline pessimism. Retries are spaced evenly
+    /// inside the timeout window, so the decision bound is unchanged.
+    pub solicit_retries: u32,
+    /// Proactive surplus shipping (`None` = off, the paper's baseline).
+    pub rebalance: Option<RebalanceConfig>,
+    /// Take a checkpoint (snapshot + log truncation) whenever the stable
+    /// log exceeds this many records (`None` = never; §7's "the number of
+    /// redo actions required can be reduced in the usual manner").
+    pub checkpoint_every: Option<usize>,
+    /// **Ablation-only.** Disable the donor-side rule that a site with
+    /// outstanding Vms for an item must refuse read solicitations
+    /// (Section 5: "the fact that no outstanding Vm is there assures that
+    /// the complete Π⁻¹(d) is procured"). With the gate off, committed
+    /// reads can silently miss in-flight value — the test suite proves
+    /// exactly that, which is why the rule exists.
+    pub unsafe_skip_read_drain_gate: bool,
+}
+
+impl Default for SiteConfig {
+    fn default() -> Self {
+        let txn_timeout = SimDuration::millis(50);
+        SiteConfig {
+            txn_timeout,
+            retransmit_every: SimDuration::millis(10),
+            refill: RefillPolicy::DemandExact,
+            fanout: Fanout::All,
+            conc: ConcMode::Conc1,
+            read_lease: txn_timeout.saturating_mul(2),
+            vm: VmConfig::default(),
+            solicit_retries: 0,
+            rebalance: None,
+            checkpoint_every: None,
+            unsafe_skip_read_drain_gate: false,
+        }
+    }
+}
+
+impl SiteConfig {
+    /// Set the transaction timeout, keeping the read lease at 2× it.
+    pub fn with_timeout(mut self, t: SimDuration) -> Self {
+        self.txn_timeout = t;
+        self.read_lease = t.saturating_mul(2);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_exact_caps_at_have() {
+        let p = RefillPolicy::DemandExact;
+        assert_eq!(p.amount(5, 10), 5);
+        assert_eq!(p.amount(5, 3), 3);
+        assert_eq!(p.amount(0, 10), 0);
+    }
+
+    #[test]
+    fn demand_half_ships_surplus() {
+        let p = RefillPolicy::DemandHalf;
+        assert_eq!(p.amount(5, 3), 3, "short: everything");
+        assert_eq!(p.amount(5, 5), 5);
+        assert_eq!(p.amount(5, 11), 8, "5 + (11-5)/2");
+    }
+
+    #[test]
+    fn all_ships_everything() {
+        assert_eq!(RefillPolicy::All.amount(1, 100), 100);
+        assert_eq!(RefillPolicy::All.amount(0, 0), 0);
+    }
+
+    #[test]
+    fn default_config_is_consistent() {
+        let c = SiteConfig::default();
+        assert!(c.read_lease >= c.txn_timeout.saturating_mul(2));
+        assert!(c.retransmit_every < c.txn_timeout);
+    }
+
+    #[test]
+    fn with_timeout_scales_lease() {
+        let c = SiteConfig::default().with_timeout(SimDuration::millis(20));
+        assert_eq!(c.txn_timeout, SimDuration::millis(20));
+        assert_eq!(c.read_lease, SimDuration::millis(40));
+    }
+}

@@ -1,0 +1,224 @@
+//! The site's stable-log record types.
+//!
+//! Three record shapes carry the whole protocol (paper Sections 4.2, 5, 7):
+//!
+//! * [`SiteRecord::Rds`] — the `[database-actions, message-sequence]`
+//!   record: fragment deltas plus embedded Vm ops, written when creating
+//!   Vms (donation) or accepting them (absorption);
+//! * [`SiteRecord::Commit`] — the `[database-actions]` record whose forced
+//!   write *is* the commit point of a transaction (Step 5);
+//! * [`SiteRecord::Applied`] — "record on the log that the changes have
+//!   been made" (Step 6); with [`SiteRecord::Init`] and checkpoints it
+//!   bounds redo, though the recovery scan replays deltas from genesis
+//!   (each record applied exactly once ⇒ idempotence for free).
+
+use crate::clock::Ts;
+use crate::item::ItemId;
+use crate::Qty;
+use dvp_storage::{DecodeError, Record, RecordReader, RecordWriter};
+use dvp_vmsg::VmLogOp;
+
+/// A `(item, signed delta)` database action.
+pub type DbAction = (ItemId, i64);
+
+/// One record in a site's stable log.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SiteRecord {
+    /// Genesis: this site's initial quota of an item.
+    Init {
+        /// The item.
+        item: ItemId,
+        /// Initial local quota.
+        qty: Qty,
+    },
+    /// A redistribution step `[database-actions, message-sequence]`:
+    /// fragment deltas plus the Vm ops (creations / acceptances / ack
+    /// observations) that justify them. `txn` is the transaction on whose
+    /// behalf the step ran ([`Ts::ZERO`] for spontaneous steps).
+    Rds {
+        /// Responsible transaction (for Conc1 timestamp recovery).
+        txn: Ts,
+        /// Fragment deltas.
+        actions: Vec<DbAction>,
+        /// Embedded Vm lifecycle ops.
+        vm_ops: Vec<VmLogOp>,
+    },
+    /// Transaction commit `[database-actions]` — forcing this record
+    /// commits the transaction.
+    Commit {
+        /// The committing transaction.
+        txn: Ts,
+        /// Net fragment deltas to apply.
+        actions: Vec<DbAction>,
+    },
+    /// The commit's changes have been installed in the database image.
+    Applied {
+        /// The transaction whose changes are installed.
+        txn: Ts,
+    },
+}
+
+fn encode_actions(w: &mut RecordWriter<'_>, actions: &[DbAction]) {
+    w.u32(actions.len() as u32);
+    for (item, delta) in actions {
+        w.u32(item.0);
+        w.i64(*delta);
+    }
+}
+
+fn decode_actions(r: &mut RecordReader<'_>) -> Result<Vec<DbAction>, DecodeError> {
+    let n = r.u32()? as usize;
+    if n > 1 << 20 {
+        return Err(DecodeError::Invalid("action count implausibly large"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((ItemId(r.u32()?), r.i64()?));
+    }
+    Ok(out)
+}
+
+impl Record for SiteRecord {
+    fn encode(&self, w: &mut RecordWriter<'_>) {
+        match self {
+            SiteRecord::Init { item, qty } => {
+                w.u8(0);
+                w.u32(item.0);
+                w.u64(*qty);
+            }
+            SiteRecord::Rds {
+                txn,
+                actions,
+                vm_ops,
+            } => {
+                w.u8(1);
+                w.u64(txn.0);
+                encode_actions(w, actions);
+                w.u32(vm_ops.len() as u32);
+                for op in vm_ops {
+                    op.encode(w);
+                }
+            }
+            SiteRecord::Commit { txn, actions } => {
+                w.u8(2);
+                w.u64(txn.0);
+                encode_actions(w, actions);
+            }
+            SiteRecord::Applied { txn } => {
+                w.u8(3);
+                w.u64(txn.0);
+            }
+        }
+    }
+
+    fn decode(r: &mut RecordReader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(SiteRecord::Init {
+                item: ItemId(r.u32()?),
+                qty: r.u64()?,
+            }),
+            1 => {
+                let txn = Ts(r.u64()?);
+                let actions = decode_actions(r)?;
+                let n = r.u32()? as usize;
+                if n > 1 << 20 {
+                    return Err(DecodeError::Invalid("vm op count implausibly large"));
+                }
+                let mut vm_ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    vm_ops.push(VmLogOp::decode(r)?);
+                }
+                Ok(SiteRecord::Rds {
+                    txn,
+                    actions,
+                    vm_ops,
+                })
+            }
+            2 => Ok(SiteRecord::Commit {
+                txn: Ts(r.u64()?),
+                actions: decode_actions(r)?,
+            }),
+            3 => Ok(SiteRecord::Applied { txn: Ts(r.u64()?) }),
+            _ => Err(DecodeError::Invalid("SiteRecord tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::{Bytes, BytesMut};
+    use dvp_storage::codec::{decode_frame, encode_frame};
+
+    fn roundtrip(rec: SiteRecord) {
+        let mut buf = BytesMut::new();
+        encode_frame(&rec, &mut buf);
+        let mut b = buf.freeze();
+        let got: SiteRecord = decode_frame(&mut b).unwrap();
+        assert_eq!(got, rec);
+    }
+
+    #[test]
+    fn init_roundtrips() {
+        roundtrip(SiteRecord::Init {
+            item: ItemId(4),
+            qty: 25,
+        });
+    }
+
+    #[test]
+    fn rds_roundtrips_with_vm_ops() {
+        roundtrip(SiteRecord::Rds {
+            txn: Ts(0xABC),
+            actions: vec![(ItemId(0), -5), (ItemId(1), 5)],
+            vm_ops: vec![
+                VmLogOp::Created {
+                    to: 2,
+                    seq: 9,
+                    payload: Bytes::from_static(b"pay"),
+                },
+                VmLogOp::Accepted { from: 1, seq: 3 },
+                VmLogOp::AckObserved { to: 2, seq: 8 },
+            ],
+        });
+    }
+
+    #[test]
+    fn commit_roundtrips() {
+        roundtrip(SiteRecord::Commit {
+            txn: Ts(77),
+            actions: vec![(ItemId(9), 123), (ItemId(10), -1)],
+        });
+    }
+
+    #[test]
+    fn applied_roundtrips() {
+        roundtrip(SiteRecord::Applied { txn: Ts(55) });
+    }
+
+    #[test]
+    fn empty_vectors_roundtrip() {
+        roundtrip(SiteRecord::Rds {
+            txn: Ts::ZERO,
+            actions: vec![],
+            vm_ops: vec![],
+        });
+        roundtrip(SiteRecord::Commit {
+            txn: Ts(1),
+            actions: vec![],
+        });
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut buf = BytesMut::new();
+        encode_frame(&SiteRecord::Applied { txn: Ts(1) }, &mut buf);
+        let mut raw = buf.to_vec();
+        // Payload begins after 8 header bytes; corrupt the tag and fix CRC
+        // by recomputing: easier to corrupt both tag and expect a
+        // Corrupt/Invalid error either way.
+        raw[8] = 0xFF;
+        let mut b = Bytes::from(raw);
+        assert!(decode_frame::<SiteRecord>(&mut b).is_err());
+    }
+}

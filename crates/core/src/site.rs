@@ -1,0 +1,1156 @@
+//! The DvP site: one node of the distributed system.
+//!
+//! [`SiteNode`] implements the whole per-site protocol stack:
+//!
+//! * **Transaction processing** (Section 5): the 7-step general
+//!   transaction, the write-only fast path, and implicit Rds transactions
+//!   (donations and Vm acceptances);
+//! * **Concurrency control** (Section 6): Conc1 (conservative
+//!   timestamping, fail-fast) or Conc2 (strict 2PL with FIFO lock queues,
+//!   for synchronous-ordered networks);
+//! * **Recovery** (Section 7): on crash, volatile state is discarded and
+//!   the unforced log tail lost; on restart the site rebuilds fragments,
+//!   timestamps, and Vm state purely from its own stable log — no remote
+//!   messages needed (independent recovery).
+//!
+//! ## Full-value reads and leases
+//!
+//! Section 5's read protocol requires every other site to ship its entire
+//! fragment and to certify that it has no outstanding Vms for the item.
+//! One subtlety the paper leaves implicit: a donor must keep the item
+//! locked until the read decides, otherwise a Vm that was in flight at
+//! donation time could land *behind* the donation and its value would
+//! escape the read. We pin the donated item with a **read lease** lasting
+//! `2 × txn_timeout` (> the requester's decision bound), restoring
+//! exactness: a read that commits observed the true total. Reads that
+//! cannot achieve quiescence time out and abort — dear reads are the price
+//! the paper itself flags ("there is a high overhead in reading the entire
+//! value", Section 8).
+
+use crate::clock::{LamportClock, Ts};
+use crate::fragment::FragmentStore;
+use crate::item::ItemId;
+use crate::locks::{Holder, LockTable};
+use crate::metrics::{AbortReason, CommitEntry, SiteMetrics};
+use crate::policy::{ConcMode, Fanout, SiteConfig};
+use crate::record::SiteRecord;
+use crate::transfer::{Transfer, TransferKind};
+use crate::txn::TxnSpec;
+use crate::Qty;
+use dvp_simnet::node::{Context, Node, TimerId};
+use dvp_simnet::time::{SimDuration, SimTime};
+use dvp_simnet::NodeId;
+use dvp_storage::{CheckpointSlot, StableLog};
+use dvp_vmsg::{ChannelSnapshot, Frame, Receipt, Seq, VmEndpoint, VmLogOp};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+// Timer-tag kinds (top byte).
+const TAG_KIND_SHIFT: u64 = 56;
+const TAG_TIMEOUT: u64 = 1 << TAG_KIND_SHIFT;
+const TAG_RETRANSMIT: u64 = 2 << TAG_KIND_SHIFT;
+const TAG_LEASE: u64 = 3 << TAG_KIND_SHIFT;
+const TAG_SOLICIT_RETRY: u64 = 4 << TAG_KIND_SHIFT;
+const TAG_REBALANCE: u64 = 5 << TAG_KIND_SHIFT;
+const TAG_PAYLOAD_MASK: u64 = (1 << TAG_KIND_SHIFT) - 1;
+
+/// Body of a protocol message.
+#[derive(Clone, Debug)]
+pub enum Body {
+    /// A Vm-layer frame (value transfer or ack).
+    Vm(Frame),
+    /// A solicitation: "send me value of `item`" (Section 3/5). Requests
+    /// are plain messages — never retransmitted, no unique ids needed
+    /// (Section 8's optimization note) — because their loss only costs a
+    /// timeout abort, never safety.
+    Request {
+        /// The soliciting transaction (carries its Conc1 timestamp).
+        txn: Ts,
+        /// Item whose value is needed.
+        item: ItemId,
+        /// Amount needed (ignored for reads).
+        need: Qty,
+        /// Whether this is a full-value read solicitation.
+        read: bool,
+    },
+    /// The read transaction `txn` has decided (committed or aborted):
+    /// donors may drop their read lease on `item` now instead of waiting
+    /// for the lease timer. Best-effort — if lost, the lease timer is the
+    /// fallback, so safety never depends on this message.
+    ReleaseLease {
+        /// The read transaction.
+        txn: Ts,
+        /// The leased item.
+        item: ItemId,
+    },
+}
+
+/// A protocol message: a Lamport counter piggybacked on a body.
+#[derive(Clone, Debug)]
+pub struct ProtoMsg {
+    /// Sender's Lamport counter at send time (Section 7's "bump-up").
+    pub lamport: u64,
+    /// Payload.
+    pub body: Body,
+}
+
+/// A party waiting for a lock under Conc2.
+#[derive(Clone, Debug)]
+enum Waiter {
+    /// A local transaction still acquiring its access set.
+    LocalTxn(Ts),
+    /// A remote solicitation to honour once the item frees up.
+    Request {
+        from: NodeId,
+        txn: Ts,
+        need: Qty,
+        read: bool,
+    },
+}
+
+/// Volatile state of one in-flight local transaction.
+#[derive(Clone, Debug)]
+struct ActiveTxn {
+    spec: TxnSpec,
+    started: SimTime,
+    timeout_timer: TimerId,
+    /// Items still to lock (Conc2 queueing); empty ⇒ all locks held.
+    pending_locks: Vec<ItemId>,
+    /// Remaining deficit per solicited item.
+    deficits: BTreeMap<ItemId, Qty>,
+    /// Per read item: donors not yet heard from.
+    read_pending: BTreeMap<ItemId, BTreeSet<NodeId>>,
+    /// Read items waiting for our *own* outstanding Vms to clear first.
+    reads_blocked_on_self: BTreeSet<ItemId>,
+    /// Whether this transaction ever solicited (false ⇒ fast path).
+    solicited: bool,
+    /// Remaining solicitation retries (see `SiteConfig::solicit_retries`).
+    retries_left: u32,
+}
+
+impl ActiveTxn {
+    fn locks_held(&self) -> bool {
+        self.pending_locks.is_empty()
+    }
+
+    fn ready(&self) -> bool {
+        self.locks_held()
+            && self.deficits.values().all(|&d| d == 0)
+            && self.read_pending.values().all(|s| s.is_empty())
+            && self.reads_blocked_on_self.is_empty()
+    }
+}
+
+/// A checkpoint image of a site's durable state: fragment values and
+/// timestamps plus the Vm channel state. Together with the log suffix
+/// after `redo_from`, it reconstructs the site exactly.
+#[derive(Clone, Debug)]
+pub struct SiteSnapshot {
+    frag_vals: Vec<Qty>,
+    frag_ts: Vec<Ts>,
+    vm: Vec<ChannelSnapshot>,
+}
+
+/// One DvP site (a [`Node`] for `dvp-simnet`).
+pub struct SiteNode {
+    id: NodeId,
+    n: usize,
+    cfg: SiteConfig,
+    clock: LamportClock,
+    frags: FragmentStore,
+    locks: LockTable,
+    vm: VmEndpoint,
+    log: StableLog<SiteRecord>,
+    /// Crash-surviving checkpoint slot (stable storage, like the log).
+    checkpoint: CheckpointSlot<SiteSnapshot>,
+    script: Vec<TxnSpec>,
+    active: BTreeMap<Ts, ActiveTxn>,
+    /// Conc2 FIFO lock queues.
+    lock_queue: BTreeMap<ItemId, VecDeque<Waiter>>,
+    /// Outgoing unacked Vms per item (read-donation gate).
+    outstanding_out: BTreeMap<ItemId, u64>,
+    /// The live lease-expiry timer per item. A firing that does not match
+    /// the stored id is stale (the lease it was armed for was released
+    /// early and a newer lease may be in force) and must be ignored.
+    lease_timers: BTreeMap<ItemId, TimerId>,
+    /// Map from outgoing Vm `(peer, seq)` to the item it carries.
+    vm_item: BTreeMap<(NodeId, Seq), ItemId>,
+    /// Initial per-item quota (the rebalancer's target level).
+    initial_quotas: Vec<Qty>,
+    /// Last site to solicit each item — where demand lives (rebalancer).
+    demand_hint: BTreeMap<ItemId, NodeId>,
+    /// Round-robin pointer for `Fanout::One`.
+    rr: usize,
+    retransmit_armed: bool,
+    /// Experiment instrumentation (omniscient: survives crashes).
+    metrics: SiteMetrics,
+}
+
+impl SiteNode {
+    /// Build a site.
+    ///
+    /// * `id`/`n`: this site's id and the cluster size.
+    /// * `quotas[i]`: this site's initial fragment of item `i` (the data-
+    ///   value partitioning). Logged as genesis records.
+    /// * `script`: transactions this site will run, indexed by the
+    ///   external-event tag the cluster scheduler uses.
+    pub fn new(id: NodeId, n: usize, cfg: SiteConfig, quotas: Vec<Qty>, script: Vec<TxnSpec>) -> Self {
+        let mut log = StableLog::new();
+        let mut frags = FragmentStore::new(quotas.len());
+        for (i, &q) in quotas.iter().enumerate() {
+            let item = ItemId(i as u32);
+            log.append(SiteRecord::Init { item, qty: q });
+            frags.credit(item, q);
+        }
+        log.force();
+        SiteNode {
+            id,
+            n,
+            cfg,
+            clock: LamportClock::new(id),
+            frags,
+            locks: LockTable::new(),
+            vm: VmEndpoint::new(id, cfg.vm),
+            log,
+            checkpoint: CheckpointSlot::new(),
+            script,
+            active: BTreeMap::new(),
+            initial_quotas: quotas,
+            demand_hint: BTreeMap::new(),
+            lock_queue: BTreeMap::new(),
+            outstanding_out: BTreeMap::new(),
+            lease_timers: BTreeMap::new(),
+            vm_item: BTreeMap::new(),
+            rr: (id + 1) % n.max(1),
+            retransmit_armed: false,
+            metrics: SiteMetrics::default(),
+        }
+    }
+
+    // ---- public inspection (harness / audit) ----------------------------
+
+    /// This site's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Fragment store (local portions of every item).
+    pub fn fragments(&self) -> &FragmentStore {
+        &self.frags
+    }
+
+    /// The Vm endpoint (for the conservation auditor).
+    pub fn vm_endpoint(&self) -> &VmEndpoint {
+        &self.vm
+    }
+
+    /// The stable log.
+    pub fn log(&self) -> &StableLog<SiteRecord> {
+        &self.log
+    }
+
+    /// Instrumentation counters.
+    pub fn metrics(&self) -> &SiteMetrics {
+        &self.metrics
+    }
+
+    /// Number of in-flight local transactions.
+    pub fn active_txns(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The site configuration.
+    pub fn config(&self) -> &SiteConfig {
+        &self.cfg
+    }
+
+    // ---- helpers ---------------------------------------------------------
+
+    fn others(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n).filter(move |&s| s != self.id)
+    }
+
+    fn send(&mut self, ctx: &mut Context<'_, ProtoMsg>, to: NodeId, body: Body) {
+        let lamport = self.clock.counter();
+        ctx.send(to, ProtoMsg { lamport, body });
+    }
+
+    /// Drain the Vm outbox onto the wire, account completed Vm
+    /// lifecycles, and keep the retransmit timer armed while needed.
+    fn flush_vm(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        for (to, frame) in self.vm.drain_outbox() {
+            self.send(ctx, to, Body::Vm(frame));
+        }
+        let completed = self.vm.drain_completed();
+        let mut freed_items: Vec<ItemId> = Vec::new();
+        for (peer, seq) in completed {
+            if let Some(item) = self.vm_item.remove(&(peer, seq)) {
+                if let Some(c) = self.outstanding_out.get_mut(&item) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.outstanding_out.remove(&item);
+                        freed_items.push(item);
+                    }
+                }
+                // Lazy durable note so recovery forgets completed Vms too.
+                self.log.append(SiteRecord::Rds {
+                    txn: Ts::ZERO,
+                    actions: vec![],
+                    vm_ops: vec![VmLogOp::AckObserved { to: peer, seq }],
+                });
+            }
+        }
+        for item in freed_items {
+            self.unblock_reads(item, ctx);
+        }
+        if !self.retransmit_armed && self.vm.has_outstanding() {
+            ctx.set_timer(self.cfg.retransmit_every, TAG_RETRANSMIT);
+            self.retransmit_armed = true;
+        }
+        self.maybe_checkpoint();
+    }
+
+    /// Take a checkpoint when the stable log has grown past the
+    /// configured bound: snapshot durable state, remember the redo point,
+    /// truncate the log prefix.
+    fn maybe_checkpoint(&mut self) {
+        let limit = match self.cfg.checkpoint_every {
+            Some(l) => l,
+            None => return,
+        };
+        if self.log.stable_len() < limit {
+            return;
+        }
+        // Only *forced* state may enter the snapshot; force first so the
+        // snapshot and the redo point agree.
+        self.log.force();
+        let redo_from = self.log.next_lsn();
+        self.checkpoint.install(
+            redo_from,
+            SiteSnapshot {
+                frag_vals: self.frags.snapshot(),
+                frag_ts: self.frags.ts_snapshot(),
+                vm: self.vm.snapshot(),
+            },
+        );
+        self.log.truncate_before(redo_from);
+        self.metrics.checkpoints += 1;
+    }
+
+    // ---- transaction lifecycle -------------------------------------------
+
+    fn begin_txn(&mut self, spec: TxnSpec, ctx: &mut Context<'_, ProtoMsg>) {
+        let ts = self.clock.tick_at(ctx.now().micros());
+        let timer = ctx.set_timer(self.cfg.txn_timeout, TAG_TIMEOUT | ts.0);
+        debug_assert!(ts.0 <= TAG_PAYLOAD_MASK, "timestamp exceeds timer-tag space");
+        let items = spec.access_set();
+        let mut txn = ActiveTxn {
+            spec,
+            started: ctx.now(),
+            timeout_timer: timer,
+            pending_locks: Vec::new(),
+            deficits: BTreeMap::new(),
+            read_pending: BTreeMap::new(),
+            reads_blocked_on_self: BTreeSet::new(),
+            solicited: false,
+            retries_left: 0,
+        };
+
+        match self.cfg.conc {
+            ConcMode::Conc1 => {
+                // Step 1: all locks atomically, with the TS(t) > TS(d) check.
+                for &item in &items {
+                    if self.locks.is_locked(item) {
+                        self.finish_abort_unstarted(ts, txn, AbortReason::LockConflict, ctx);
+                        return;
+                    }
+                    if ts <= self.frags.ts(item) {
+                        self.finish_abort_unstarted(ts, txn, AbortReason::TsConflict, ctx);
+                        return;
+                    }
+                }
+                for &item in &items {
+                    self.locks
+                        .try_lock(item, Holder::Txn(ts))
+                        .expect("checked free above");
+                    self.frags.bump_ts(item, ts);
+                }
+                self.active.insert(ts, txn);
+                self.locks_granted(ts, ctx);
+            }
+            ConcMode::Conc2 => {
+                // Incremental ordered acquisition with FIFO queues.
+                let mut pending: Vec<ItemId> = Vec::new();
+                for (idx, &item) in items.iter().enumerate() {
+                    match self.locks.try_lock(item, Holder::Txn(ts)) {
+                        Ok(()) => {}
+                        Err(_) => {
+                            self.lock_queue
+                                .entry(item)
+                                .or_default()
+                                .push_back(Waiter::LocalTxn(ts));
+                            pending = items[idx..].to_vec();
+                            break;
+                        }
+                    }
+                }
+                txn.pending_locks = pending;
+                let held = txn.locks_held();
+                self.active.insert(ts, txn);
+                if held {
+                    self.locks_granted(ts, ctx);
+                }
+            }
+        }
+    }
+
+    /// Abort a transaction that never got registered in `active`.
+    fn finish_abort_unstarted(
+        &mut self,
+        ts: Ts,
+        txn: ActiveTxn,
+        reason: AbortReason,
+        ctx: &mut Context<'_, ProtoMsg>,
+    ) {
+        ctx.cancel_timer(txn.timeout_timer);
+        let latency = ctx.now().since(txn.started).as_micros();
+        self.metrics.record_abort(reason, latency);
+        let _ = ts;
+    }
+
+    /// All local locks are held: enter the solicitation phase (Step 2) or
+    /// commit immediately on the write-only fast path.
+    fn locks_granted(&mut self, ts: Ts, ctx: &mut Context<'_, ProtoMsg>) {
+        let (demands, reads) = {
+            let t = &self.active[&ts];
+            (t.spec.demands(), t.spec.reads())
+        };
+
+        // Deficits after counting what is already local.
+        let mut deficits = BTreeMap::new();
+        for (item, demand) in demands {
+            let have = self.frags.get(item);
+            let deficit = demand.saturating_sub(have);
+            if deficit > 0 {
+                deficits.insert(item, deficit);
+            }
+        }
+
+        let mut read_pending: BTreeMap<ItemId, BTreeSet<NodeId>> = BTreeMap::new();
+        let mut blocked: BTreeSet<ItemId> = BTreeSet::new();
+        for item in reads {
+            if self.outstanding_out.get(&item).copied().unwrap_or(0) > 0 {
+                // Our own outgoing Vms must complete before the read can be
+                // exact (they would double-count or escape otherwise).
+                blocked.insert(item);
+            } else {
+                read_pending.insert(item, self.others().collect());
+            }
+        }
+
+        {
+            let t = self.active.get_mut(&ts).expect("active");
+            t.deficits = deficits;
+            t.read_pending = read_pending;
+            t.reads_blocked_on_self = blocked;
+        }
+
+        if self.active[&ts].ready() {
+            self.commit_txn(ts, ctx);
+            return;
+        }
+        self.solicit(ts, ctx);
+    }
+
+    /// Step 2: send solicitations for every unmet need, arming the
+    /// retry schedule on the first round.
+    fn solicit(&mut self, ts: Ts, ctx: &mut Context<'_, ProtoMsg>) {
+        let first_round = {
+            let t = self.active.get_mut(&ts).expect("active");
+            let first = !t.solicited;
+            t.solicited = true;
+            if first {
+                t.retries_left = self.cfg.solicit_retries;
+            }
+            first
+        };
+        if first_round && self.cfg.solicit_retries > 0 {
+            // Space the retries evenly inside the timeout window so the
+            // decision bound is untouched.
+            let gap = SimDuration::micros(
+                self.cfg.txn_timeout.as_micros() / (self.cfg.solicit_retries as u64 + 1),
+            );
+            ctx.set_timer(gap, TAG_SOLICIT_RETRY | ts.0);
+        }
+        self.send_solicitations(ts, ctx);
+    }
+
+    /// Transmit requests for the transaction's *current* unmet needs.
+    fn send_solicitations(&mut self, ts: Ts, ctx: &mut Context<'_, ProtoMsg>) {
+        let (deficits, read_items): (Vec<(ItemId, Qty)>, Vec<ItemId>) = {
+            let t = match self.active.get(&ts) {
+                Some(t) => t,
+                None => return,
+            };
+            (
+                t.deficits
+                    .iter()
+                    .filter(|(_, &d)| d > 0)
+                    .map(|(&i, &d)| (i, d))
+                    .collect(),
+                t.read_pending
+                    .iter()
+                    .filter(|(_, pending)| !pending.is_empty())
+                    .map(|(&i, _)| i)
+                    .collect(),
+            )
+        };
+        for (item, need) in deficits {
+            match self.cfg.fanout {
+                Fanout::All => {
+                    for to in self.others().collect::<Vec<_>>() {
+                        self.send(
+                            ctx,
+                            to,
+                            Body::Request {
+                                txn: ts,
+                                item,
+                                need,
+                                read: false,
+                            },
+                        );
+                        self.metrics.requests_sent += 1;
+                    }
+                }
+                Fanout::One => {
+                    let to = self.next_rr();
+                    self.send(
+                        ctx,
+                        to,
+                        Body::Request {
+                            txn: ts,
+                            item,
+                            need,
+                            read: false,
+                        },
+                    );
+                    self.metrics.requests_sent += 1;
+                }
+            }
+        }
+        // Reads always go to every other site: Π needs every fragment.
+        for item in read_items {
+            for to in self.others().collect::<Vec<_>>() {
+                self.send(
+                    ctx,
+                    to,
+                    Body::Request {
+                        txn: ts,
+                        item,
+                        need: 0,
+                        read: true,
+                    },
+                );
+                self.metrics.requests_sent += 1;
+            }
+        }
+    }
+
+    fn next_rr(&mut self) -> NodeId {
+        let mut cand = self.rr % self.n;
+        if cand == self.id {
+            cand = (cand + 1) % self.n;
+        }
+        self.rr = (cand + 1) % self.n;
+        cand
+    }
+
+    /// A read item blocked on our own outstanding Vms just cleared.
+    fn unblock_reads(&mut self, item: ItemId, ctx: &mut Context<'_, ProtoMsg>) {
+        let waiting: Vec<Ts> = self
+            .active
+            .iter()
+            .filter(|(_, t)| t.reads_blocked_on_self.contains(&item))
+            .map(|(&ts, _)| ts)
+            .collect();
+        for ts in waiting {
+            let donors: BTreeSet<NodeId> = self.others().collect();
+            {
+                let t = self.active.get_mut(&ts).expect("active");
+                t.reads_blocked_on_self.remove(&item);
+                t.read_pending.insert(item, donors);
+            }
+            for to in self.others().collect::<Vec<_>>() {
+                self.send(
+                    ctx,
+                    to,
+                    Body::Request {
+                        txn: ts,
+                        item,
+                        need: 0,
+                        read: true,
+                    },
+                );
+                self.metrics.requests_sent += 1;
+            }
+        }
+    }
+
+    /// Tell donors a read transaction has decided, so they can drop their
+    /// leases early.
+    fn release_read_leases(&mut self, ts: Ts, spec: &TxnSpec, ctx: &mut Context<'_, ProtoMsg>) {
+        for item in spec.reads() {
+            for to in self.others().collect::<Vec<_>>() {
+                self.send(ctx, to, Body::ReleaseLease { txn: ts, item });
+            }
+        }
+    }
+
+    /// Steps 5–7: force the commit record, install changes, release locks.
+    fn commit_txn(&mut self, ts: Ts, ctx: &mut Context<'_, ProtoMsg>) {
+        let t = self.active.remove(&ts).expect("active");
+        ctx.cancel_timer(t.timeout_timer);
+        self.release_read_leases(ts, &t.spec, ctx);
+
+        let deltas: Vec<(ItemId, i64)> = t.spec.deltas().into_iter().collect();
+        let reads: Vec<(ItemId, Qty)> = t
+            .spec
+            .reads()
+            .into_iter()
+            .map(|item| (item, self.frags.get(item)))
+            .collect();
+
+        // Step 5: the forced commit record IS the commit point.
+        self.log.append(SiteRecord::Commit {
+            txn: ts,
+            actions: deltas.clone(),
+        });
+        self.log.force();
+
+        // Step 6: install and note installation.
+        for &(item, delta) in &deltas {
+            self.frags.apply_delta(item, delta);
+            self.frags.bump_ts(item, ts);
+        }
+        self.log.append(SiteRecord::Applied { txn: ts });
+
+        // Step 7: release locks (and wake Conc2 waiters).
+        let items = self.locks.release_all(ts);
+        for item in items {
+            self.grant_waiters(item, ctx);
+        }
+
+        let latency = ctx.now().since(t.started).as_micros();
+        self.metrics.record_commit(
+            CommitEntry {
+                txn: ts,
+                at: ctx.now(),
+                deltas,
+                reads,
+            },
+            latency,
+            !t.solicited,
+        );
+    }
+
+    fn abort_txn(&mut self, ts: Ts, reason: AbortReason, ctx: &mut Context<'_, ProtoMsg>) {
+        let t = match self.active.remove(&ts) {
+            Some(t) => t,
+            None => return,
+        };
+        ctx.cancel_timer(t.timeout_timer);
+        self.release_read_leases(ts, &t.spec, ctx);
+        let items = self.locks.release_all(ts);
+        for item in items {
+            self.grant_waiters(item, ctx);
+        }
+        let latency = ctx.now().since(t.started).as_micros();
+        self.metrics.record_abort(reason, latency);
+        // Value already absorbed stays: the aborted transaction degenerates
+        // to an Rds transaction (Section 6).
+    }
+
+    /// Pop Conc2 waiters for a freed item until someone holds the lock.
+    fn grant_waiters(&mut self, item: ItemId, ctx: &mut Context<'_, ProtoMsg>) {
+        loop {
+            if self.locks.is_locked(item) {
+                return;
+            }
+            let waiter = match self.lock_queue.get_mut(&item).and_then(|q| q.pop_front()) {
+                Some(w) => w,
+                None => return,
+            };
+            match waiter {
+                Waiter::LocalTxn(ts) => {
+                    if !self.active.contains_key(&ts) {
+                        continue; // timed out while waiting
+                    }
+                    self.locks
+                        .try_lock(item, Holder::Txn(ts))
+                        .expect("item is free");
+                    // Continue ordered acquisition from after this item.
+                    let mut rest: Vec<ItemId> = {
+                        let t = self.active.get_mut(&ts).expect("active");
+                        debug_assert_eq!(t.pending_locks.first(), Some(&item));
+                        t.pending_locks.drain(..1).count();
+                        t.pending_locks.clone()
+                    };
+                    let mut blocked_at: Option<usize> = None;
+                    for (idx, &next) in rest.iter().enumerate() {
+                        match self.locks.try_lock(next, Holder::Txn(ts)) {
+                            Ok(()) => {}
+                            Err(_) => {
+                                self.lock_queue
+                                    .entry(next)
+                                    .or_default()
+                                    .push_back(Waiter::LocalTxn(ts));
+                                blocked_at = Some(idx);
+                                break;
+                            }
+                        }
+                    }
+                    match blocked_at {
+                        Some(idx) => {
+                            rest.drain(..idx);
+                            self.active.get_mut(&ts).expect("active").pending_locks = rest;
+                        }
+                        None => {
+                            self.active.get_mut(&ts).expect("active").pending_locks = Vec::new();
+                            self.locks_granted(ts, ctx);
+                        }
+                    }
+                    return; // the item is now held
+                }
+                Waiter::Request {
+                    from,
+                    txn,
+                    need,
+                    read,
+                } => {
+                    // Momentary Rds: donate and keep popping (the lock is
+                    // free again afterwards, unless a read lease pinned it).
+                    self.try_donate(from, txn, item, need, read, ctx);
+                }
+            }
+        }
+    }
+
+    // ---- remote requests (donor side) --------------------------------------
+
+    fn handle_request(
+        &mut self,
+        from: NodeId,
+        txn: Ts,
+        item: ItemId,
+        need: Qty,
+        read: bool,
+        ctx: &mut Context<'_, ProtoMsg>,
+    ) {
+        self.demand_hint.insert(item, from);
+        if self.locks.is_locked(item) {
+            match self.cfg.conc {
+                ConcMode::Conc1 => {
+                    // "site s_j can simply decide not to honor the request"
+                    self.metrics.requests_ignored += 1;
+                }
+                ConcMode::Conc2 => {
+                    self.lock_queue.entry(item).or_default().push_back(Waiter::Request {
+                        from,
+                        txn,
+                        need,
+                        read,
+                    });
+                }
+            }
+            return;
+        }
+        self.try_donate(from, txn, item, need, read, ctx);
+    }
+
+    /// Honour a request against an unlocked item (an Rds transaction).
+    fn try_donate(
+        &mut self,
+        from: NodeId,
+        txn: Ts,
+        item: ItemId,
+        need: Qty,
+        read: bool,
+        ctx: &mut Context<'_, ProtoMsg>,
+    ) {
+        if self.cfg.conc == ConcMode::Conc1 && txn <= self.frags.ts(item) {
+            // Conc1: the soliciting transaction is too old for this value.
+            self.metrics.requests_ignored += 1;
+            return;
+        }
+        let have = self.frags.get(item);
+        let (amount, kind) = if read {
+            if !self.cfg.unsafe_skip_read_drain_gate
+                && self.outstanding_out.get(&item).copied().unwrap_or(0) > 0
+            {
+                // Cannot certify quiescence: our own Vms for this item are
+                // still in flight. Ignore; the read will abort or retry.
+                self.metrics.requests_ignored += 1;
+                return;
+            }
+            (have, TransferKind::ReadGrant)
+        } else {
+            let amount = self.cfg.refill.amount(need, have);
+            if amount == 0 {
+                self.metrics.requests_ignored += 1;
+                return;
+            }
+            (amount, TransferKind::Refill)
+        };
+
+        let payload = Transfer {
+            item,
+            amount,
+            for_txn: txn,
+            donor: self.id,
+            kind,
+        }
+        .to_bytes();
+        let op = self.vm.create(from, payload);
+        let seq = match &op {
+            VmLogOp::Created { seq, .. } => *seq,
+            _ => unreachable!("create returns Created"),
+        };
+        // The [database-actions, message-sequence] record, forced — the Vm
+        // exists from this instant.
+        self.log.append(SiteRecord::Rds {
+            txn,
+            actions: vec![(item, -(amount as i64))],
+            vm_ops: vec![op],
+        });
+        self.log.force();
+        self.frags.debit(item, amount);
+        self.frags.bump_ts(item, txn);
+        *self.outstanding_out.entry(item).or_insert(0) += 1;
+        self.vm_item.insert((from, seq), item);
+        self.metrics.donations += 1;
+
+        if read {
+            // Pin the drained item until the reader has surely decided.
+            self.locks
+                .try_lock(item, Holder::Lease(txn))
+                .expect("item was free");
+            let timer = ctx.set_timer(self.cfg.read_lease, TAG_LEASE | item.0 as u64);
+            self.lease_timers.insert(item, timer);
+        }
+        self.flush_vm(ctx);
+    }
+
+    /// The proactive rebalancer: a spontaneous Rds transaction shipping
+    /// surplus value toward observed demand.
+    fn run_rebalance(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        let rb = match self.cfg.rebalance {
+            Some(rb) => rb,
+            None => return,
+        };
+        for idx in 0..self.initial_quotas.len() {
+            let item = ItemId(idx as u32);
+            let quota = self.initial_quotas[idx];
+            if quota == 0 || self.locks.is_locked(item) {
+                continue;
+            }
+            let have = self.frags.get(item);
+            let threshold = (rb.surplus_factor * quota as f64).ceil() as Qty;
+            if have <= threshold {
+                continue;
+            }
+            let to = match self.demand_hint.get(&item) {
+                Some(&to) if to != self.id => to,
+                _ => continue, // no demand signal: leave the value be
+            };
+            // Ship the excess above the threshold (keep `threshold`).
+            let amount = have - threshold;
+            let payload = Transfer {
+                item,
+                amount,
+                for_txn: Ts::ZERO,
+                donor: self.id,
+                kind: TransferKind::Rebalance,
+            }
+            .to_bytes();
+            let op = self.vm.create(to, payload);
+            let seq = match &op {
+                VmLogOp::Created { seq, .. } => *seq,
+                _ => unreachable!("create returns Created"),
+            };
+            self.log.append(SiteRecord::Rds {
+                txn: Ts::ZERO,
+                actions: vec![(item, -(amount as i64))],
+                vm_ops: vec![op],
+            });
+            self.log.force();
+            self.frags.debit(item, amount);
+            *self.outstanding_out.entry(item).or_insert(0) += 1;
+            self.vm_item.insert((to, seq), item);
+            self.metrics.rebalances += 1;
+        }
+        self.flush_vm(ctx);
+    }
+
+    // ---- Vm arrivals (receiver side) ---------------------------------------
+
+    fn handle_vm(&mut self, from: NodeId, frame: Frame, ctx: &mut Context<'_, ProtoMsg>) {
+        let receipt = self.vm.on_frame(from, frame);
+        if let Receipt::Fresh { seq, payload } = receipt {
+            let transfer = match Transfer::from_bytes(&payload) {
+                Ok(t) => t,
+                Err(e) => {
+                    debug_assert!(false, "undecodable transfer payload: {e}");
+                    return;
+                }
+            };
+            match self.locks.holder(transfer.item) {
+                None => {
+                    // Unlocked: accept as a spontaneous Rds transaction.
+                    self.accept_transfer(from, seq, &transfer, ctx);
+                }
+                Some(Holder::Lease(_)) => {
+                    // A read lease pins the item: ignore; the sender will
+                    // retransmit and we will accept after the lease.
+                }
+                Some(Holder::Txn(holder)) => {
+                    // The lock holder performs the acceptance itself
+                    // (Section 5: no need to wait for the lock).
+                    self.accept_transfer(from, seq, &transfer, ctx);
+                    self.credit_to_txn(holder, &transfer, ctx);
+                }
+            }
+        }
+        self.flush_vm(ctx);
+    }
+
+    /// Durably accept a transfer: `[database-actions]` + `Accepted` op.
+    fn accept_transfer(
+        &mut self,
+        from: NodeId,
+        seq: Seq,
+        transfer: &Transfer,
+        _ctx: &mut Context<'_, ProtoMsg>,
+    ) {
+        let op = self.vm.commit_accept(from, seq);
+        self.log.append(SiteRecord::Rds {
+            txn: transfer.for_txn,
+            actions: vec![(transfer.item, transfer.amount as i64)],
+            vm_ops: vec![op],
+        });
+        self.log.force();
+        self.frags.credit(transfer.item, transfer.amount);
+        self.frags.bump_ts(transfer.item, transfer.for_txn);
+        self.metrics.absorbed += 1;
+    }
+
+    /// Track an absorbed transfer against the waiting transaction's needs.
+    fn credit_to_txn(&mut self, holder: Ts, transfer: &Transfer, ctx: &mut Context<'_, ProtoMsg>) {
+        let ready = {
+            let t = match self.active.get_mut(&holder) {
+                Some(t) => t,
+                None => return,
+            };
+            if let Some(d) = t.deficits.get_mut(&transfer.item) {
+                *d = d.saturating_sub(transfer.amount);
+            }
+            if transfer.kind == TransferKind::ReadGrant && transfer.for_txn == holder {
+                if let Some(pending) = t.read_pending.get_mut(&transfer.item) {
+                    pending.remove(&transfer.donor);
+                }
+            }
+            t.ready()
+        };
+        if ready {
+            self.commit_txn(holder, ctx);
+        }
+    }
+    /// The Section 7 recovery scan: reconstruct fragments, timestamps,
+    /// and Vm state purely from the local stable log.
+    fn rebuild_from_log(&mut self) {
+        // Start from the latest checkpoint image (if any), then redo the
+        // log suffix. Records before the checkpoint were truncated away.
+        match self.checkpoint.load() {
+            Some(cp) => {
+                self.frags
+                    .restore(&cp.snapshot.frag_vals, &cp.snapshot.frag_ts);
+                self.vm.restore(&cp.snapshot.vm);
+            }
+            None => self.frags.reset(),
+        }
+        let records = self.log.recover().expect("stable image must decode");
+        for rec in &records {
+            match rec {
+                SiteRecord::Init { item, qty } => self.frags.credit(*item, *qty),
+                SiteRecord::Rds {
+                    txn,
+                    actions,
+                    vm_ops,
+                } => {
+                    for &(item, delta) in actions {
+                        self.frags.apply_delta(item, delta);
+                        self.frags.bump_ts(item, *txn);
+                    }
+                    for op in vm_ops {
+                        self.vm.replay(op);
+                    }
+                }
+                SiteRecord::Commit { txn, actions } => {
+                    for &(item, delta) in actions {
+                        self.frags.apply_delta(item, delta);
+                        self.frags.bump_ts(item, *txn);
+                    }
+                }
+                SiteRecord::Applied { .. } => {}
+            }
+        }
+        // Rebuild the per-item outstanding index from the endpoint.
+        for peer in self.vm.peers() {
+            for (seq, payload) in self.vm.outgoing_toward(peer) {
+                if let Ok(t) = Transfer::from_bytes(&payload) {
+                    self.vm_item.insert((peer, seq), t.item);
+                    *self.outstanding_out.entry(t.item).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Node for SiteNode {
+    type Msg = ProtoMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        if let Some(rb) = self.cfg.rebalance {
+            ctx.set_timer(rb.every, TAG_REBALANCE);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: ProtoMsg, ctx: &mut Context<'_, ProtoMsg>) {
+        self.clock.observe_counter(msg.lamport);
+        match msg.body {
+            Body::Vm(frame) => self.handle_vm(from, frame, ctx),
+            Body::Request {
+                txn,
+                item,
+                need,
+                read,
+            } => {
+                self.handle_request(from, txn, item, need, read, ctx);
+            }
+            Body::ReleaseLease { txn, item } => {
+                if self.locks.holder(item) == Some(Holder::Lease(txn)) {
+                    self.locks.unlock(item, txn);
+                    if let Some(timer) = self.lease_timers.remove(&item) {
+                        ctx.cancel_timer(timer);
+                    }
+                    self.grant_waiters(item, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_external(&mut self, tag: u64, ctx: &mut Context<'_, ProtoMsg>) {
+        if let Some(spec) = self.script.get(tag as usize).cloned() {
+            self.begin_txn(spec, ctx);
+            self.flush_vm(ctx);
+        } else {
+            debug_assert!(false, "external tag {tag} has no scripted transaction");
+        }
+    }
+
+    fn on_timer(&mut self, _id: TimerId, tag: u64, ctx: &mut Context<'_, ProtoMsg>) {
+        let kind = tag >> TAG_KIND_SHIFT << TAG_KIND_SHIFT;
+        let payload = tag & TAG_PAYLOAD_MASK;
+        match kind {
+            TAG_RETRANSMIT => {
+                self.retransmit_armed = false;
+                if self.vm.has_outstanding() {
+                    self.vm.tick();
+                }
+                self.flush_vm(ctx);
+            }
+            TAG_TIMEOUT => {
+                let ts = Ts(payload);
+                self.abort_txn(ts, AbortReason::Timeout, ctx);
+            }
+            TAG_SOLICIT_RETRY => {
+                let ts = Ts(payload);
+                let retry = self
+                    .active
+                    .get_mut(&ts)
+                    .filter(|t| t.locks_held() && !t.ready() && t.retries_left > 0)
+                    .map(|t| {
+                        t.retries_left -= 1;
+                        t.retries_left
+                    });
+                if let Some(left) = retry {
+                    self.send_solicitations(ts, ctx);
+                    if left > 0 {
+                        let gap = SimDuration::micros(
+                            self.cfg.txn_timeout.as_micros()
+                                / (self.cfg.solicit_retries as u64 + 1),
+                        );
+                        ctx.set_timer(gap, TAG_SOLICIT_RETRY | ts.0);
+                    }
+                }
+            }
+            TAG_REBALANCE => {
+                self.run_rebalance(ctx);
+                if let Some(rb) = self.cfg.rebalance {
+                    ctx.set_timer(rb.every, TAG_REBALANCE);
+                }
+            }
+            TAG_LEASE => {
+                let item = ItemId(payload as u32);
+                if self.lease_timers.get(&item) != Some(&_id) {
+                    return; // stale timer from an earlier, already-released lease
+                }
+                self.lease_timers.remove(&item);
+                if matches!(self.locks.holder(item), Some(Holder::Lease(_))) {
+                    let holder = self.locks.holder(item).expect("just matched").txn();
+                    self.locks.unlock(item, holder);
+                    self.grant_waiters(item, ctx);
+                }
+            }
+            _ => debug_assert!(false, "unknown timer tag kind"),
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // The unforced log tail and every piece of volatile state die here.
+        self.log.crash();
+        self.vm.crash_reset();
+        self.locks.clear();
+        for (_, t) in std::mem::take(&mut self.active) {
+            let _ = t; // in-flight transactions simply vanish
+            *self
+                .metrics
+                .aborted
+                .entry(AbortReason::Crashed)
+                .or_insert(0) += 1;
+        }
+        self.lock_queue.clear();
+        self.outstanding_out.clear();
+        self.lease_timers.clear();
+        self.vm_item.clear();
+        self.clock.crash_reset();
+        self.retransmit_armed = false;
+        // What remains of the site *is* its durable log; materialize that
+        // view immediately so the site's observable state (fragments, Vm
+        // cursors) equals stable storage for the whole downtime. This is
+        // the redo scan of Section 7 — running it eagerly is equivalent
+        // (the site receives no events while down) and keeps omniscient
+        // audits honest: a crashed site's value is its logged value.
+        self.rebuild_from_log();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        // State was already rebuilt from the stable log at crash time
+        // (see on_crash); restarting is just resuming normal processing.
+        self.metrics.recoveries += 1;
+        // recovery_remote_messages stays 0: nothing consulted a peer.
+        // Outstanding Vms resume in the normal course of processing.
+        if self.vm.has_outstanding() {
+            self.vm.tick();
+        }
+        self.flush_vm(ctx);
+    }
+}

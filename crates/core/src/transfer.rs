@@ -1,0 +1,162 @@
+//! Value-transfer payloads carried by Virtual Messages.
+//!
+//! When a site honours a request (or proactively rebalances), the value it
+//! ships rides a Vm as an encoded [`Transfer`]. The encoding goes through
+//! `dvp-storage`'s codec so that the *same bytes* live in the sender's
+//! `Created` log record, on the wire, and in the receiver's acceptance
+//! path — one representation, no translation bugs.
+
+use crate::clock::Ts;
+use crate::item::ItemId;
+use crate::Qty;
+use bytes::{Bytes, BytesMut};
+use dvp_storage::{DecodeError, Record, RecordReader, RecordWriter};
+
+/// Why a transfer was shipped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferKind {
+    /// Refill toward a soliciting transaction's deficit.
+    Refill,
+    /// Full-value grant for a read transaction (donor drained its fragment
+    /// and took a read lease).
+    ReadGrant,
+    /// Proactive rebalancing (no requesting transaction).
+    Rebalance,
+}
+
+impl TransferKind {
+    fn tag(self) -> u8 {
+        match self {
+            TransferKind::Refill => 0,
+            TransferKind::ReadGrant => 1,
+            TransferKind::Rebalance => 2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Self, DecodeError> {
+        match t {
+            0 => Ok(TransferKind::Refill),
+            1 => Ok(TransferKind::ReadGrant),
+            2 => Ok(TransferKind::Rebalance),
+            _ => Err(DecodeError::Invalid("TransferKind tag")),
+        }
+    }
+}
+
+/// A quantity of an item's value in motion between two sites.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transfer {
+    /// The item whose value is moving.
+    pub item: ItemId,
+    /// Amount moving (may be 0 for a read grant certifying emptiness).
+    pub amount: Qty,
+    /// The transaction whose request provoked this transfer
+    /// ([`Ts::ZERO`] for unprovoked rebalancing).
+    pub for_txn: Ts,
+    /// The donating site.
+    pub donor: usize,
+    /// Purpose.
+    pub kind: TransferKind,
+}
+
+impl Record for Transfer {
+    fn encode(&self, w: &mut RecordWriter<'_>) {
+        w.u32(self.item.0);
+        w.u64(self.amount);
+        w.u64(self.for_txn.0);
+        w.u64(self.donor as u64);
+        w.u8(self.kind.tag());
+    }
+
+    fn decode(r: &mut RecordReader<'_>) -> Result<Self, DecodeError> {
+        Ok(Transfer {
+            item: ItemId(r.u32()?),
+            amount: r.u64()?,
+            for_txn: Ts(r.u64()?),
+            donor: r.u64()? as usize,
+            kind: TransferKind::from_tag(r.u8()?)?,
+        })
+    }
+}
+
+impl Transfer {
+    /// Encode into the opaque payload form the Vm layer carries.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        let mut w = RecordWriter::wrap(&mut buf);
+        self.encode(&mut w);
+        buf.freeze()
+    }
+
+    /// Decode from a Vm payload.
+    pub fn from_bytes(bytes: &Bytes) -> Result<Self, DecodeError> {
+        let mut b = bytes.clone();
+        let mut r = RecordReader::wrap(&mut b);
+        let t = Transfer::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(DecodeError::Invalid("trailing bytes in Transfer"));
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Transfer {
+        Transfer {
+            item: ItemId(3),
+            amount: 5,
+            for_txn: Ts(0x7777),
+            donor: 2,
+            kind: TransferKind::Refill,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_bytes() {
+        let t = sample();
+        let b = t.to_bytes();
+        assert_eq!(Transfer::from_bytes(&b).unwrap(), t);
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        for kind in [
+            TransferKind::Refill,
+            TransferKind::ReadGrant,
+            TransferKind::Rebalance,
+        ] {
+            let t = Transfer { kind, ..sample() };
+            assert_eq!(Transfer::from_bytes(&t.to_bytes()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn zero_amount_read_grant_is_legal() {
+        let t = Transfer {
+            amount: 0,
+            kind: TransferKind::ReadGrant,
+            ..sample()
+        };
+        assert_eq!(Transfer::from_bytes(&t.to_bytes()).unwrap().amount, 0);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let t = sample();
+        let mut raw = t.to_bytes().to_vec();
+        raw.push(0xEE);
+        let b = Bytes::from(raw);
+        assert!(Transfer::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let t = sample();
+        let raw = t.to_bytes();
+        let b = raw.slice(0..raw.len() - 2);
+        assert_eq!(Transfer::from_bytes(&b).unwrap_err(), DecodeError::Truncated);
+    }
+}

@@ -1,0 +1,186 @@
+//! Transaction specifications and outcomes.
+//!
+//! A [`TxnSpec`] is what a client hands to its home site: a list of
+//! `(item, op)` pairs. The engine classifies it (Section 5):
+//!
+//! * all-`Incr`, or `Decr` fully covered locally → **write-only fast
+//!   path**: lock, log, apply, unlock, all in one step;
+//! * `Decr` with a deficit → **solicit**: requests out, Vms in, then
+//!   commit (or timeout-abort);
+//! * `Read` → **gather**: full-value read via read grants from every
+//!   other site.
+
+use crate::clock::Ts;
+use crate::item::ItemId;
+use crate::metrics::AbortReason;
+use crate::ops::Op;
+use crate::Qty;
+use std::collections::BTreeMap;
+
+/// A transaction as submitted by a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxnSpec {
+    /// Operations, in program order.
+    pub ops: Vec<(ItemId, Op)>,
+}
+
+impl TxnSpec {
+    /// Reserve `k` units of `item` (airline: book seats; inventory: ship).
+    pub fn reserve(item: ItemId, k: Qty) -> Self {
+        TxnSpec {
+            ops: vec![(item, Op::Decr(k))],
+        }
+    }
+
+    /// Release `k` units of `item` (cancellation, restock, deposit).
+    pub fn release(item: ItemId, k: Qty) -> Self {
+        TxnSpec {
+            ops: vec![(item, Op::Incr(k))],
+        }
+    }
+
+    /// Read the full value of `item`.
+    pub fn read(item: ItemId) -> Self {
+        TxnSpec {
+            ops: vec![(item, Op::Read)],
+        }
+    }
+
+    /// Move `k` units from `from` to `to` (change a reservation between
+    /// flights; transfer between accounts).
+    pub fn transfer(from: ItemId, to: ItemId, k: Qty) -> Self {
+        TxnSpec {
+            ops: vec![(from, Op::Decr(k)), (to, Op::Incr(k))],
+        }
+    }
+
+    /// The access set A(t): distinct items touched, sorted (the engine
+    /// acquires locks in this order under Conc2).
+    pub fn access_set(&self) -> Vec<ItemId> {
+        let mut items: Vec<ItemId> = self.ops.iter().map(|(i, _)| *i).collect();
+        items.sort();
+        items.dedup();
+        items
+    }
+
+    /// Net committed delta per item.
+    pub fn deltas(&self) -> BTreeMap<ItemId, i64> {
+        let mut m = BTreeMap::new();
+        for (item, op) in &self.ops {
+            *m.entry(*item).or_insert(0) += op.delta();
+        }
+        m
+    }
+
+    /// Total local demand per item (sum of `Decr` amounts).
+    pub fn demands(&self) -> BTreeMap<ItemId, Qty> {
+        let mut m = BTreeMap::new();
+        for (item, op) in &self.ops {
+            let d = op.demand();
+            if d > 0 {
+                *m.entry(*item).or_insert(0) += d;
+            }
+        }
+        m
+    }
+
+    /// Items read in full.
+    pub fn reads(&self) -> Vec<ItemId> {
+        let mut items: Vec<ItemId> = self
+            .ops
+            .iter()
+            .filter(|(_, op)| op.is_read())
+            .map(|(i, _)| *i)
+            .collect();
+        items.sort();
+        items.dedup();
+        items
+    }
+
+    /// Whether the spec can take the write-only fast path when local
+    /// fragments cover all demands (no reads involved).
+    pub fn is_write_only(&self) -> bool {
+        self.reads().is_empty()
+    }
+}
+
+/// How a transaction ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Committed; full-value reads produced these results.
+    Committed {
+        /// `(item, observed full value)` for each `Op::Read`.
+        reads: Vec<(ItemId, Qty)>,
+    },
+    /// Aborted for the given reason. Redistribution performed on the
+    /// transaction's behalf persists (an aborted transaction "can be
+    /// regarded as \[an\] Rds transaction", Section 6).
+    Aborted(AbortReason),
+}
+
+impl TxnOutcome {
+    /// Whether the transaction committed.
+    pub fn committed(&self) -> bool {
+        matches!(self, TxnOutcome::Committed { .. })
+    }
+}
+
+/// Identifier pairing a transaction with its home site for reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnHandle {
+    /// The transaction's timestamp-identifier.
+    pub id: Ts,
+    /// Home site.
+    pub site: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ItemId = ItemId(0);
+    const B: ItemId = ItemId(1);
+
+    #[test]
+    fn reserve_is_a_single_decr() {
+        let t = TxnSpec::reserve(A, 3);
+        assert_eq!(t.ops, vec![(A, Op::Decr(3))]);
+        assert_eq!(t.demands().get(&A), Some(&3));
+        assert_eq!(t.deltas().get(&A), Some(&-3));
+        assert!(t.is_write_only());
+    }
+
+    #[test]
+    fn transfer_touches_two_items() {
+        let t = TxnSpec::transfer(A, B, 4);
+        assert_eq!(t.access_set(), vec![A, B]);
+        assert_eq!(t.deltas().get(&A), Some(&-4));
+        assert_eq!(t.deltas().get(&B), Some(&4));
+        assert_eq!(t.demands().get(&A), Some(&4));
+        assert_eq!(t.demands().get(&B), None);
+    }
+
+    #[test]
+    fn read_classified() {
+        let t = TxnSpec::read(A);
+        assert_eq!(t.reads(), vec![A]);
+        assert!(!t.is_write_only());
+        assert_eq!(t.deltas().get(&A), Some(&0));
+    }
+
+    #[test]
+    fn repeated_items_merge() {
+        let t = TxnSpec {
+            ops: vec![(A, Op::Decr(2)), (A, Op::Decr(3)), (A, Op::Incr(1))],
+        };
+        assert_eq!(t.access_set(), vec![A]);
+        assert_eq!(t.demands().get(&A), Some(&5));
+        assert_eq!(t.deltas().get(&A), Some(&-4));
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(TxnOutcome::Committed { reads: vec![] }.committed());
+        assert!(!TxnOutcome::Aborted(AbortReason::Timeout).committed());
+    }
+}

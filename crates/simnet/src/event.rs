@@ -1,0 +1,96 @@
+//! Event-queue plumbing.
+//!
+//! Events are totally ordered by `(time, seq)` where `seq` is a global
+//! monotone counter assigned at scheduling time. The tiebreaker makes the
+//! run deterministic *and* gives the synchronous-ordered network mode its
+//! "every site sees broadcasts in the same order" property: equal-delay
+//! deliveries inherit the ordering of their sends.
+
+use crate::node::TimerId;
+use crate::time::SimTime;
+use crate::NodeId;
+use std::cmp::Ordering;
+
+/// What an event does when it fires.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// Deliver `msg` from `from` to `to`.
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    /// Fire node `node`'s timer `id` with `tag`, if still armed and the
+    /// node hasn't crashed since (checked via `epoch`).
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        tag: u64,
+        epoch: u32,
+    },
+    /// Externally injected event for `node` (workload arrivals etc.).
+    External { node: NodeId, tag: u64 },
+    /// Crash `node`.
+    Crash { node: NodeId },
+    /// Recover `node`.
+    Recover { node: NodeId },
+}
+
+/// A scheduled event.
+#[derive(Debug)]
+pub(crate) struct Event<M> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(at: u64, seq: u64) -> Event<()> {
+        Event {
+            at: SimTime(at),
+            seq,
+            kind: EventKind::External { node: 0, tag: 0 },
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(30, 0));
+        h.push(ev(10, 1));
+        h.push(ev(20, 2));
+        assert_eq!(h.pop().unwrap().at, SimTime(10));
+        assert_eq!(h.pop().unwrap().at, SimTime(20));
+        assert_eq!(h.pop().unwrap().at, SimTime(30));
+    }
+
+    #[test]
+    fn ties_break_by_sequence_number() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(10, 5));
+        h.push(ev(10, 2));
+        h.push(ev(10, 9));
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop().map(|e| e.seq)).collect();
+        assert_eq!(order, vec![2, 5, 9]);
+    }
+}

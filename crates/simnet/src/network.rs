@@ -1,0 +1,274 @@
+//! Network model: delays, loss, duplication, reordering, partitions.
+//!
+//! The model answers one question per send: *what happens to this message?*
+//! ([`NetworkModel::route`]). Possible fates: delivered after a sampled
+//! delay (possibly more than once, if duplicated), or silently dropped
+//! (loss, partition, crashed recipient). Nothing is ever reported back to
+//! the sender — the paper's failure model gives senders only timeouts.
+
+use crate::partition::PartitionSchedule;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::NodeId;
+use std::collections::HashMap;
+
+/// Per-link behaviour.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkConfig {
+    /// Minimum one-way delay.
+    pub delay_min: SimDuration,
+    /// Maximum one-way delay (uniformly sampled in `[min, max]`).
+    pub delay_max: SimDuration,
+    /// Probability a message is silently lost.
+    pub loss: f64,
+    /// Probability a delivered message is delivered twice.
+    pub duplicate: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            delay_min: SimDuration::millis(1),
+            delay_max: SimDuration::millis(5),
+            loss: 0.0,
+            duplicate: 0.0,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A perfectly reliable link with a fixed symmetric delay.
+    pub fn reliable_fixed(delay: SimDuration) -> Self {
+        LinkConfig {
+            delay_min: delay,
+            delay_max: delay,
+            loss: 0.0,
+            duplicate: 0.0,
+        }
+    }
+
+    /// A completely dead link (drops everything).
+    pub fn dead() -> Self {
+        LinkConfig {
+            loss: 1.0,
+            ..Default::default()
+        }
+    }
+}
+
+/// Whole-network configuration.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkConfig {
+    /// Default behaviour for every ordered pair of sites.
+    pub default_link: LinkConfig,
+    /// Overrides for specific directed links `(from, to)`.
+    pub link_overrides: HashMap<(NodeId, NodeId), LinkConfig>,
+    /// The partition oracle. `None` means never partitioned.
+    pub partitions: Option<PartitionSchedule>,
+    /// Section 6.2 mode: fixed symmetric delay, no loss/duplication, and
+    /// deterministic global tie-breaking, giving message-order synchronicity
+    /// and totally-ordered broadcast (the Conc2 assumptions).
+    pub synchronous_ordered: bool,
+}
+
+impl NetworkConfig {
+    /// A reliable fully-connected network with the default delay band.
+    pub fn reliable() -> Self {
+        NetworkConfig::default()
+    }
+
+    /// A lossy network: every link drops messages with probability `p`.
+    pub fn lossy(p: f64) -> Self {
+        NetworkConfig {
+            default_link: LinkConfig {
+                loss: p,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    /// The Conc2 network (Section 6.2): message-order synchronicity,
+    /// reliable delivery, fixed delay `d`.
+    pub fn synchronous_ordered(d: SimDuration) -> Self {
+        NetworkConfig {
+            default_link: LinkConfig::reliable_fixed(d),
+            synchronous_ordered: true,
+            ..Default::default()
+        }
+    }
+
+    /// Attach a partition schedule.
+    pub fn with_partitions(mut self, schedule: PartitionSchedule) -> Self {
+        self.partitions = Some(schedule);
+        self
+    }
+
+    /// Override one directed link.
+    pub fn with_link(mut self, from: NodeId, to: NodeId, cfg: LinkConfig) -> Self {
+        self.link_overrides.insert((from, to), cfg);
+        self
+    }
+
+    fn link(&self, from: NodeId, to: NodeId) -> &LinkConfig {
+        self.link_overrides
+            .get(&(from, to))
+            .unwrap_or(&self.default_link)
+    }
+}
+
+/// The fate of a single send.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// Deliver at each listed instant (length 2 means a duplicate).
+    Deliver(Vec<SimTime>),
+    /// Lost to random loss.
+    Lost,
+    /// Cut by a network partition.
+    Partitioned,
+}
+
+/// Stateless router: consults config + partition oracle + RNG per message.
+#[derive(Clone, Debug)]
+pub struct NetworkModel {
+    cfg: NetworkConfig,
+}
+
+impl NetworkModel {
+    /// Build a model from a configuration.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        NetworkModel { cfg }
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Is the pair connected (per the partition oracle) at `t`?
+    pub fn connected(&self, from: NodeId, to: NodeId, t: SimTime) -> bool {
+        match &self.cfg.partitions {
+            None => true,
+            Some(p) => p.connected(from, to, t),
+        }
+    }
+
+    /// Decide what happens to a message sent `from -> to` at `now`.
+    pub fn route(&self, from: NodeId, to: NodeId, now: SimTime, rng: &mut SimRng) -> Fate {
+        if !self.connected(from, to, now) {
+            return Fate::Partitioned;
+        }
+        let link = self.cfg.link(from, to);
+        if self.cfg.synchronous_ordered {
+            // Fixed delay, no loss, no duplication: arrival order at every
+            // site equals global send order (ties broken by the kernel's
+            // sequence numbers, identically everywhere).
+            return Fate::Deliver(vec![now + link.delay_min]);
+        }
+        if rng.chance(link.loss) {
+            return Fate::Lost;
+        }
+        let d1 = rng.uniform(link.delay_min.as_micros(), link.delay_max.as_micros());
+        let mut arrivals = vec![now + SimDuration::micros(d1)];
+        if rng.chance(link.duplicate) {
+            let d2 = rng.uniform(link.delay_min.as_micros(), link.delay_max.as_micros() * 2);
+            arrivals.push(now + SimDuration::micros(d2));
+        }
+        Fate::Deliver(arrivals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionSchedule;
+
+    #[test]
+    fn reliable_link_always_delivers_within_band() {
+        let m = NetworkModel::new(NetworkConfig::reliable());
+        let mut rng = SimRng::new(1);
+        for _ in 0..200 {
+            match m.route(0, 1, SimTime::ZERO, &mut rng) {
+                Fate::Deliver(ts) => {
+                    assert_eq!(ts.len(), 1);
+                    let d = ts[0].since(SimTime::ZERO);
+                    assert!(d >= SimDuration::millis(1) && d <= SimDuration::millis(5));
+                }
+                other => panic!("unexpected fate {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_p() {
+        let m = NetworkModel::new(NetworkConfig::lossy(0.3));
+        let mut rng = SimRng::new(2);
+        let n = 10_000;
+        let lost = (0..n)
+            .filter(|_| matches!(m.route(0, 1, SimTime::ZERO, &mut rng), Fate::Lost))
+            .count();
+        let frac = lost as f64 / n as f64;
+        assert!((0.27..0.33).contains(&frac), "loss fraction {frac}");
+    }
+
+    #[test]
+    fn duplication_produces_two_arrivals() {
+        let cfg = NetworkConfig {
+            default_link: LinkConfig {
+                duplicate: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let m = NetworkModel::new(cfg);
+        let mut rng = SimRng::new(3);
+        match m.route(0, 1, SimTime::ZERO, &mut rng) {
+            Fate::Deliver(ts) => assert_eq!(ts.len(), 2),
+            other => panic!("unexpected fate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partition_cuts_messages() {
+        let sched = PartitionSchedule::fully_connected(2)
+            .split_at(SimTime::ZERO + SimDuration::millis(10), &[&[0], &[1]]);
+        let m = NetworkModel::new(NetworkConfig::reliable().with_partitions(sched));
+        let mut rng = SimRng::new(4);
+        assert!(matches!(
+            m.route(0, 1, SimTime::ZERO, &mut rng),
+            Fate::Deliver(_)
+        ));
+        assert_eq!(
+            m.route(0, 1, SimTime::ZERO + SimDuration::millis(10), &mut rng),
+            Fate::Partitioned
+        );
+    }
+
+    #[test]
+    fn synchronous_mode_ignores_loss_and_uses_fixed_delay() {
+        let mut cfg = NetworkConfig::synchronous_ordered(SimDuration::millis(2));
+        cfg.default_link.loss = 0.9; // must be ignored in this mode
+        let m = NetworkModel::new(cfg);
+        let mut rng = SimRng::new(5);
+        for _ in 0..100 {
+            match m.route(1, 0, SimTime::ZERO, &mut rng) {
+                Fate::Deliver(ts) => {
+                    assert_eq!(ts, vec![SimTime::ZERO + SimDuration::millis(2)])
+                }
+                other => panic!("unexpected fate {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn link_override_applies_one_direction() {
+        let cfg = NetworkConfig::reliable().with_link(0, 1, LinkConfig::dead());
+        let m = NetworkModel::new(cfg);
+        let mut rng = SimRng::new(6);
+        assert_eq!(m.route(0, 1, SimTime::ZERO, &mut rng), Fate::Lost);
+        assert!(matches!(
+            m.route(1, 0, SimTime::ZERO, &mut rng),
+            Fate::Deliver(_)
+        ));
+    }
+}

@@ -1,0 +1,207 @@
+//! The actor interface: [`Node`] and its per-callback [`Context`].
+//!
+//! Side effects requested inside a callback are buffered as `Action`s in
+//! the `Context` and applied by the kernel after the callback returns. This
+//! keeps callbacks pure with respect to the event queue (no re-entrancy)
+//! and lets the kernel timestamp every send with the same "now".
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::NodeId;
+
+/// Handle to a pending timer; used for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub(crate) u64);
+
+impl TimerId {
+    /// Raw identifier (unique within a simulation run).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Buffered side effect.
+#[derive(Debug)]
+pub(crate) enum Action<M> {
+    Send { to: NodeId, msg: M },
+    SetTimer { id: TimerId, at: SimTime, tag: u64 },
+    CancelTimer { id: TimerId },
+    Halt,
+}
+
+/// Per-callback environment handed to every [`Node`] method.
+pub struct Context<'a, M> {
+    now: SimTime,
+    me: NodeId,
+    rng: &'a mut SimRng,
+    next_timer: &'a mut u64,
+    pub(crate) actions: Vec<Action<M>>,
+}
+
+impl<'a, M> Context<'a, M> {
+    pub(crate) fn new(
+        now: SimTime,
+        me: NodeId,
+        rng: &'a mut SimRng,
+        next_timer: &'a mut u64,
+    ) -> Self {
+        Context {
+            now,
+            me,
+            rng,
+            next_timer,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Deterministic RNG (one stream per node).
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Send `msg` to `to`. Delivery (or loss) is decided by the network
+    /// model; the sender learns nothing either way.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Send the same message to every listed destination.
+    ///
+    /// In `synchronous_ordered` network mode all copies share one send
+    /// instant and consecutive sequence numbers, which gives the
+    /// totally-ordered broadcast property Section 6.2 assumes.
+    pub fn broadcast(&mut self, dests: impl IntoIterator<Item = NodeId>, msg: M)
+    where
+        M: Clone,
+    {
+        for d in dests {
+            self.send(d, msg.clone());
+        }
+    }
+
+    /// Arrange for `on_timer(id, tag)` to fire after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.actions.push(Action::SetTimer {
+            id,
+            at: self.now + delay,
+            tag,
+        });
+        id
+    }
+
+    /// Cancel a pending timer. Cancelling an already-fired or foreign timer
+    /// is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer { id });
+    }
+
+    /// Ask the kernel to stop the run after this callback (used by
+    /// experiment drivers that detect their stop condition inside a node).
+    pub fn halt_simulation(&mut self) {
+        self.actions.push(Action::Halt);
+    }
+}
+
+/// A simulated site.
+///
+/// All methods receive a [`Context`] for side effects. Crashed nodes
+/// receive no callbacks until their recovery event; messages addressed to
+/// them in the interim are lost (that is what retransmission is for).
+pub trait Node {
+    /// Protocol message type exchanged between nodes.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Called once at simulation start (time zero), before any event.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// A message from `from` has arrived.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+
+    /// A timer set via [`Context::set_timer`] has fired.
+    fn on_timer(&mut self, id: TimerId, tag: u64, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = (id, tag, ctx);
+    }
+
+    /// An externally injected event (e.g. a client request from a workload
+    /// generator) with an opaque tag.
+    fn on_external(&mut self, tag: u64, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = (tag, ctx);
+    }
+
+    /// The site is about to crash: volatile state must be considered gone.
+    ///
+    /// Implementations should *not* try to clean up protocol state here —
+    /// a real crash gives no such opportunity. The hook exists only so test
+    /// nodes can record that the crash happened. Stable storage owned by
+    /// the node must be modelled via `dvp-storage`, whose log survives.
+    fn on_crash(&mut self) {}
+
+    /// The site restarts. Volatile state should be rebuilt from stable
+    /// storage here (Section 7's recovery algorithm).
+    fn on_recover(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_buffers_actions_in_order() {
+        let mut rng = SimRng::new(1);
+        let mut next = 0u64;
+        let mut ctx: Context<'_, u32> = Context::new(SimTime::ZERO, 0, &mut rng, &mut next);
+        ctx.send(1, 10);
+        let t = ctx.set_timer(SimDuration::millis(5), 77);
+        ctx.cancel_timer(t);
+        assert_eq!(ctx.actions.len(), 3);
+        assert!(matches!(ctx.actions[0], Action::Send { to: 1, msg: 10 }));
+        assert!(
+            matches!(ctx.actions[1], Action::SetTimer { id, tag: 77, .. } if id == t)
+        );
+        assert!(matches!(ctx.actions[2], Action::CancelTimer { id } if id == t));
+    }
+
+    #[test]
+    fn timer_ids_are_unique_and_increasing() {
+        let mut rng = SimRng::new(1);
+        let mut next = 0u64;
+        let mut ctx: Context<'_, ()> = Context::new(SimTime::ZERO, 0, &mut rng, &mut next);
+        let a = ctx.set_timer(SimDuration::millis(1), 0);
+        let b = ctx.set_timer(SimDuration::millis(1), 0);
+        assert!(b > a);
+        assert_eq!(next, 2);
+    }
+
+    #[test]
+    fn broadcast_clones_to_each_destination() {
+        let mut rng = SimRng::new(1);
+        let mut next = 0u64;
+        let mut ctx: Context<'_, String> = Context::new(SimTime::ZERO, 2, &mut rng, &mut next);
+        ctx.broadcast([0, 1, 3], "hi".to_string());
+        let dests: Vec<NodeId> = ctx
+            .actions
+            .iter()
+            .map(|a| match a {
+                Action::Send { to, .. } => *to,
+                _ => panic!("expected sends"),
+            })
+            .collect();
+        assert_eq!(dests, vec![0, 1, 3]);
+    }
+}

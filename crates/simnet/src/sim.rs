@@ -1,0 +1,688 @@
+//! The simulation kernel.
+//!
+//! [`Simulation`] owns the nodes, the event queue, the network model, and
+//! the clock. It is generic over one [`Node`] implementation; heterogeneous
+//! systems are modelled with an enum-of-roles node (see the transaction
+//! engine in `dvp-core`).
+//!
+//! ## Failure semantics
+//!
+//! * **Crash** (`schedule_crash`): the node's epoch is bumped, which lazily
+//!   invalidates every outstanding timer; `on_crash` is invoked so the node
+//!   can mark its volatile state dead; until recovery, messages addressed
+//!   to the node are silently dropped and externals are suppressed.
+//! * **Recover** (`schedule_recover`): `on_recover` runs with a fresh
+//!   context; the node rebuilds volatile state from its stable log.
+//! * **Partition**: decided per message by the network model's oracle —
+//!   checked both at send and at delivery time, so a partition also cuts
+//!   messages already in flight across the new boundary.
+
+use crate::event::{Event, EventKind};
+use crate::network::{Fate, NetworkConfig, NetworkModel};
+use crate::node::{Action, Context, Node};
+use crate::rng::SimRng;
+use crate::stats::NetStats;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent};
+use crate::NodeId;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Default cap on processed events per `run_*` call; a protocol that
+/// exceeds it almost certainly livelocked, and determinism means the
+/// condition is reproducible.
+pub const DEFAULT_EVENT_LIMIT: u64 = 200_000_000;
+
+/// A deterministic discrete-event simulation over `n` nodes.
+pub struct Simulation<N: Node> {
+    nodes: Vec<N>,
+    crashed: Vec<bool>,
+    epoch: Vec<u32>,
+    node_rngs: Vec<SimRng>,
+    net_rng: SimRng,
+    net: NetworkModel,
+    queue: BinaryHeap<Event<N::Msg>>,
+    now: SimTime,
+    seq: u64,
+    next_timer: u64,
+    cancelled: HashSet<u64>,
+    started: bool,
+    halted: bool,
+    stats: NetStats,
+    trace: Trace,
+    event_limit: u64,
+}
+
+impl<N: Node> Simulation<N> {
+    /// Build a simulation over the given nodes, network, and seed.
+    pub fn new(nodes: Vec<N>, net: NetworkConfig, seed: u64) -> Self {
+        let mut root = SimRng::new(seed);
+        let node_rngs = (0..nodes.len()).map(|i| root.fork(i as u64)).collect();
+        let net_rng = root.fork(u64::MAX);
+        let n = nodes.len();
+        Simulation {
+            nodes,
+            crashed: vec![false; n],
+            epoch: vec![0; n],
+            node_rngs,
+            net_rng,
+            net: NetworkModel::new(net),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            started: false,
+            halted: false,
+            stats: NetStats::default(),
+            trace: Trace::disabled(),
+            event_limit: DEFAULT_EVENT_LIMIT,
+        }
+    }
+
+    /// Enable the execution trace, retaining at most `cap` events.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Trace::with_capacity(cap);
+    }
+
+    /// Override the livelock guard (events per `run_*` call).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Network-level counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The execution trace (empty unless [`enable_trace`](Self::enable_trace)).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Immutable access to all nodes (for post-run inspection).
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Immutable access to one node.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to one node (test setup / external prodding between
+    /// run calls; never during a run).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id]
+    }
+
+    /// Whether `id` is currently crashed.
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.crashed[id]
+    }
+
+    /// Whether `a` and `b` can currently communicate.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        self.net.connected(a, b, self.now)
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    // ---- scheduling -----------------------------------------------------
+
+    /// Schedule a crash of `node` at absolute time `at`.
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
+        self.push(at, EventKind::Crash { node });
+    }
+
+    /// Schedule a recovery of `node` at absolute time `at`.
+    pub fn schedule_recover(&mut self, at: SimTime, node: NodeId) {
+        self.push(at, EventKind::Recover { node });
+    }
+
+    /// Schedule an external event (e.g. a client arrival) for `node`.
+    pub fn schedule_external(&mut self, at: SimTime, node: NodeId, tag: u64) {
+        self.push(at, EventKind::External { node, tag });
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<N::Msg>) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        let ev = Event {
+            at: at.max(self.now),
+            seq: self.seq,
+            kind,
+        };
+        self.seq += 1;
+        self.queue.push(ev);
+    }
+
+    // ---- running --------------------------------------------------------
+
+    /// Run until the queue is empty, the halt flag is raised, or the event
+    /// limit trips. Returns the number of events processed.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.run_internal(SimTime::MAX)
+    }
+
+    /// Run until simulated time reaches `deadline` (events at exactly
+    /// `deadline` are processed). Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.run_internal(deadline)
+    }
+
+    /// Run for `d` more simulated time.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let deadline = self.now + d;
+        self.run_internal(deadline)
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.dispatch(i, |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    fn run_internal(&mut self, deadline: SimTime) -> u64 {
+        self.ensure_started();
+        let mut processed = 0u64;
+        while !self.halted {
+            match self.queue.peek() {
+                None => break,
+                Some(ev) if ev.at > deadline => break,
+                Some(_) => {}
+            }
+            let ev = self.queue.pop().expect("peeked");
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            self.handle(ev.kind);
+            processed += 1;
+            if processed >= self.event_limit {
+                panic!(
+                    "event limit {} exceeded at {} — livelock? raise with set_event_limit()",
+                    self.event_limit, self.now
+                );
+            }
+        }
+        if deadline != SimTime::MAX && self.now < deadline && !self.halted {
+            self.now = deadline;
+        }
+        processed
+    }
+
+    fn handle(&mut self, kind: EventKind<N::Msg>) {
+        match kind {
+            EventKind::Deliver { from, to, msg } => {
+                if self.crashed[to] {
+                    self.stats.dropped_crashed += 1;
+                    self.trace.record(TraceEvent::DeadRecipient {
+                        at: self.now,
+                        from,
+                        to,
+                    });
+                    return;
+                }
+                // A partition that arose while the message was in flight
+                // also cuts it.
+                if !self.net.connected(from, to, self.now) {
+                    self.stats.partitioned += 1;
+                    self.trace.record(TraceEvent::Partitioned {
+                        at: self.now,
+                        from,
+                        to,
+                    });
+                    return;
+                }
+                self.stats.delivered += 1;
+                self.trace.record(TraceEvent::Delivered {
+                    at: self.now,
+                    from,
+                    to,
+                });
+                self.dispatch(to, |node, ctx| node.on_message(from, msg, ctx));
+            }
+            EventKind::Timer {
+                node,
+                id,
+                tag,
+                epoch,
+            } => {
+                if self.cancelled.remove(&id.0) || self.epoch[node] != epoch || self.crashed[node]
+                {
+                    self.stats.timers_suppressed += 1;
+                    return;
+                }
+                self.stats.timers_fired += 1;
+                self.dispatch(node, |n, ctx| n.on_timer(id, tag, ctx));
+            }
+            EventKind::External { node, tag } => {
+                if self.crashed[node] {
+                    return; // a client arriving at a dead site gets nothing
+                }
+                self.dispatch(node, |n, ctx| n.on_external(tag, ctx));
+            }
+            EventKind::Crash { node } => {
+                if self.crashed[node] {
+                    return;
+                }
+                self.crashed[node] = true;
+                self.epoch[node] += 1; // invalidates all outstanding timers
+                self.trace.record(TraceEvent::Crashed {
+                    at: self.now,
+                    node,
+                });
+                self.nodes[node].on_crash();
+            }
+            EventKind::Recover { node } => {
+                if !self.crashed[node] {
+                    return;
+                }
+                self.crashed[node] = false;
+                self.trace.record(TraceEvent::Recovered {
+                    at: self.now,
+                    node,
+                });
+                self.dispatch(node, |n, ctx| n.on_recover(ctx));
+            }
+        }
+    }
+
+    /// Run `f` on node `id` with a fresh context, then apply the buffered
+    /// actions.
+    fn dispatch<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut N, &mut Context<'_, N::Msg>),
+    {
+        let mut ctx = Context::new(self.now, id, &mut self.node_rngs[id], &mut self.next_timer);
+        f(&mut self.nodes[id], &mut ctx);
+        let actions = ctx.actions;
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => self.transmit(id, to, msg),
+                Action::SetTimer { id: tid, at, tag } => {
+                    let epoch = self.epoch[id];
+                    self.push(
+                        at,
+                        EventKind::Timer {
+                            node: id,
+                            id: tid,
+                            tag,
+                            epoch,
+                        },
+                    );
+                }
+                Action::CancelTimer { id: tid } => {
+                    self.cancelled.insert(tid.0);
+                }
+                Action::Halt => {
+                    self.halted = true;
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, from: NodeId, to: NodeId, msg: N::Msg) {
+        self.stats.sent += 1;
+        self.trace.record(TraceEvent::Sent {
+            at: self.now,
+            from,
+            to,
+        });
+        match self.net.route(from, to, self.now, &mut self.net_rng) {
+            Fate::Lost => {
+                self.stats.lost += 1;
+                self.trace.record(TraceEvent::Lost {
+                    at: self.now,
+                    from,
+                    to,
+                });
+            }
+            Fate::Partitioned => {
+                self.stats.partitioned += 1;
+                self.trace.record(TraceEvent::Partitioned {
+                    at: self.now,
+                    from,
+                    to,
+                });
+            }
+            Fate::Deliver(arrivals) => {
+                let extra = arrivals.len().saturating_sub(1) as u64;
+                self.stats.duplicated += extra;
+                for (i, at) in arrivals.into_iter().enumerate() {
+                    let m = if i == 0 { None } else { Some(msg.clone()) };
+                    let payload = m.unwrap_or_else(|| msg.clone());
+                    self.push(
+                        at,
+                        EventKind::Deliver {
+                            from,
+                            to,
+                            msg: payload,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whether a node raised the halt flag.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Consume the simulation, returning the nodes for final inspection.
+    pub fn into_nodes(self) -> Vec<N> {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::LinkConfig;
+    use crate::node::TimerId;
+    use crate::partition::PartitionSchedule;
+
+    /// Ping-pong node: site 0 sends `k` pings to site 1, which echoes.
+    #[derive(Debug, Default)]
+    struct PingPong {
+        to_send: u32,
+        pings_seen: u32,
+        pongs_seen: u32,
+        crashes: u32,
+        recoveries: u32,
+        timer_fired: bool,
+    }
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Ping(u32),
+        Pong(#[allow(dead_code)] u32),
+    }
+
+    impl Node for PingPong {
+        type Msg = Msg;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            for i in 0..self.to_send {
+                ctx.send(1, Msg::Ping(i));
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            match msg {
+                Msg::Ping(i) => {
+                    self.pings_seen += 1;
+                    ctx.send(from, Msg::Pong(i));
+                }
+                Msg::Pong(_) => self.pongs_seen += 1,
+            }
+        }
+
+        fn on_timer(&mut self, _id: TimerId, _tag: u64, _ctx: &mut Context<'_, Msg>) {
+            self.timer_fired = true;
+        }
+
+        fn on_crash(&mut self) {
+            self.crashes += 1;
+        }
+
+        fn on_recover(&mut self, _ctx: &mut Context<'_, Msg>) {
+            self.recoveries += 1;
+        }
+    }
+
+    fn two_nodes(k: u32) -> Vec<PingPong> {
+        vec![
+            PingPong {
+                to_send: k,
+                ..Default::default()
+            },
+            PingPong::default(),
+        ]
+    }
+
+    #[test]
+    fn reliable_network_delivers_everything() {
+        let mut sim = Simulation::new(two_nodes(10), NetworkConfig::reliable(), 1);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(1).pings_seen, 10);
+        assert_eq!(sim.node(0).pongs_seen, 10);
+        assert_eq!(sim.stats().sent, 20);
+        assert_eq!(sim.stats().delivered, 20);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = |seed| {
+            let mut sim = Simulation::new(two_nodes(50), NetworkConfig::lossy(0.4), seed);
+            sim.run_to_quiescence();
+            (
+                sim.stats().delivered,
+                sim.stats().lost,
+                sim.node(0).pongs_seen,
+            )
+        };
+        assert_eq!(run(7), run(7));
+        // And a different seed gives a different trajectory (with 50 lossy
+        // messages this is overwhelmingly likely).
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn lossy_network_loses_some() {
+        let mut sim = Simulation::new(two_nodes(200), NetworkConfig::lossy(0.5), 3);
+        sim.run_to_quiescence();
+        assert!(sim.stats().lost > 0);
+        assert!(sim.node(0).pongs_seen < 200);
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing_until_recovery() {
+        let mut sim = Simulation::new(two_nodes(5), NetworkConfig::reliable(), 4);
+        sim.schedule_crash(SimTime::ZERO, 1);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(1).pings_seen, 0);
+        assert_eq!(sim.node(1).crashes, 1);
+        assert_eq!(sim.stats().dropped_crashed, 5);
+    }
+
+    #[test]
+    fn recovery_invokes_on_recover() {
+        let mut sim = Simulation::new(two_nodes(0), NetworkConfig::reliable(), 5);
+        sim.schedule_crash(SimTime(100), 1);
+        sim.schedule_recover(SimTime(200), 1);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(1).crashes, 1);
+        assert_eq!(sim.node(1).recoveries, 1);
+    }
+
+    #[test]
+    fn crash_invalidates_outstanding_timers() {
+        // Node 1 sets a timer via external prod, then crashes before it fires.
+        #[derive(Default)]
+        struct T {
+            fired: bool,
+        }
+        impl Node for T {
+            type Msg = ();
+            fn on_message(&mut self, _from: NodeId, _msg: (), _ctx: &mut Context<'_, ()>) {}
+            fn on_external(&mut self, _tag: u64, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(SimDuration::millis(10), 0);
+            }
+            fn on_timer(&mut self, _id: TimerId, _tag: u64, _ctx: &mut Context<'_, ()>) {
+                self.fired = true;
+            }
+        }
+        let mut sim = Simulation::new(vec![T::default()], NetworkConfig::reliable(), 6);
+        sim.schedule_external(SimTime(0), 0, 0);
+        sim.schedule_crash(SimTime(1_000), 0); // 1ms, before the 10ms timer
+        sim.schedule_recover(SimTime(2_000), 0);
+        sim.run_to_quiescence();
+        assert!(!sim.node(0).fired, "timer must die with the crash");
+        assert_eq!(sim.stats().timers_suppressed, 1);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        #[derive(Default)]
+        struct T {
+            fired: u32,
+        }
+        impl Node for T {
+            type Msg = ();
+            fn on_message(&mut self, _from: NodeId, _msg: (), _ctx: &mut Context<'_, ()>) {}
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                let a = ctx.set_timer(SimDuration::millis(5), 1);
+                ctx.set_timer(SimDuration::millis(6), 2);
+                ctx.cancel_timer(a);
+            }
+            fn on_timer(&mut self, _id: TimerId, tag: u64, _ctx: &mut Context<'_, ()>) {
+                assert_eq!(tag, 2, "only the uncancelled timer may fire");
+                self.fired += 1;
+            }
+        }
+        let mut sim = Simulation::new(vec![T::default()], NetworkConfig::reliable(), 7);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(0).fired, 1);
+    }
+
+    #[test]
+    fn partition_cuts_in_flight_messages() {
+        // Link delay is fixed 5ms; partition starts at 2ms; a message sent
+        // at t=0 is in flight across the boundary and must be cut.
+        let sched = PartitionSchedule::fully_connected(2).split_at(SimTime(2_000), &[&[0], &[1]]);
+        let cfg = NetworkConfig {
+            default_link: LinkConfig::reliable_fixed(SimDuration::millis(5)),
+            ..Default::default()
+        }
+        .with_partitions(sched);
+        let mut sim = Simulation::new(two_nodes(1), cfg, 8);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(1).pings_seen, 0);
+        assert_eq!(sim.stats().partitioned, 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(two_nodes(3), NetworkConfig::reliable(), 9);
+        sim.run_until(SimTime::ZERO); // start events only; deliveries are later
+        assert_eq!(sim.node(1).pings_seen, 0);
+        sim.run_until(SimTime(60_000));
+        assert_eq!(sim.node(1).pings_seen, 3);
+        assert_eq!(sim.now(), SimTime(60_000));
+    }
+
+    #[test]
+    fn synchronous_ordered_mode_gives_global_broadcast_order() {
+        // Two sites broadcast concurrently to two observers; both observers
+        // must see the two messages in the same order.
+        #[derive(Default)]
+        struct B {
+            seen: Vec<NodeId>,
+            is_sender: bool,
+        }
+        impl Node for B {
+            type Msg = u8;
+            fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+                if self.is_sender {
+                    ctx.broadcast([2, 3], 0);
+                }
+            }
+            fn on_message(&mut self, from: NodeId, _m: u8, _ctx: &mut Context<'_, u8>) {
+                self.seen.push(from);
+            }
+        }
+        for seed in 0..20 {
+            let nodes = vec![
+                B {
+                    is_sender: true,
+                    ..Default::default()
+                },
+                B {
+                    is_sender: true,
+                    ..Default::default()
+                },
+                B::default(),
+                B::default(),
+            ];
+            let mut sim = Simulation::new(
+                nodes,
+                NetworkConfig::synchronous_ordered(SimDuration::millis(1)),
+                seed,
+            );
+            sim.run_to_quiescence();
+            assert_eq!(sim.node(2).seen, sim.node(3).seen, "seed {seed}");
+            assert_eq!(sim.node(2).seen.len(), 2);
+        }
+    }
+
+    #[test]
+    fn halt_stops_the_run() {
+        struct H;
+        impl Node for H {
+            type Msg = ();
+            fn on_message(&mut self, _from: NodeId, _msg: (), _ctx: &mut Context<'_, ()>) {}
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(SimDuration::millis(1), 0);
+                ctx.set_timer(SimDuration::millis(2), 1);
+            }
+            fn on_timer(&mut self, _id: TimerId, tag: u64, ctx: &mut Context<'_, ()>) {
+                if tag == 0 {
+                    ctx.halt_simulation();
+                } else {
+                    panic!("second timer must not run after halt");
+                }
+            }
+        }
+        let mut sim = Simulation::new(vec![H], NetworkConfig::reliable(), 10);
+        sim.run_to_quiescence();
+        assert!(sim.halted());
+    }
+
+    #[test]
+    fn trace_records_lifecycle() {
+        let mut sim = Simulation::new(two_nodes(1), NetworkConfig::reliable(), 11);
+        sim.enable_trace(64);
+        sim.schedule_crash(SimTime(50_000), 1);
+        sim.schedule_recover(SimTime(60_000), 1);
+        sim.run_to_quiescence();
+        let kinds: Vec<&TraceEvent> = sim.trace().events().collect();
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Sent { from: 0, to: 1, .. })));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Crashed { node: 1, .. })));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Recovered { node: 1, .. })));
+    }
+
+    #[test]
+    fn duplicated_messages_arrive_twice() {
+        let cfg = NetworkConfig {
+            default_link: LinkConfig {
+                duplicate: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(two_nodes(1), cfg, 12);
+        sim.run_to_quiescence();
+        // Ping duplicated -> 2 pings seen; each provokes a pong, each pong
+        // itself duplicated -> 4 pongs seen.
+        assert_eq!(sim.node(1).pings_seen, 2);
+        assert_eq!(sim.node(0).pongs_seen, 4);
+        assert_eq!(sim.stats().duplicated, 3);
+    }
+}

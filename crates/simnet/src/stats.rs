@@ -1,0 +1,77 @@
+//! Kernel-level network statistics.
+//!
+//! These count what the *network* did (sent, delivered, lost, cut,
+//! duplicated, dropped-at-crashed-site). Protocol-level accounting (how
+//! many of those were Vm retransmissions, say) belongs to the layers above.
+
+/// Counters maintained by the simulation kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the network by nodes.
+    pub sent: u64,
+    /// Message deliveries performed (duplicates count individually).
+    pub delivered: u64,
+    /// Messages dropped by random loss.
+    pub lost: u64,
+    /// Messages cut by a network partition.
+    pub partitioned: u64,
+    /// Extra copies created by link duplication.
+    pub duplicated: u64,
+    /// Deliveries suppressed because the recipient was crashed.
+    pub dropped_crashed: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Timer events suppressed by cancellation or crash.
+    pub timers_suppressed: u64,
+}
+
+impl NetStats {
+    /// Total messages that failed to arrive, for any reason.
+    pub fn total_undelivered(&self) -> u64 {
+        self.lost + self.partitioned + self.dropped_crashed
+    }
+
+    /// Fraction of sends that resulted in at least the first delivery.
+    /// Returns 1.0 for an idle network.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            // `delivered` includes duplicate copies; subtract them so the
+            // ratio is per original send.
+            (self.delivered.saturating_sub(self.duplicated)) as f64 / self.sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_idle_network_is_one() {
+        assert_eq!(NetStats::default().delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn delivery_ratio_discounts_duplicates() {
+        let s = NetStats {
+            sent: 10,
+            delivered: 12,
+            duplicated: 2,
+            ..Default::default()
+        };
+        assert!((s.delivery_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_undelivered_sums_causes() {
+        let s = NetStats {
+            lost: 3,
+            partitioned: 4,
+            dropped_crashed: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.total_undelivered(), 12);
+    }
+}

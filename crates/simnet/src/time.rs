@@ -1,0 +1,189 @@
+//! Virtual time.
+//!
+//! Simulated time is a `u64` count of **microseconds** since the start of
+//! the run. Microsecond resolution is fine enough that protocol steps never
+//! collapse onto one instant accidentally, and coarse enough that a `u64`
+//! holds ~584k simulated years.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time (microseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time (microseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The zero instant: the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "never" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Raw microsecond count.
+    #[inline]
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (fractional) milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Duration elapsed since `earlier`. Saturates at zero rather than
+    /// panicking, so callers comparing out-of-order observations stay total.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A span of `n` microseconds.
+    #[inline]
+    pub const fn micros(n: u64) -> SimDuration {
+        SimDuration(n)
+    }
+
+    /// A span of `n` milliseconds.
+    #[inline]
+    pub const fn millis(n: u64) -> SimDuration {
+        SimDuration(n * 1_000)
+    }
+
+    /// A span of `n` seconds.
+    #[inline]
+    pub const fn secs(n: u64) -> SimDuration {
+        SimDuration(n * 1_000_000)
+    }
+
+    /// Raw microsecond count.
+    #[inline]
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This span in (fractional) milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Multiply the span by an integer factor, saturating on overflow.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 = self.0.saturating_add(d.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}us", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration_advances_time() {
+        let t = SimTime(10) + SimDuration::micros(5);
+        assert_eq!(t, SimTime(15));
+    }
+
+    #[test]
+    fn since_saturates_instead_of_panicking() {
+        assert_eq!(SimTime(3).since(SimTime(9)), SimDuration::ZERO);
+        assert_eq!(SimTime(9).since(SimTime(3)), SimDuration::micros(6));
+    }
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(SimDuration::millis(2), SimDuration::micros(2_000));
+        assert_eq!(SimDuration::secs(1), SimDuration::millis(1_000));
+    }
+
+    #[test]
+    fn add_saturates_at_max() {
+        let t = SimTime::MAX + SimDuration::secs(1);
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(SimDuration::millis(1) < SimDuration::secs(1));
+    }
+
+    #[test]
+    fn display_uses_milliseconds() {
+        assert_eq!(format!("{}", SimTime(1500)), "1.500ms");
+        assert_eq!(format!("{}", SimDuration::micros(250)), "0.250ms");
+    }
+
+    #[test]
+    fn saturating_mul_caps() {
+        assert_eq!(
+            SimDuration(u64::MAX).saturating_mul(2),
+            SimDuration(u64::MAX)
+        );
+        assert_eq!(SimDuration::micros(3).saturating_mul(4), SimDuration(12));
+    }
+}

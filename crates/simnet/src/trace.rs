@@ -1,0 +1,132 @@
+//! Optional execution trace.
+//!
+//! When enabled, the kernel records one [`TraceEvent`] per interesting
+//! occurrence into a bounded ring buffer. Tests use the trace to assert on
+//! *mechanism* (e.g. "the message really was cut by the partition, not
+//! lost"), and experiment harnesses use it for debugging; it is off by
+//! default so the hot path stays allocation-free.
+
+use crate::time::SimTime;
+use crate::NodeId;
+use std::collections::VecDeque;
+
+/// One recorded occurrence.
+#[allow(missing_docs)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node handed a message to the network.
+    Sent { at: SimTime, from: NodeId, to: NodeId },
+    /// A message was delivered.
+    Delivered { at: SimTime, from: NodeId, to: NodeId },
+    /// A message was dropped by random loss.
+    Lost { at: SimTime, from: NodeId, to: NodeId },
+    /// A message was cut by a partition.
+    Partitioned { at: SimTime, from: NodeId, to: NodeId },
+    /// A delivery was suppressed because the recipient was down.
+    DeadRecipient { at: SimTime, from: NodeId, to: NodeId },
+    /// A site crashed.
+    Crashed { at: SimTime, node: NodeId },
+    /// A site recovered.
+    Recovered { at: SimTime, node: NodeId },
+}
+
+impl TraceEvent {
+    /// The instant of the event.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Sent { at, .. }
+            | TraceEvent::Delivered { at, .. }
+            | TraceEvent::Lost { at, .. }
+            | TraceEvent::Partitioned { at, .. }
+            | TraceEvent::DeadRecipient { at, .. }
+            | TraceEvent::Crashed { at, .. }
+            | TraceEvent::Recovered { at, .. } => *at,
+        }
+    }
+}
+
+/// Bounded ring buffer of trace events.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    cap: usize,
+    events: VecDeque<TraceEvent>,
+}
+
+impl Trace {
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// An enabled trace retaining at most `cap` most-recent events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Trace {
+            enabled: true,
+            cap,
+            events: VecDeque::with_capacity(cap.min(4096)),
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(at: u64) -> TraceEvent {
+        TraceEvent::Sent {
+            at: SimTime(at),
+            from: 0,
+            to: 1,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(sent(1));
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut t = Trace::with_capacity(2);
+        t.record(sent(1));
+        t.record(sent(2));
+        t.record(sent(3));
+        let ats: Vec<SimTime> = t.events().map(|e| e.at()).collect();
+        assert_eq!(ats, vec![SimTime(2), SimTime(3)]);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,338 @@
+//! Record framing and encoding.
+//!
+//! Each record is stored as a frame:
+//!
+//! ```text
+//! +----------+----------+---------------------+
+//! | len: u32 | crc: u32 | payload (len bytes) |
+//! +----------+----------+---------------------+
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE polynomial) over the payload. The recovery scan
+//! verifies every frame, so a corrupted or torn frame surfaces as a
+//! [`DecodeError`] instead of silently wrong state.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Failure while decoding a frame or a record payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than a complete frame/field requires.
+    Truncated,
+    /// CRC mismatch — the frame is corrupt.
+    Corrupt {
+        /// CRC stored in the frame header.
+        expected: u32,
+        /// CRC computed over the payload as read.
+        actual: u32,
+    },
+    /// An enum tag or field had an invalid value.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated frame"),
+            DecodeError::Corrupt { expected, actual } => {
+                write!(f, "corrupt frame: crc {expected:#010x} != {actual:#010x}")
+            }
+            DecodeError::Invalid(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A type that can be written to and read from a log frame.
+pub trait Record: Sized + Clone + fmt::Debug {
+    /// Serialize the record payload.
+    fn encode(&self, w: &mut RecordWriter<'_>);
+    /// Deserialize the record payload.
+    fn decode(r: &mut RecordReader<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Payload writer handed to [`Record::encode`].
+pub struct RecordWriter<'a> {
+    buf: &'a mut BytesMut,
+}
+
+impl<'a> RecordWriter<'a> {
+    /// Wrap a buffer for writing a bare (unframed) payload — used when a
+    /// record is embedded somewhere other than a log frame (e.g. a Vm
+    /// payload).
+    pub fn wrap(buf: &'a mut BytesMut) -> Self {
+        RecordWriter { buf }
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+    /// Append a `u32` (big-endian).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.put_u32(v);
+    }
+    /// Append a `u64` (big-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.put_u64(v);
+    }
+    /// Append an `i64` (big-endian).
+    pub fn i64(&mut self, v: i64) {
+        self.buf.put_i64(v);
+    }
+    /// Append a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.put_u32(v.len() as u32);
+        self.buf.put_slice(v);
+    }
+}
+
+/// Payload reader handed to [`Record::decode`].
+pub struct RecordReader<'a> {
+    buf: &'a mut Bytes,
+}
+
+impl<'a> RecordReader<'a> {
+    /// Wrap a buffer for reading a bare (unframed) payload.
+    pub fn wrap(buf: &'a mut Bytes) -> Self {
+        RecordReader { buf }
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        if self.buf.remaining() < 1 {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(self.buf.get_u8())
+    }
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        if self.buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(self.buf.get_u32())
+    }
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        if self.buf.remaining() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(self.buf.get_u64())
+    }
+    /// Read an `i64`.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        if self.buf.remaining() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(self.buf.get_i64())
+    }
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Bytes, DecodeError> {
+        let n = self.u32()? as usize;
+        if self.buf.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(self.buf.split_to(n))
+    }
+    /// Bytes left unread (a well-formed decode should leave zero).
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+/// Encode one record into a framed byte string.
+pub fn encode_frame<R: Record>(record: &R, out: &mut BytesMut) {
+    let mut payload = BytesMut::new();
+    record.encode(&mut RecordWriter { buf: &mut payload });
+    out.put_u32(payload.len() as u32);
+    out.put_u32(crc32(&payload));
+    out.put_slice(&payload);
+}
+
+/// Decode one frame from the front of `buf`, verifying length and CRC.
+pub fn decode_frame<R: Record>(buf: &mut Bytes) -> Result<R, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = buf.get_u32() as usize;
+    let crc = buf.get_u32();
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let mut payload = buf.split_to(len);
+    let actual = crc32(&payload);
+    if actual != crc {
+        return Err(DecodeError::Corrupt {
+            expected: crc,
+            actual,
+        });
+    }
+    let rec = R::decode(&mut RecordReader { buf: &mut payload })?;
+    if payload.remaining() != 0 {
+        return Err(DecodeError::Invalid("trailing bytes in payload"));
+    }
+    Ok(rec)
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    const fn make_table() -> [u32; 256] {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    }
+    const TABLE: [u32; 256] = make_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Rec {
+        a: u64,
+        b: i64,
+        tag: u8,
+        blob: Vec<u8>,
+    }
+
+    impl Record for Rec {
+        fn encode(&self, w: &mut RecordWriter<'_>) {
+            w.u64(self.a);
+            w.i64(self.b);
+            w.u8(self.tag);
+            w.bytes(&self.blob);
+        }
+        fn decode(r: &mut RecordReader<'_>) -> Result<Self, DecodeError> {
+            Ok(Rec {
+                a: r.u64()?,
+                b: r.i64()?,
+                tag: r.u8()?,
+                blob: r.bytes()?.to_vec(),
+            })
+        }
+    }
+
+    fn sample() -> Rec {
+        Rec {
+            a: 0xDEAD_BEEF_0102_0304,
+            b: -42,
+            tag: 7,
+            blob: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // "123456789" -> 0xCBF43926 is the canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut buf = BytesMut::new();
+        encode_frame(&sample(), &mut buf);
+        let mut bytes = buf.freeze();
+        let got: Rec = decode_frame(&mut bytes).unwrap();
+        assert_eq!(got, sample());
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let mut buf = BytesMut::new();
+        let recs: Vec<Rec> = (0..10)
+            .map(|i| Rec {
+                a: i,
+                b: -(i as i64),
+                tag: i as u8,
+                blob: vec![i as u8; i as usize],
+            })
+            .collect();
+        for r in &recs {
+            encode_frame(r, &mut buf);
+        }
+        let mut bytes = buf.freeze();
+        let mut got = Vec::new();
+        while bytes.remaining() > 0 {
+            got.push(decode_frame::<Rec>(&mut bytes).unwrap());
+        }
+        assert_eq!(got, recs);
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let mut buf = BytesMut::new();
+        encode_frame(&sample(), &mut buf);
+        let mut raw = buf.to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF; // flip a payload byte
+        let mut bytes = Bytes::from(raw);
+        match decode_frame::<Rec>(&mut bytes) {
+            Err(DecodeError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_detected() {
+        let mut buf = BytesMut::new();
+        encode_frame(&sample(), &mut buf);
+        let raw = buf.to_vec();
+        let mut bytes = Bytes::from(raw[..raw.len() - 3].to_vec());
+        assert_eq!(
+            decode_frame::<Rec>(&mut bytes).unwrap_err(),
+            DecodeError::Truncated
+        );
+        let mut tiny = Bytes::from(vec![0u8; 4]);
+        assert_eq!(
+            decode_frame::<Rec>(&mut tiny).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn reader_reports_truncation_per_field() {
+        let mut empty = Bytes::new();
+        let mut r = RecordReader { buf: &mut empty };
+        assert_eq!(r.u8().unwrap_err(), DecodeError::Truncated);
+        assert_eq!(r.u32().unwrap_err(), DecodeError::Truncated);
+        assert_eq!(r.u64().unwrap_err(), DecodeError::Truncated);
+        assert_eq!(r.i64().unwrap_err(), DecodeError::Truncated);
+        assert_eq!(r.bytes().unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn decode_error_display() {
+        assert_eq!(DecodeError::Truncated.to_string(), "truncated frame");
+        assert!(DecodeError::Corrupt {
+            expected: 1,
+            actual: 2
+        }
+        .to_string()
+        .contains("corrupt"));
+        assert!(DecodeError::Invalid("x").to_string().contains('x'));
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-peer channel state.
+//!
+//! Each ordered pair of sites `(me, peer)` has one channel with its own
+//! dense, 1-based sequence numbers (the paper's "unbounded totally ordered
+//! sequence of unique message identifiers for communication from a site
+//! sᵢ to a site sⱼ"). The receiver accepts only the next in-order
+//! sequence number ("the messages will never be accepted if they are
+//! out-of-order"), which makes the cumulative ack sound.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Channel sequence number. `0` means "nothing yet"; real messages use
+/// `1, 2, 3, …`.
+pub type Seq = u64;
+
+/// State of one directed channel pair with a peer (both directions).
+#[derive(Clone, Debug, Default)]
+pub struct Channel {
+    /// Sequence number of the last Vm created toward the peer.
+    pub(crate) last_created: Seq,
+    /// Unacked outgoing Vms: seq -> payload. Durable via `VmLogOp::Created`.
+    pub(crate) outgoing: BTreeMap<Seq, Bytes>,
+    /// Highest cumulative ack received from the peer.
+    pub(crate) acked_out: Seq,
+    /// Highest in-order sequence accepted *and committed* from the peer
+    /// (this is the cumulative ack we advertise). Durable via
+    /// `VmLogOp::Accepted`.
+    pub(crate) accepted_in: Seq,
+}
+
+impl Channel {
+    /// Number of created-but-unacked outgoing Vms.
+    pub fn in_flight(&self) -> usize {
+        self.outgoing.len()
+    }
+
+    /// Mint the next outgoing sequence number and remember the payload.
+    pub(crate) fn create(&mut self, payload: Bytes) -> Seq {
+        self.last_created += 1;
+        self.outgoing.insert(self.last_created, payload);
+        self.last_created
+    }
+
+    /// Process a cumulative ack from the peer; returns the sequence numbers
+    /// of the Vms it released (their lifecycles are complete).
+    pub(crate) fn on_ack(&mut self, ack: Seq) -> Vec<Seq> {
+        if ack <= self.acked_out {
+            return Vec::new();
+        }
+        self.acked_out = ack;
+        let released: Vec<Seq> = self
+            .outgoing
+            .range(..=ack)
+            .map(|(&seq, _)| seq)
+            .collect();
+        self.outgoing.retain(|&seq, _| seq > ack);
+        released
+    }
+
+    /// Classify an incoming data frame's sequence number.
+    pub(crate) fn classify(&self, seq: Seq) -> Classify {
+        if seq <= self.accepted_in {
+            Classify::Duplicate
+        } else if seq == self.accepted_in + 1 {
+            Classify::Next
+        } else {
+            Classify::OutOfOrder
+        }
+    }
+
+    /// Advance the accept cursor (host has durably logged the acceptance).
+    pub(crate) fn commit_accept(&mut self, seq: Seq) {
+        debug_assert_eq!(seq, self.accepted_in + 1, "accepts must be in order");
+        self.accepted_in = seq;
+    }
+}
+
+/// How an incoming sequence number relates to the accept cursor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Classify {
+    Duplicate,
+    Next,
+    OutOfOrder,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+
+    #[test]
+    fn create_numbers_densely_from_one() {
+        let mut c = Channel::default();
+        assert_eq!(c.create(b("a")), 1);
+        assert_eq!(c.create(b("b")), 2);
+        assert_eq!(c.in_flight(), 2);
+    }
+
+    #[test]
+    fn cumulative_ack_releases_prefix() {
+        let mut c = Channel::default();
+        for _ in 0..5 {
+            c.create(b("x"));
+        }
+        assert_eq!(c.on_ack(3), vec![1, 2, 3]);
+        assert_eq!(c.in_flight(), 2);
+        // Stale / repeated acks release nothing.
+        assert!(c.on_ack(3).is_empty());
+        assert!(c.on_ack(2).is_empty());
+        assert_eq!(c.on_ack(5), vec![4, 5]);
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn classify_tracks_cursor() {
+        let mut c = Channel::default();
+        assert_eq!(c.classify(1), Classify::Next);
+        assert_eq!(c.classify(2), Classify::OutOfOrder);
+        c.commit_accept(1);
+        assert_eq!(c.classify(1), Classify::Duplicate);
+        assert_eq!(c.classify(2), Classify::Next);
+        assert_eq!(c.classify(5), Classify::OutOfOrder);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    #[cfg(debug_assertions)]
+    fn out_of_order_commit_is_a_bug() {
+        let mut c = Channel::default();
+        c.commit_accept(2);
+    }
+}

@@ -1,0 +1,55 @@
+//! Vm protocol counters.
+
+/// Counters for one [`VmEndpoint`](crate::endpoint::VmEndpoint).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Vms created (durable sender-side records written).
+    pub created: u64,
+    /// Vms accepted (durable receiver-side records written).
+    pub accepted: u64,
+    /// Vms whose lifecycle completed (cumulative ack observed).
+    pub completed: u64,
+    /// Data frames put on the wire (originals + retransmissions).
+    pub data_frames_sent: u64,
+    /// Of which, retransmissions.
+    pub retransmissions: u64,
+    /// Standalone ack frames sent.
+    pub ack_frames_sent: u64,
+    /// Ack arrivals that actually released at least one Vm.
+    pub acks_effective: u64,
+    /// Duplicate data frames discarded.
+    pub duplicates_discarded: u64,
+    /// Out-of-order data frames discarded.
+    pub out_of_order_discarded: u64,
+    /// Crash resets performed.
+    pub crash_resets: u64,
+}
+
+impl VmStats {
+    /// Real messages per completed Vm — the paper's "message traffic"
+    /// metric. Returns 0.0 when nothing completed.
+    pub fn frames_per_completed(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            (self.data_frames_sent + self.ack_frames_sent) as f64 / self.completed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_per_completed_handles_zero() {
+        assert_eq!(VmStats::default().frames_per_completed(), 0.0);
+        let s = VmStats {
+            completed: 2,
+            data_frames_sent: 5,
+            ack_frames_sent: 1,
+            ..Default::default()
+        };
+        assert!((s.frames_per_completed() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,80 @@
+//! Arrival processes.
+
+use dvp_simnet::rng::SimRng;
+use dvp_simnet::time::{SimDuration, SimTime};
+
+/// How transaction arrivals are spaced.
+#[derive(Clone, Copy, Debug)]
+pub enum Arrivals {
+    /// Poisson process with the given mean inter-arrival gap.
+    Poisson {
+        /// Mean gap between consecutive arrivals.
+        mean_gap: SimDuration,
+    },
+    /// Fixed spacing (deterministic, useful for reproducible micro-tests).
+    Uniform {
+        /// Exact gap between consecutive arrivals.
+        gap: SimDuration,
+    },
+}
+
+impl Arrivals {
+    /// Generate `count` arrival instants starting after `start`.
+    pub fn generate(&self, start: SimTime, count: usize, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut t = start;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let gap = match self {
+                Arrivals::Poisson { mean_gap } => {
+                    SimDuration::micros(rng.exp(mean_gap.as_micros() as f64).max(1))
+                }
+                Arrivals::Uniform { gap } => *gap,
+            };
+            t += gap;
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_spacing_is_exact() {
+        let a = Arrivals::Uniform {
+            gap: SimDuration::millis(5),
+        };
+        let mut rng = SimRng::new(1);
+        let ts = a.generate(SimTime::ZERO, 3, &mut rng);
+        assert_eq!(
+            ts,
+            vec![SimTime(5_000), SimTime(10_000), SimTime(15_000)]
+        );
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_right() {
+        let a = Arrivals::Poisson {
+            mean_gap: SimDuration::millis(10),
+        };
+        let mut rng = SimRng::new(2);
+        let n = 10_000;
+        let ts = a.generate(SimTime::ZERO, n, &mut rng);
+        let mean_gap = ts.last().unwrap().micros() as f64 / n as f64;
+        assert!((9_000.0..11_000.0).contains(&mean_gap), "mean {mean_gap}");
+        // Strictly increasing.
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn arrivals_start_after_start() {
+        let a = Arrivals::Uniform {
+            gap: SimDuration::millis(1),
+        };
+        let mut rng = SimRng::new(3);
+        let ts = a.generate(SimTime(100_000), 2, &mut rng);
+        assert!(ts[0] > SimTime(100_000));
+    }
+}

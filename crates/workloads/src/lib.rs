@@ -1,0 +1,45 @@
+//! # dvp-workloads — the paper's motivating applications as generators
+//!
+//! The paper motivates DvP with three applications (Sections 1, 3, 8):
+//! airline reservations, banking, and inventory control. This crate turns
+//! each into a deterministic workload generator producing the *same*
+//! inputs for the DvP engine (`dvp_core::ClusterConfig`) and the
+//! traditional baseline (`dvp_baselines::TradClusterConfig`): a catalog of
+//! items plus per-site scripts of `(arrival time, TxnSpec)`.
+//!
+//! Generators are pure functions of their parameters and a seed, so every
+//! experiment row is reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airline;
+pub mod arrivals;
+pub mod banking;
+pub mod inventory;
+pub mod zipf;
+
+pub use airline::AirlineWorkload;
+pub use banking::BankingWorkload;
+pub use inventory::InventoryWorkload;
+pub use zipf::Zipf;
+
+use dvp_core::item::Catalog;
+use dvp_core::txn::TxnSpec;
+use dvp_simnet::time::SimTime;
+
+/// A generated workload: catalog + per-site transaction scripts.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The data items.
+    pub catalog: Catalog,
+    /// `scripts[s]` = arrivals at site `s`.
+    pub scripts: Vec<Vec<(SimTime, TxnSpec)>>,
+}
+
+impl Workload {
+    /// Total number of transactions across all sites.
+    pub fn txn_count(&self) -> usize {
+        self.scripts.iter().map(|s| s.len()).sum()
+    }
+}

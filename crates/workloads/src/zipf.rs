@@ -1,0 +1,124 @@
+//! Zipf-distributed sampling (for skewed site/item popularity).
+//!
+//! Implemented in-crate (no `rand_distr` offline) via a precomputed CDF
+//! and binary search: exact, O(log n) per sample, fine for the sizes
+//! experiments use (tens to thousands of categories).
+
+use dvp_simnet::rng::SimRng;
+
+/// A Zipf(θ) distribution over `0..n`.
+///
+/// `theta = 0` is uniform; larger θ concentrates probability on low
+/// indices (index 0 is the most popular).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution (precomputes the CDF).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one category");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against rounding leaving the last bucket unreachable.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of categories.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Sample an index in `0..n`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of index `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn larger_theta_concentrates_mass() {
+        let z0 = Zipf::new(10, 0.5);
+        let z1 = Zipf::new(10, 2.0);
+        assert!(z1.pmf(0) > z0.pmf(0));
+        assert!(z1.pmf(9) < z0.pmf(9));
+    }
+
+    #[test]
+    fn samples_follow_the_distribution() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = SimRng::new(42);
+        let n = 100_000;
+        let mut counts = [0u64; 5];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let frac = count as f64 / n as f64;
+            assert!(
+                (frac - z.pmf(k)).abs() < 0.01,
+                "k={k}: frac={frac}, pmf={}",
+                z.pmf(k)
+            );
+        }
+        // Monotone decreasing popularity.
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = Zipf::new(100, 1.2);
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn single_category_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = SimRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

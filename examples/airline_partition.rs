@@ -1,0 +1,87 @@
+//! Airline reservations through a network partition — DvP vs 2PC.
+//!
+//! An 8-site reservation system suffers a clean 4/4 partition for half
+//! the run. The same workload is executed by the DvP engine and by a
+//! traditional strict-2PL + 2PC engine over quorum-replicated data.
+//! Watch the commit counts: DvP keeps selling seats in *both* halves
+//! (each site owns a quota); the traditional system can only make
+//! progress where a majority lives — and a 4/4 split has none.
+//!
+//! Run with: `cargo run --example airline_partition`
+
+use dvp::baselines::{TradCluster, TradClusterConfig};
+use dvp::prelude::*;
+use dvp::workloads::AirlineWorkload;
+
+fn ms(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::millis(n)
+}
+
+fn main() {
+    let n = 8;
+    let workload = AirlineWorkload {
+        n_sites: n,
+        flights: 4,
+        seats_per_flight: 10_000,
+        txns: 400,
+        mix: (0.85, 0.15, 0.0, 0.0),
+        ..Default::default()
+    }
+    .generate(7);
+
+    // Partition: sites {0..3} | {4..7} from 500ms to 1500ms.
+    let schedule = PartitionSchedule::fully_connected(n)
+        .split_at(ms(500), &[&[0, 1, 2, 3], &[4, 5, 6, 7]])
+        .heal_at(ms(1500));
+    let horizon = ms(10_000);
+
+    println!("=== 8-site airline, 4/4 partition from 500ms to 1500ms ===\n");
+
+    // ---- DvP ----
+    let mut cfg = ClusterConfig::new(n, workload.catalog.clone());
+    cfg.net = NetworkConfig::reliable().with_partitions(schedule.clone());
+    cfg.scripts = workload.scripts.clone();
+    let mut dvp = Cluster::build(cfg);
+    dvp.run_until(horizon);
+    dvp.auditor().check_conservation().expect("conservation");
+    let dm = dvp.metrics();
+
+    // ---- traditional 2PC over quorum-replicated data ----
+    let mut cfg = TradClusterConfig::new(n, workload.catalog.clone());
+    cfg.net = NetworkConfig::reliable().with_partitions(schedule);
+    cfg.scripts = workload.scripts.clone();
+    let mut trad = TradCluster::build(cfg);
+    trad.run_until(horizon);
+    let tm = trad.metrics();
+
+    println!("                          DvP        2PC+quorum");
+    println!(
+        "committed                 {:<10} {}",
+        dm.committed(),
+        tm.committed()
+    );
+    println!(
+        "aborted                   {:<10} {}",
+        dm.aborted(),
+        tm.aborted()
+    );
+    println!(
+        "commit ratio              {:<10.1} {:.1}",
+        dm.commit_ratio() * 100.0,
+        tm.commit_ratio() * 100.0
+    );
+    let dvp_window = format!("{:.0}ms", dm.decision_latency_percentile(100.0) as f64 / 1000.0);
+    let trad_window = format!("{:.0}ms", tm.max_blocking_us(trad.sim.now()) as f64 / 1000.0);
+    println!("worst decision window     {dvp_window:<10} {trad_window}");
+    println!(
+        "still blocked at end      {:<10} {}",
+        0,
+        tm.still_blocked()
+    );
+
+    println!("\nDvP kept both halves selling seats from their local quotas;");
+    println!("2PC could not assemble a majority in either half and, worse,");
+    println!("participants caught mid-commit stayed blocked until healing.");
+
+    assert!(dm.commit_ratio() > tm.commit_ratio());
+}

@@ -1,0 +1,97 @@
+//! Checkpoint-equivalence property: for any workload prefix, any crash
+//! point, and any checkpoint cadence, a site that recovers *through a
+//! checkpoint* must end in exactly the state a checkpoint-free site
+//! reaches — checkpoints are an optimization, never a semantic change.
+
+use dvp::prelude::*;
+use dvp::workloads::AirlineWorkload;
+use proptest::prelude::*;
+
+fn ms(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::millis(n)
+}
+
+fn run(
+    seed: u64,
+    checkpoint_every: Option<usize>,
+    crash_site: usize,
+    crash_ms: u64,
+    down_ms: u64,
+) -> (u64, Vec<Vec<u64>>) {
+    let w = AirlineWorkload {
+        n_sites: 4,
+        flights: 2,
+        seats_per_flight: 2_000,
+        txns: 60,
+        site_skew: 1.0, // some skew => donations => Vm state in checkpoints
+        mix: (0.7, 0.2, 0.05, 0.05),
+        ..Default::default()
+    }
+    .generate(seed);
+    let mut cfg = ClusterConfig::new(4, w.catalog.clone());
+    cfg.scripts = w.scripts.clone();
+    cfg.seed = seed;
+    cfg.site.checkpoint_every = checkpoint_every;
+    cfg.faults = FaultPlan::none()
+        .crash(ms(crash_ms), crash_site)
+        .recover(ms(crash_ms + down_ms), crash_site);
+    let mut cl = Cluster::build(cfg);
+    cl.run_until(ms(60_000));
+    cl.auditor().check_conservation().unwrap();
+    let frags: Vec<Vec<u64>> = (0..4)
+        .map(|s| cl.sim.node(s).fragments().snapshot())
+        .collect();
+    (cl.metrics().committed(), frags)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn checkpointing_never_changes_outcomes(
+        seed in any::<u64>(),
+        cadence in 1usize..40,
+        crash_site in 0usize..4,
+        crash_ms in 5u64..400,
+        down_ms in 10u64..200,
+    ) {
+        let plain = run(seed, None, crash_site, crash_ms, down_ms);
+        let ckpt = run(seed, Some(cadence), crash_site, crash_ms, down_ms);
+        prop_assert_eq!(plain.0, ckpt.0, "commit counts must match");
+        prop_assert_eq!(&plain.1, &ckpt.1, "final fragments must match");
+    }
+}
+
+/// Checkpoints also compose with *repeated* crashes of the same site.
+#[test]
+fn repeated_crashes_through_checkpoints() {
+    let w = AirlineWorkload {
+        n_sites: 3,
+        flights: 1,
+        seats_per_flight: 3_000,
+        txns: 80,
+        site_skew: 1.5,
+        mix: (0.8, 0.2, 0.0, 0.0),
+        ..Default::default()
+    }
+    .generate(99);
+    let mut cfg = ClusterConfig::new(3, w.catalog.clone());
+    cfg.scripts = w.scripts.clone();
+    cfg.site.checkpoint_every = Some(5); // checkpoint very frequently
+    cfg.faults = FaultPlan::none()
+        .crash(ms(50), 1)
+        .recover(ms(80), 1)
+        .crash(ms(150), 1)
+        .recover(ms(200), 1)
+        .crash(ms(260), 2)
+        .recover(ms(310), 2);
+    let mut cl = Cluster::build(cfg);
+    cl.run_until(ms(60_000));
+    cl.auditor().check_conservation().unwrap();
+    let m = cl.metrics();
+    assert_eq!(m.sites[1].recoveries, 2);
+    assert_eq!(m.sites[2].recoveries, 1);
+    assert!(m.sites.iter().map(|s| s.checkpoints).sum::<u64>() > 5);
+    // The log of the frequently-checkpointing hot site stays small.
+    assert!(cl.sim.node(0).log().stable_len() <= 10);
+}

@@ -1,0 +1,127 @@
+//! Property tests for the Section 4.1 algebra: monoid laws for every
+//! domain instance, grouping invariance of Π (the "partitionable
+//! property"), and commutation of partitionable operators applied to
+//! disjoint portions.
+
+use dvp::core::domain::{BagUnion, Domain, MaxMark, Multiset, PartitionableOp, SumQty};
+use dvp::core::ops::{Decr, Incr};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sum_monoid_laws(a in 0u64..1<<40, b in 0u64..1<<40, c in 0u64..1<<40) {
+        prop_assert_eq!(SumQty::combine(&a, &SumQty::empty()), a);
+        prop_assert_eq!(SumQty::combine(&a, &b), SumQty::combine(&b, &a));
+        prop_assert_eq!(
+            SumQty::combine(&a, &SumQty::combine(&b, &c)),
+            SumQty::combine(&SumQty::combine(&a, &b), &c)
+        );
+    }
+
+    #[test]
+    fn max_monoid_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        prop_assert_eq!(MaxMark::combine(&a, &MaxMark::empty()), a);
+        prop_assert_eq!(MaxMark::combine(&a, &b), MaxMark::combine(&b, &a));
+        prop_assert_eq!(
+            MaxMark::combine(&a, &MaxMark::combine(&b, &c)),
+            MaxMark::combine(&MaxMark::combine(&a, &b), &c)
+        );
+    }
+
+    #[test]
+    fn bag_monoid_laws(
+        a in proptest::collection::btree_map(0u64..8, 1u64..5, 0..4),
+        b in proptest::collection::btree_map(0u64..8, 1u64..5, 0..4),
+        c in proptest::collection::btree_map(0u64..8, 1u64..5, 0..4),
+    ) {
+        let a: BTreeMap<u64, u64> = a;
+        prop_assert_eq!(BagUnion::combine(&a, &BagUnion::empty()), a.clone());
+        prop_assert_eq!(BagUnion::combine(&a, &b), BagUnion::combine(&b, &a));
+        prop_assert_eq!(
+            BagUnion::combine(&a, &BagUnion::combine(&b, &c)),
+            BagUnion::combine(&BagUnion::combine(&a, &b), &c)
+        );
+    }
+
+    /// The partitionable property: however Π⁻¹(d) is grouped, collapsing
+    /// groups through Π leaves d unchanged.
+    #[test]
+    fn grouping_invariance(
+        elems in proptest::collection::vec(0u64..1000, 1..40),
+        parts in 1usize..8,
+    ) {
+        let m = Multiset::<SumQty>::from_elems(elems);
+        let groups = m.group_round_robin(parts);
+        let collapsed = Multiset::collapse_groups(&groups);
+        prop_assert_eq!(collapsed.pi(), m.pi());
+    }
+
+    /// f(Π(b)) = Π(b with f effectively applied to one element).
+    #[test]
+    fn op_commutes_with_pi(
+        elems in proptest::collection::vec(0u64..1000, 1..20),
+        idx in 0usize..20,
+        amount in 0u64..1500,
+        incr in any::<bool>(),
+    ) {
+        let idx = idx % elems.len();
+        let mut m = Multiset::<SumQty>::from_elems(elems);
+        let before = m.pi();
+        if incr {
+            let f = Incr(amount);
+            prop_assert!(m.apply_at(idx, &f));
+            prop_assert_eq!(m.pi(), f.apply(&before).unwrap());
+        } else {
+            let f = Decr(amount);
+            let effective = m.apply_at(idx, &f);
+            if effective {
+                // Effective at the element ⇒ same change at the whole.
+                prop_assert_eq!(m.pi(), before - amount);
+            } else {
+                // Ineffective ⇒ no-operation on the whole.
+                prop_assert_eq!(m.pi(), before);
+            }
+        }
+    }
+
+    /// Two partitionable operators applied to separate portions commute:
+    /// g(h(d)) = h(g(d)).
+    #[test]
+    fn disjoint_ops_commute(
+        base in proptest::collection::vec(5u64..1000, 2..20),
+        i in 0usize..20,
+        j in 0usize..20,
+        add in 0u64..100,
+        sub in 0u64..5,
+    ) {
+        let n = base.len();
+        let (i, j) = (i % n, j % n);
+        prop_assume!(i != j);
+        let run = |first_i: bool| {
+            let mut m = Multiset::<SumQty>::from_elems(base.clone());
+            if first_i {
+                assert!(m.apply_at(i, &Incr(add)));
+                assert!(m.apply_at(j, &Decr(sub)));
+            } else {
+                assert!(m.apply_at(j, &Decr(sub)));
+                assert!(m.apply_at(i, &Incr(add)));
+            }
+            m.pi()
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}
+
+/// A redistribution (moving value between elements) never changes Π.
+#[test]
+fn redistribution_preserves_pi() {
+    let mut m = Multiset::<SumQty>::from_elems(vec![30, 10, 0, 60]);
+    let before = m.pi();
+    // Move 25 from element 3 to element 2 (a Vm in miniature).
+    assert!(m.apply_at(3, &Decr(25)));
+    assert!(m.apply_at(2, &Incr(25)));
+    assert_eq!(m.pi(), before);
+}

@@ -1,0 +1,117 @@
+//! Pinned regression scenarios: bugs the property tests once caught, kept
+//! as deterministic tests so they can never come back.
+
+use dvp::prelude::*;
+use dvp::workloads::InventoryWorkload;
+
+/// **Stale lease-timer release.**
+///
+/// Found by `tests/serializability.rs` (proptest seed
+/// `17429861443655363711`): a donor's read-lease expiry timer was not
+/// cancelled when the lease was released early by the reader's
+/// `ReleaseLease` message. When a *second* read later leased the same
+/// item at the same donor, the stale timer from the first lease fired and
+/// released the second lease. A local restock then slipped in mid-read on
+/// the fast path, and the committed read missed its value (returned 976,
+/// truth 1026).
+///
+/// The fix tracks the live lease timer per item and ignores firings whose
+/// `TimerId` does not match.
+#[test]
+fn stale_lease_timer_cannot_release_a_newer_lease() {
+    let seed = 17429861443655363711u64;
+    let w = InventoryWorkload {
+        txns: 50,
+        ..Default::default()
+    }
+    .generate(seed);
+    let mut cfg = ClusterConfig::new(w.scripts.len(), w.catalog.clone());
+    cfg.scripts = w.scripts.clone();
+    cfg.seed = seed;
+    cfg.site.conc = ConcMode::Conc2;
+    cfg.net = NetworkConfig::synchronous_ordered(SimDuration::millis(2));
+    let mut cl = Cluster::build(cfg);
+    cl.run_until(SimTime::ZERO + SimDuration::secs(120));
+    cl.auditor().check_conservation().unwrap();
+    let m = cl.metrics();
+    cl.auditor()
+        .check_reads(&m)
+        .expect("every committed read must be exact");
+}
+
+/// **The read-drain gate is load-bearing.**
+///
+/// Section 5 requires a donor with outstanding Vms for an item to refuse
+/// read solicitations ("the fact that no outstanding Vm is there assures
+/// that the complete Π⁻¹(d) is procured"). This test shows the rule is
+/// not mere caution: with the gate ablated away, a committed read
+/// silently misses the value riding a slow in-flight Vm.
+///
+/// Scenario (3 sites, item split 34/33/33, link 2→1 delayed 300ms):
+///  t=1ms   site 1 reserves 50 — deficit 17 — solicits site 2 (fanout 1);
+///          site 2 ships a 17-unit Vm onto the slow link and now has an
+///          outstanding Vm for the item;
+///  t=51ms  site 1's reservation times out and aborts (Vm still in air);
+///  t=60ms  site 0 runs a full-value read.
+/// With the gate: site 2 refuses, the read aborts — no wrong answer.
+/// Without: site 2 donates its remaining 16, the read commits 34+33+16=83
+/// while the truth is 100 (17 still in flight toward site 1).
+#[test]
+fn ablating_the_read_drain_gate_breaks_read_exactness() {
+    fn ms(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::millis(n)
+    }
+    let run = |skip_gate: bool| {
+        let mut catalog = Catalog::new();
+        let item = catalog.add("pool", 100, Split::Even); // 34/33/33
+        let mut cfg = ClusterConfig::new(3, catalog);
+        cfg.site.fanout = Fanout::One;
+        cfg.site.unsafe_skip_read_drain_gate = skip_gate;
+        // The 2→1 data path crawls; everything else is normal, so the
+        // Vm's acks and retransmissions do not resolve it quickly.
+        cfg.net = NetworkConfig::reliable().with_link(
+            2,
+            1,
+            LinkConfig {
+                delay_min: SimDuration::millis(300),
+                delay_max: SimDuration::millis(300),
+                loss: 0.0,
+                duplicate: 0.0,
+            },
+        );
+        let cfg = cfg
+            .at(1, ms(1), TxnSpec::reserve(item, 50))
+            .at(0, ms(60), TxnSpec::read(item));
+        let mut cl = Cluster::build(cfg);
+        cl.run_until(ms(5_000));
+        cl.auditor().check_conservation().unwrap();
+        let m = cl.metrics();
+        (m.clone(), cl.auditor().check_reads(&m).is_ok())
+    };
+
+    // With the gate (the paper's rule): the read cannot certify
+    // quiescence and aborts; whatever committed is exact.
+    let (m_safe, reads_ok) = run(false);
+    assert!(reads_ok, "with the gate every committed read is exact");
+    let read_committed = m_safe
+        .global_commit_order()
+        .iter()
+        .any(|e| !e.reads.is_empty());
+    assert!(
+        !read_committed,
+        "the read must abort while value is in flight"
+    );
+
+    // Without the gate: the read commits a wrong total.
+    let (m_unsafe, reads_ok) = run(true);
+    let read_vals: Vec<u64> = m_unsafe
+        .global_commit_order()
+        .iter()
+        .flat_map(|e| e.reads.iter().map(|&(_, v)| v))
+        .collect();
+    assert_eq!(read_vals, vec![83], "the gateless read misses in-flight value");
+    assert!(
+        !reads_ok,
+        "check_reads must flag the miss — the §5 rule is load-bearing"
+    );
+}

@@ -1,0 +1,133 @@
+//! Targeted tests for specific site-protocol paths that the broader
+//! scenario tests exercise only incidentally.
+
+use dvp::prelude::*;
+
+fn ms(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::millis(n)
+}
+
+fn seats(total: u64, n: usize) -> (Catalog, ItemId) {
+    let _ = n;
+    let mut c = Catalog::new();
+    let id = c.add("pool", total, Split::Even);
+    (c, id)
+}
+
+/// `Fanout::One` rotates donors round-robin across successive
+/// solicitations, spreading the drain instead of hammering one peer.
+#[test]
+fn fanout_one_rotates_across_donors() {
+    let (catalog, item) = seats(4_000, 4); // 1000 per site
+    let mut cfg = ClusterConfig::new(4, catalog);
+    cfg.site.fanout = Fanout::One;
+    cfg.site.refill = RefillPolicy::DemandExact;
+    // Site 0 sells its pool one quota at a time, far apart in time: the
+    // first reservation is covered locally; the second and third each
+    // drain site 0 and must solicit one donor.
+    for k in 0..3u64 {
+        cfg = cfg.at(0, ms(1 + k * 200), TxnSpec::reserve(item, 1_000));
+    }
+    let mut cl = Cluster::build(cfg);
+    cl.run_to_quiescence();
+    let m = cl.metrics();
+    assert_eq!(m.committed(), 3);
+    cl.auditor().check_conservation().unwrap();
+    // Round-robin: the two solicitations hit two *different* donors.
+    assert_eq!(m.sites[1].donations, 1, "first solicitation goes to site 1");
+    assert_eq!(m.sites[2].donations, 1, "second rotates to site 2");
+    assert_eq!(m.sites[3].donations, 0, "site 3 was never reached");
+    assert_eq!(m.sites[0].fast_path_commits, 1, "first sale was local");
+}
+
+/// Under Conc2, a waiter whose transaction timed out while queued is
+/// skipped when the lock frees — the queue cannot hand a lock to a ghost.
+#[test]
+fn conc2_skips_timed_out_waiters() {
+    let (catalog, item) = seats(100, 2);
+    let mut cfg = ClusterConfig::new(2, catalog);
+    cfg.site.conc = ConcMode::Conc2;
+    cfg.net = NetworkConfig::synchronous_ordered(SimDuration::millis(2));
+    // T1 at site 0 needs solicitation (quota 50, wants 80) but site 1
+    // refuses nothing — T1 holds the lock from t=1 until commit (~5ms).
+    // T2 (t=2) and T3 (t=3) queue behind it. T2/T3 want more than exists
+    // and will wait out their timeouts in the queue or in solicitation.
+    let cfg = cfg
+        .at(0, ms(1), TxnSpec::reserve(item, 80))
+        .at(0, ms(2), TxnSpec::reserve(item, 500)) // can never be satisfied
+        .at(0, ms(3), TxnSpec::reserve(item, 10)); // satisfiable once granted
+    let mut cl = Cluster::build(cfg);
+    cl.run_to_quiescence();
+    let m = cl.metrics();
+    cl.auditor().check_conservation().unwrap();
+    // T1 commits; T2 aborts (insufficient value → timeout); T3 must still
+    // get the lock after T2's ghost is skipped, and commits.
+    assert_eq!(m.committed(), 2, "T1 and T3 commit");
+    assert_eq!(m.aborted_for(AbortReason::Timeout), 1, "T2 times out");
+    let total: u64 = (0..2).map(|s| cl.sim.node(s).fragments().get(item)).sum();
+    assert_eq!(total, 100 - 80 - 10);
+}
+
+/// If the explicit `ReleaseLease` message is lost, the lease-timer
+/// fallback still frees the donor's item — availability degrades for one
+/// lease span, never forever.
+#[test]
+fn lease_timer_fallback_frees_item_when_release_is_lost() {
+    let (catalog, item) = seats(100, 2);
+    let mut cfg = ClusterConfig::new(2, catalog);
+    // Drop everything site 0 sends to site 1 *after* the read completes:
+    // simplest deterministic approximation is a one-way dead link from
+    // t=0 — site 1 then never hears the request... so instead kill only
+    // the reverse path the ReleaseLease takes by partitioning right after
+    // the grant arrives at site 0.
+    let sched = PartitionSchedule::fully_connected(2)
+        .split_at(ms(6), &[&[0], &[1]]) // grant (≈5ms) got through; release won't
+        .heal_at(ms(400));
+    cfg.net = NetworkConfig {
+        default_link: LinkConfig::reliable_fixed(SimDuration::millis(2)),
+        ..Default::default()
+    }
+    .with_partitions(sched);
+    let cfg = cfg
+        .at(0, ms(1), TxnSpec::read(item)) // leases site 1's fragment
+        // Local work at site 1 during the lease: a deposit needs no
+        // solicitation, so only the lease can stop it (Conc1 ⇒
+        // lock-conflict abort while leased)...
+        .at(1, ms(50), TxnSpec::release(item, 5))
+        // ...and the same deposit succeeds once the 100ms lease expires
+        // on its own — despite the lost ReleaseLease and the partition.
+        .at(1, ms(150), TxnSpec::release(item, 5));
+    let mut cl = Cluster::build(cfg);
+    cl.run_to_quiescence();
+    let m = cl.metrics();
+    cl.auditor().check_conservation().unwrap();
+    cl.auditor().check_reads(&m).unwrap();
+    // The read committed (grant arrived before the partition).
+    let reads: Vec<u64> = m
+        .global_commit_order()
+        .iter()
+        .flat_map(|e| e.reads.iter().map(|&(_, v)| v))
+        .collect();
+    assert_eq!(reads, vec![100]);
+    // The 50ms reservation hit the lease (lock conflict); the 150ms one
+    // committed because the timer fallback freed the item.
+    assert_eq!(m.aborted_for(AbortReason::LockConflict), 1);
+    assert_eq!(m.committed(), 2, "read + post-expiry reservation");
+}
+
+/// Retries never extend the decision bound: even with the maximum retry
+/// count, an unsatisfiable transaction still decides within the timeout.
+#[test]
+fn retries_do_not_extend_the_decision_bound() {
+    let (catalog, item) = seats(100, 2);
+    let mut cfg = ClusterConfig::new(2, catalog);
+    cfg.site.solicit_retries = 8;
+    let cfg = cfg.at(0, ms(1), TxnSpec::reserve(item, 1_000)); // impossible
+    let mut cl = Cluster::build(cfg);
+    cl.run_to_quiescence();
+    let m = cl.metrics();
+    assert_eq!(m.aborted_for(AbortReason::Timeout), 1);
+    let bound = cl.sim.node(0).config().txn_timeout.as_micros() + 1_000;
+    assert!(m.sites[0].abort_latency_us.iter().all(|&l| l <= bound));
+    cl.auditor().check_conservation().unwrap();
+}

@@ -1,0 +1,207 @@
+//! Property tests for the Virtual Message layer: under an adversarial
+//! network (arbitrary loss, duplication, and batching of frames), every
+//! created Vm is accepted exactly once and eventually completes, and the
+//! total transferred amount is conserved.
+
+use bytes::Bytes;
+use dvp::vmsg::{Frame, Receipt, VmConfig, VmEndpoint};
+use proptest::prelude::*;
+
+/// One adversarial step applied to the channel between two endpoints.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Sender mints a Vm carrying `amount`.
+    Create(u8),
+    /// Deliver up to `n` queued frames sender→receiver, dropping each
+    /// with the given mask bit and duplicating with the dup mask bit.
+    DeliverToReceiver { n: u8, drop_mask: u8, dup_mask: u8 },
+    /// Deliver queued frames receiver→sender (acks), with loss.
+    DeliverToSender { n: u8, drop_mask: u8 },
+    /// Sender retransmission timer fires.
+    Tick,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u8..20).prop_map(Step::Create),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(n, drop_mask, dup_mask)| {
+            Step::DeliverToReceiver {
+                n: n % 8,
+                drop_mask,
+                dup_mask,
+            }
+        }),
+        (any::<u8>(), any::<u8>()).prop_map(|(n, drop_mask)| Step::DeliverToSender {
+            n: n % 8,
+            drop_mask
+        }),
+        Just(Step::Tick),
+    ]
+}
+
+#[derive(Default)]
+struct Wire {
+    to_receiver: Vec<Frame>,
+    to_sender: Vec<Frame>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn adversarial_schedules_never_lose_or_double_value(
+        steps in proptest::collection::vec(step_strategy(), 1..120)
+    ) {
+        let cfg = VmConfig { window: 4, eager_acks: true };
+        let mut sender = VmEndpoint::new(0, cfg);
+        let mut receiver = VmEndpoint::new(1, cfg);
+        let mut wire = Wire::default();
+        let mut created_total: u64 = 0;
+        let mut accepted_total: u64 = 0;
+
+        let run_step = |step: &Step,
+                            sender: &mut VmEndpoint,
+                            receiver: &mut VmEndpoint,
+                            wire: &mut Wire,
+                            created_total: &mut u64,
+                            accepted_total: &mut u64| {
+            match step {
+                Step::Create(amount) => {
+                    let _op = sender.create(1, Bytes::from(vec![*amount]));
+                    *created_total += *amount as u64;
+                }
+                Step::DeliverToReceiver { n, drop_mask, dup_mask } => {
+                    for (to, f) in sender.drain_outbox() {
+                        assert_eq!(to, 1);
+                        wire.to_receiver.push(f);
+                    }
+                    for k in 0..(*n as usize).min(wire.to_receiver.len()) {
+                        if wire.to_receiver.is_empty() { break; }
+                        let f = wire.to_receiver.remove(0);
+                        let _ = k;
+                        let copies = if dup_mask & (1 << (k % 8)) != 0 { 2 } else { 1 };
+                        if drop_mask & (1 << (k % 8)) != 0 {
+                            continue; // lost
+                        }
+                        for _ in 0..copies {
+                            if let Receipt::Fresh { seq, payload } = receiver.on_frame(0, f.clone()) {
+                                *accepted_total += payload[0] as u64;
+                                receiver.commit_accept(0, seq);
+                            }
+                        }
+                    }
+                }
+                Step::DeliverToSender { n, drop_mask } => {
+                    for (to, f) in receiver.drain_outbox() {
+                        assert_eq!(to, 0);
+                        wire.to_sender.push(f);
+                    }
+                    for k in 0..(*n as usize) {
+                        if wire.to_sender.is_empty() { break; }
+                        let f = wire.to_sender.remove(0);
+                        if drop_mask & (1 << (k % 8)) != 0 {
+                            continue;
+                        }
+                        sender.on_frame(1, f);
+                    }
+                }
+                Step::Tick => sender.tick(),
+            }
+        };
+
+        for step in &steps {
+            run_step(step, &mut sender, &mut receiver, &mut wire,
+                     &mut created_total, &mut accepted_total);
+        }
+
+        // Invariant during the run: never accept more than was created.
+        prop_assert!(accepted_total <= created_total);
+
+        // Drain to quiescence over a reliable network: everything created
+        // must complete ("a Vm is never lost").
+        for _ in 0..2048 {
+            if !sender.has_outstanding() && wire.to_receiver.is_empty() && wire.to_sender.is_empty() {
+                break;
+            }
+            run_step(&Step::Tick, &mut sender, &mut receiver, &mut wire,
+                     &mut created_total, &mut accepted_total);
+            run_step(&Step::DeliverToReceiver { n: 7, drop_mask: 0, dup_mask: 0 },
+                     &mut sender, &mut receiver, &mut wire,
+                     &mut created_total, &mut accepted_total);
+            run_step(&Step::DeliverToSender { n: 7, drop_mask: 0 },
+                     &mut sender, &mut receiver, &mut wire,
+                     &mut created_total, &mut accepted_total);
+        }
+        prop_assert!(!sender.has_outstanding(), "all Vms must complete");
+        prop_assert_eq!(accepted_total, created_total,
+            "exactly-once acceptance of every created amount");
+        prop_assert_eq!(sender.stats().created, receiver.stats().accepted);
+    }
+
+    /// Crash-and-replay at arbitrary points preserves exactly-once
+    /// semantics: the receiver's durable cursor dedups retransmissions,
+    /// the sender's durable Created ops resume retransmission.
+    #[test]
+    fn crash_replay_preserves_exactly_once(
+        amounts in proptest::collection::vec(1u8..20, 1..12),
+        crash_sender_at in 0usize..12,
+        crash_receiver_at in 0usize..12,
+    ) {
+        let cfg = VmConfig { window: 8, eager_acks: true };
+        let mut sender = VmEndpoint::new(0, cfg);
+        let mut receiver = VmEndpoint::new(1, cfg);
+        let mut sender_log = Vec::new();   // durable Created ops
+        let mut receiver_log = Vec::new(); // durable Accepted ops
+        let mut accepted_total = 0u64;
+        let created_total: u64 = amounts.iter().map(|&a| a as u64).sum();
+
+        for (i, &a) in amounts.iter().enumerate() {
+            sender_log.push(sender.create(1, Bytes::from(vec![a])));
+
+            if i == crash_sender_at {
+                sender.crash_reset();
+                for op in &sender_log {
+                    sender.replay(op);
+                }
+            }
+            if i == crash_receiver_at {
+                receiver.crash_reset();
+                for op in &receiver_log {
+                    receiver.replay(op);
+                }
+            }
+
+            // A lossy delivery round (arbitrarily drop every other frame).
+            for (k, (_, f)) in sender.drain_outbox().into_iter().enumerate() {
+                if k % 2 == 0 {
+                    if let Receipt::Fresh { seq, payload } = receiver.on_frame(0, f) {
+                        accepted_total += payload[0] as u64;
+                        receiver_log.push(receiver.commit_accept(0, seq));
+                    }
+                }
+            }
+            for (_, f) in receiver.drain_outbox() {
+                sender.on_frame(1, f);
+            }
+        }
+
+        // Reliable drain to quiescence.
+        for _ in 0..1024 {
+            if !sender.has_outstanding() {
+                break;
+            }
+            sender.tick();
+            for (_, f) in sender.drain_outbox() {
+                if let Receipt::Fresh { seq, payload } = receiver.on_frame(0, f) {
+                    accepted_total += payload[0] as u64;
+                    receiver_log.push(receiver.commit_accept(0, seq));
+                }
+            }
+            for (_, f) in receiver.drain_outbox() {
+                sender.on_frame(1, f);
+            }
+        }
+        prop_assert!(!sender.has_outstanding());
+        prop_assert_eq!(accepted_total, created_total);
+    }
+}
