@@ -186,7 +186,9 @@ enum CoordPhase {
     /// 3PC only: pre-commits sent, awaiting pre-acks.
     PreCommitting,
     /// Decision made; still pushing it to participants.
-    Deciding { commit: bool },
+    Deciding {
+        commit: bool,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -252,7 +254,13 @@ pub struct TradNode {
 
 impl TradNode {
     /// Build a site holding full replicas of every item.
-    pub fn new(id: NodeId, n: usize, cfg: TradConfig, totals: Vec<u64>, script: Vec<TxnSpec>) -> Self {
+    pub fn new(
+        id: NodeId,
+        n: usize,
+        cfg: TradConfig,
+        totals: Vec<u64>,
+        script: Vec<TxnSpec>,
+    ) -> Self {
         let mut log = StableLog::new();
         for (i, &v) in totals.iter().enumerate() {
             log.append(TradRecord::Init {
@@ -289,11 +297,8 @@ impl TradNode {
     /// Metrics snapshot, with currently open in-doubt windows attached.
     pub fn metrics(&self) -> TradMetrics {
         let mut m = self.metrics.clone();
-        m.in_doubt_open_since.extend(
-            self.part
-                .values()
-                .filter_map(|p| p.in_doubt_since),
-        );
+        m.in_doubt_open_since
+            .extend(self.part.values().filter_map(|p| p.in_doubt_since));
         m
     }
 
@@ -505,7 +510,10 @@ impl TradNode {
 
     /// Force the commit decision and announce it (with retries).
     fn decide_commit(&mut self, ts: Ts, ctx: &mut Context<'_, TradMsg>) {
-        self.log.append(TradRecord::Decision { txn: ts, commit: true });
+        self.log.append(TradRecord::Decision {
+            txn: ts,
+            commit: true,
+        });
         self.log.force();
         self.decisions.insert(ts, true);
         let (writers, started) = {
@@ -516,7 +524,14 @@ impl TradNode {
             (c.writers.clone(), c.started)
         };
         for site in writers {
-            self.send(ctx, site, TradBody::Decision { txn: ts, commit: true });
+            self.send(
+                ctx,
+                site,
+                TradBody::Decision {
+                    txn: ts,
+                    commit: true,
+                },
+            );
         }
         ctx.set_timer(self.cfg.retry_every, TAG_DECISION_RETRY | ts.0);
         // Commit is decided now; report it now.
@@ -625,7 +640,14 @@ impl TradNode {
                     self.send(ctx, *site, TradBody::ReleaseLocks { txn: ts });
                 }
                 _ => {
-                    self.send(ctx, *site, TradBody::Decision { txn: ts, commit: false });
+                    self.send(
+                        ctx,
+                        *site,
+                        TradBody::Decision {
+                            txn: ts,
+                            commit: false,
+                        },
+                    );
                 }
             }
         }
@@ -666,7 +688,13 @@ impl TradNode {
         }
     }
 
-    fn track_part(&mut self, ts: Ts, coordinator: NodeId, item: ItemId, ctx: &mut Context<'_, TradMsg>) {
+    fn track_part(
+        &mut self,
+        ts: Ts,
+        coordinator: NodeId,
+        item: ItemId,
+        ctx: &mut Context<'_, TradMsg>,
+    ) {
         let newly = !self.part.contains_key(&ts);
         let p = self.part.entry(ts).or_insert_with(|| PartTxn {
             coordinator,
@@ -713,7 +741,14 @@ impl TradNode {
             .unwrap_or(false);
         if !holds_all {
             // We released (unprepared timeout) or never knew it: vote NO.
-            self.send(ctx, from, TradBody::Vote { txn: ts, yes: false });
+            self.send(
+                ctx,
+                from,
+                TradBody::Vote {
+                    txn: ts,
+                    yes: false,
+                },
+            );
             return;
         }
         self.log.append(TradRecord::Prepared {
@@ -735,7 +770,10 @@ impl TradNode {
         self.metrics.in_doubt_entered += 1;
         self.send(ctx, from, TradBody::Vote { txn: ts, yes: true });
         // Start querying if the decision does not arrive.
-        ctx.set_timer(self.cfg.retry_every.saturating_mul(2), TAG_QUERY_RETRY | ts.0);
+        ctx.set_timer(
+            self.cfg.retry_every.saturating_mul(2),
+            TAG_QUERY_RETRY | ts.0,
+        );
     }
 
     fn on_decision(&mut self, from: NodeId, ts: Ts, commit: bool, ctx: &mut Context<'_, TradMsg>) {
@@ -814,7 +852,14 @@ impl TradNode {
                     // Still deciding: stay silent; the querier will retry.
                 } else {
                     // Presumed abort: no record, not active ⇒ abort.
-                    self.send(ctx, from, TradBody::Decision { txn: ts, commit: false });
+                    self.send(
+                        ctx,
+                        from,
+                        TradBody::Decision {
+                            txn: ts,
+                            commit: false,
+                        },
+                    );
                 }
             }
         }
@@ -909,7 +954,12 @@ impl Node for TradNode {
                 let info = self.part.get_mut(&ts).and_then(|p| {
                     if p.prepared_writes.is_some() {
                         p.term_attempts += 1;
-                        Some((p.coordinator, p.peers.clone(), p.precommitted, p.term_attempts))
+                        Some((
+                            p.coordinator,
+                            p.peers.clone(),
+                            p.precommitted,
+                            p.term_attempts,
+                        ))
                     } else {
                         None
                     }
@@ -952,11 +1002,7 @@ impl Node for TradNode {
     fn on_crash(&mut self) {
         self.log.crash();
         for (_, _c) in std::mem::take(&mut self.coord) {
-            *self
-                .metrics
-                .aborted
-                .entry(TradAbort::Crashed)
-                .or_insert(0) += 1;
+            *self.metrics.aborted.entry(TradAbort::Crashed).or_insert(0) += 1;
         }
         self.part.clear();
         self.decisions.clear();
@@ -1032,12 +1078,11 @@ impl Node for TradNode {
                 },
             );
             self.metrics.recovery_remote_messages += 1;
-            self.send(
-                ctx,
-                coordinator as usize,
-                TradBody::DecisionQuery { txn },
+            self.send(ctx, coordinator as usize, TradBody::DecisionQuery { txn });
+            ctx.set_timer(
+                self.cfg.retry_every.saturating_mul(2),
+                TAG_QUERY_RETRY | txn.0,
             );
-            ctx.set_timer(self.cfg.retry_every.saturating_mul(2), TAG_QUERY_RETRY | txn.0);
         }
         if blocked {
             self.metrics.recoveries_blocked += 1;
@@ -1109,8 +1154,10 @@ impl TradCluster {
         let totals: Vec<u64> = cfg.catalog.items().iter().map(|d| d.total).collect();
         let nodes: Vec<TradNode> = (0..n)
             .map(|s| {
-                let script: Vec<TxnSpec> =
-                    cfg.scripts[s].iter().map(|(_, spec)| spec.clone()).collect();
+                let script: Vec<TxnSpec> = cfg.scripts[s]
+                    .iter()
+                    .map(|(_, spec)| spec.clone())
+                    .collect();
                 TradNode::new(s, n, cfg.trad, totals.clone(), script)
             })
             .collect();

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dvp_bench::run_dvp;
-use dvp_core::{FaultPlan, Fanout, RefillPolicy, SiteConfig};
+use dvp_core::{Fanout, FaultPlan, RefillPolicy, SiteConfig};
 use dvp_simnet::network::NetworkConfig;
 use dvp_simnet::time::{SimDuration, SimTime};
 use dvp_vmsg::VmConfig;

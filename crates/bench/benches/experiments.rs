@@ -6,9 +6,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dvp_baselines::TradConfig;
 use dvp_bench::{run_dvp, run_trad};
-use dvp_core::{FaultPlan, SiteConfig, TxnSpec};
 use dvp_core::item::{Catalog, Split};
 use dvp_core::{Cluster, ClusterConfig};
+use dvp_core::{FaultPlan, SiteConfig, TxnSpec};
 use dvp_simnet::network::NetworkConfig;
 use dvp_simnet::partition::PartitionSchedule;
 use dvp_simnet::time::{SimDuration, SimTime};
@@ -55,7 +55,8 @@ fn bench_end_to_end(c: &mut Criterion) {
             )
         })
     });
-    let sched = PartitionSchedule::fully_connected(4).split_at(SimTime(50_000), &[&[0, 1], &[2, 3]]);
+    let sched =
+        PartitionSchedule::fully_connected(4).split_at(SimTime(50_000), &[&[0, 1], &[2, 3]]);
     g.bench_function("dvp_airline_100txn_partitioned", |b| {
         b.iter(|| {
             run_dvp(

@@ -7,6 +7,7 @@
 //!
 //! Sweep: cluster size n. Metrics: messages per read, read latency.
 
+use crate::sweep::sweep;
 use crate::table::{ms, Table};
 use crate::Scale;
 use dvp_baselines::{Placement, TradCluster, TradClusterConfig, TradConfig};
@@ -90,11 +91,11 @@ pub fn run(scale: Scale) -> Table {
             "primary latency",
         ],
     );
-    for &n in sizes {
+    for row in sweep(sizes.to_vec(), |&n| {
         let (dm, dl) = dvp_read(n);
         let (qm, ql) = trad_read(n, Placement::ReplicatedQuorum);
         let (pm, pl) = trad_read(n, Placement::PrimaryCopy);
-        t.row(vec![
+        vec![
             n.to_string(),
             dm.to_string(),
             ms(dl),
@@ -102,7 +103,9 @@ pub fn run(scale: Scale) -> Table {
             ms(ql),
             pm.to_string(),
             ms(pl),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t
 }

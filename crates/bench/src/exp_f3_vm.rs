@@ -12,6 +12,7 @@
 //! which is why the *commit* ratio sags with loss even though no *value*
 //! is ever lost.
 
+use crate::sweep::sweep;
 use crate::table::{f2, pct, Table};
 use crate::Scale;
 use dvp_core::item::{Catalog, Split};
@@ -36,7 +37,8 @@ pub fn run(scale: Scale) -> Table {
             "frames/Vm",
         ],
     );
-    for loss in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9] {
+    let losses = vec![0.0, 0.1, 0.3, 0.5, 0.7, 0.9];
+    for row in sweep(losses, |&loss| {
         let mut catalog = Catalog::new();
         let item = catalog.add("pool", 1_000_000, Split::AllAt(0));
         let mut cfg = ClusterConfig::new(2, catalog);
@@ -68,13 +70,15 @@ pub fn run(scale: Scale) -> Table {
         } else {
             frames as f64 / completed as f64
         };
-        t.row(vec![
+        vec![
             format!("{loss:.1}"),
             pct(m.commit_ratio()),
             created.to_string(),
             completed.to_string(),
             f2(fpv),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t
 }

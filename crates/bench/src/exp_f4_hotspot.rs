@@ -12,6 +12,7 @@
 //! * DvP-sharded works against a private fragment and steals on
 //!   exhaustion — near-zero shared-state traffic.
 
+use crate::sweep::sweep_serial;
 use crate::table::{f2, Table};
 use crate::Scale;
 use dvp_baselines::escrow::Counter;
@@ -65,7 +66,10 @@ pub fn run(scale: Scale) -> Table {
         "F4: hot-spot throughput, ops/s (real threads; reserve-work-commit)",
         &["threads", "exclusive", "escrow", "dvp-sharded (16)"],
     );
-    for threads in [1usize, 2, 4, 8] {
+    // This experiment measures wall-clock time with its own real threads:
+    // the cells MUST run serially, or concurrent cells would contend for
+    // cores and distort each other's clocks.
+    for row in sweep_serial(vec![1usize, 2, 4, 8], |&threads| {
         let ex = throughput(
             Arc::new(ExclusiveCounter::new(initial)),
             threads,
@@ -77,12 +81,9 @@ pub fn run(scale: Scale) -> Table {
             threads,
             per_thread,
         );
-        t.row(vec![
-            threads.to_string(),
-            f2(ex),
-            f2(es),
-            f2(sh),
-        ]);
+        vec![threads.to_string(), f2(ex), f2(es), f2(sh)]
+    }) {
+        t.row(row);
     }
     t
 }

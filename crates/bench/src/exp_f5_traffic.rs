@@ -12,6 +12,7 @@
 //! them; shipping `All` on first contact amortises later requests.
 
 use crate::summary::run_dvp;
+use crate::sweep::sweep;
 use crate::table::{f2, pct, Table};
 use crate::Scale;
 use dvp_core::item::Split;
@@ -47,49 +48,55 @@ pub fn run(scale: Scale) -> Table {
             "abort rate",
         ],
     );
+    let mut grid: Vec<(&str, Split, RefillPolicy, &str)> = Vec::new();
     for (split_name, split) in &splits {
         for (policy, pname) in [
             (RefillPolicy::DemandExact, "exact"),
             (RefillPolicy::DemandHalf, "half"),
         ] {
-            let w = AirlineWorkload {
-                n_sites: n,
-                flights: 2,
-                seats_per_flight: (txns as u64) * 3,
-                txns,
-                site_skew: theta,
-                mix: (0.9, 0.1, 0.0, 0.0),
-                split: split.clone(),
-                ..Default::default()
-            }
-            .generate(23);
-            let site = SiteConfig {
-                refill: policy,
-                ..Default::default()
-            };
-            let r = run_dvp(
-                &w,
-                site,
-                NetworkConfig::reliable(),
-                FaultPlan::none(),
-                until,
-                4,
-            );
-            let per_commit = |x: u64| {
-                if r.committed == 0 {
-                    0.0
-                } else {
-                    x as f64 / r.committed as f64
-                }
-            };
-            t.row(vec![
-                split_name.to_string(),
-                pname.into(),
-                f2(per_commit(r.requests)),
-                f2(per_commit(r.donations)),
-                pct(1.0 - r.commit_ratio),
-            ]);
+            grid.push((*split_name, split.clone(), policy, pname));
         }
+    }
+    for row in sweep(grid, |(split_name, split, policy, pname)| {
+        let w = AirlineWorkload {
+            n_sites: n,
+            flights: 2,
+            seats_per_flight: (txns as u64) * 3,
+            txns,
+            site_skew: theta,
+            mix: (0.9, 0.1, 0.0, 0.0),
+            split: split.clone(),
+            ..Default::default()
+        }
+        .generate(23);
+        let site = SiteConfig {
+            refill: *policy,
+            ..Default::default()
+        };
+        let r = run_dvp(
+            &w,
+            site,
+            NetworkConfig::reliable(),
+            FaultPlan::none(),
+            until,
+            4,
+        );
+        let per_commit = |x: u64| {
+            if r.committed == 0 {
+                0.0
+            } else {
+                x as f64 / r.committed as f64
+            }
+        };
+        vec![
+            split_name.to_string(),
+            (*pname).into(),
+            f2(per_commit(r.requests)),
+            f2(per_commit(r.donations)),
+            pct(1.0 - r.commit_ratio),
+        ]
+    }) {
+        t.row(row);
     }
     t
 }

@@ -10,11 +10,12 @@
 //! the worst-case decision/blocking window and how many transactions were
 //! still undecided mid-fault.
 
+use crate::sweep::sweep;
 use crate::table::{ms, Table};
 use crate::Scale;
 use dvp_baselines::{CommitProtocol, TradCluster, TradClusterConfig};
-use dvp_core::{Cluster, ClusterConfig, FaultPlan, TxnSpec};
 use dvp_core::item::{Catalog, Split};
+use dvp_core::{Cluster, ClusterConfig, FaultPlan, TxnSpec};
 use dvp_simnet::network::{LinkConfig, NetworkConfig};
 use dvp_simnet::partition::PartitionSchedule;
 use dvp_simnet::time::{SimDuration, SimTime};
@@ -86,9 +87,7 @@ fn observe_trad(
     cfg = cfg.at(0, msec(1), TxnSpec::reserve(dvp_core::ItemId(0), 400));
     let mut cl = TradCluster::build(cfg);
     cl.run_until(probe_at);
-    let undecided: u64 = (0..4)
-        .map(|s| cl.sim.node(s).in_doubt_count() as u64)
-        .sum();
+    let undecided: u64 = (0..4).map(|s| cl.sim.node(s).in_doubt_count() as u64).sum();
     let blocking_at_probe = cl.metrics().max_blocking_us(cl.sim.now());
     cl.run_until(until);
     let m = cl.metrics();
@@ -119,100 +118,81 @@ pub fn run(scale: Scale) -> Table {
     );
     let yn = |b: bool| if b { "yes" } else { "NO" }.to_string();
 
-    // (a) partition mid-commit. (3PC's partition starts slightly later —
-    // at 10ms — so its pre-commit round has begun; that is the window in
-    // which its termination rule diverges.)
-    let d = observe_dvp(
-        fixed_net().with_partitions(mid_commit_partition(heal)),
-        FaultPlan::none(),
-        probe,
-        until,
-    );
-    t.row(vec![
-        "partition mid-commit".into(),
-        "DvP".into(),
-        ms(d.max_window_us),
-        d.undecided_mid_fault.to_string(),
-        yn(d.consistent),
-    ]);
-    let b = observe_trad(
-        CommitProtocol::TwoPhase,
-        fixed_net().with_partitions(mid_commit_partition(heal)),
-        vec![],
-        vec![],
-        probe,
-        until,
-    );
-    t.row(vec![
-        "partition mid-commit".into(),
-        "2PC".into(),
-        ms(b.max_window_us),
-        b.undecided_mid_fault.to_string(),
-        yn(b.consistent),
-    ]);
-    let sched3 = PartitionSchedule::fully_connected(4)
-        .split_at(msec(10), &[&[0, 1], &[2, 3]])
-        .heal_at(msec(heal));
-    let b3 = observe_trad(
-        CommitProtocol::ThreePhase,
-        fixed_net().with_partitions(sched3),
-        vec![],
-        vec![],
-        probe,
-        until,
-    );
-    t.row(vec![
-        "partition mid-commit".into(),
-        "3PC".into(),
-        ms(b3.max_window_us),
-        b3.undecided_mid_fault.to_string(),
-        yn(b3.consistent),
-    ]);
-
-    // (b) coordinator crash mid-commit.
-    let d = observe_dvp(
-        fixed_net(),
-        FaultPlan::none().crash(msec(8), 0).recover(msec(heal), 0),
-        probe,
-        until,
-    );
-    t.row(vec![
-        "coordinator crash".into(),
-        "DvP".into(),
-        ms(d.max_window_us),
-        d.undecided_mid_fault.to_string(),
-        yn(d.consistent),
-    ]);
-    let b = observe_trad(
-        CommitProtocol::TwoPhase,
-        fixed_net(),
-        vec![(msec(8), 0)],
-        vec![(msec(heal), 0)],
-        probe,
-        until,
-    );
-    t.row(vec![
-        "coordinator crash".into(),
-        "2PC".into(),
-        ms(b.max_window_us),
-        b.undecided_mid_fault.to_string(),
-        yn(b.consistent),
-    ]);
-    let b3 = observe_trad(
-        CommitProtocol::ThreePhase,
-        fixed_net(),
-        vec![(msec(8), 0)],
-        vec![(msec(heal), 0)],
-        probe,
-        until,
-    );
-    t.row(vec![
-        "coordinator crash".into(),
-        "3PC".into(),
-        ms(b3.max_window_us),
-        b3.undecided_mid_fault.to_string(),
-        yn(b3.consistent),
-    ]);
+    // Scenario (a): partition mid-commit. (3PC's partition starts slightly
+    // later — at 10ms — so its pre-commit round has begun; that is the
+    // window in which its termination rule diverges.)
+    // Scenario (b): coordinator crash mid-commit.
+    let cells: Vec<(&str, &str)> = vec![
+        ("partition mid-commit", "DvP"),
+        ("partition mid-commit", "2PC"),
+        ("partition mid-commit", "3PC"),
+        ("coordinator crash", "DvP"),
+        ("coordinator crash", "2PC"),
+        ("coordinator crash", "3PC"),
+    ];
+    for row in sweep(cells, |&(scenario, system)| {
+        let o = match (scenario, system) {
+            ("partition mid-commit", "DvP") => observe_dvp(
+                fixed_net().with_partitions(mid_commit_partition(heal)),
+                FaultPlan::none(),
+                probe,
+                until,
+            ),
+            ("partition mid-commit", "2PC") => observe_trad(
+                CommitProtocol::TwoPhase,
+                fixed_net().with_partitions(mid_commit_partition(heal)),
+                vec![],
+                vec![],
+                probe,
+                until,
+            ),
+            ("partition mid-commit", "3PC") => {
+                let sched3 = PartitionSchedule::fully_connected(4)
+                    .split_at(msec(10), &[&[0, 1], &[2, 3]])
+                    .heal_at(msec(heal));
+                observe_trad(
+                    CommitProtocol::ThreePhase,
+                    fixed_net().with_partitions(sched3),
+                    vec![],
+                    vec![],
+                    probe,
+                    until,
+                )
+            }
+            ("coordinator crash", "DvP") => observe_dvp(
+                fixed_net(),
+                FaultPlan::none().crash(msec(8), 0).recover(msec(heal), 0),
+                probe,
+                until,
+            ),
+            ("coordinator crash", "2PC") => observe_trad(
+                CommitProtocol::TwoPhase,
+                fixed_net(),
+                vec![(msec(8), 0)],
+                vec![(msec(heal), 0)],
+                probe,
+                until,
+            ),
+            ("coordinator crash", "3PC") => observe_trad(
+                CommitProtocol::ThreePhase,
+                fixed_net(),
+                vec![(msec(8), 0)],
+                vec![(msec(heal), 0)],
+                probe,
+                until,
+            ),
+            _ => unreachable!("unknown cell"),
+        };
+        vec![
+            scenario.into(),
+            system.into(),
+            ms(o.max_window_us),
+            o.undecided_mid_fault.to_string(),
+            yn(o.consistent),
+        ]
+    }) {
+        t.row(row);
+    }
     t
 }
 

@@ -10,6 +10,7 @@
 //! new transactions. Metrics: remote messages consumed by recovery, time
 //! from recovery to the recovered site's first commit.
 
+use crate::sweep::sweep;
 use crate::table::{ms, Table};
 use crate::Scale;
 use dvp_baselines::{TradCluster, TradClusterConfig};
@@ -74,61 +75,65 @@ pub fn run(scale: Scale) -> Table {
         ],
     );
 
+    let mut cells: Vec<(usize, &str)> = Vec::new();
     for k in [1usize, 3, 7] {
+        cells.push((k, "DvP"));
+        cells.push((k, "2PC"));
+    }
+    for row in sweep(cells, |&(k, system)| {
         let w = workload(scale, recover_at);
-
-        // ---- DvP ----
-        let mut cfg = ClusterConfig::new(8, w.catalog.clone());
-        cfg.net = fixed_net();
-        cfg.scripts = w.scripts.clone();
-        let mut faults = FaultPlan::none();
-        for site in 1..=k {
-            faults = faults.crash(msec(crash_at), site);
+        if system == "DvP" {
+            let mut cfg = ClusterConfig::new(8, w.catalog.clone());
+            cfg.net = fixed_net();
+            cfg.scripts = w.scripts.clone();
+            let mut faults = FaultPlan::none();
+            for site in 1..=k {
+                faults = faults.crash(msec(crash_at), site);
+            }
+            faults = faults.recover(msec(recover_at), 1);
+            cfg.faults = faults;
+            let mut cl = Cluster::build(cfg);
+            cl.run_until(until);
+            cl.auditor().check_conservation().unwrap();
+            let m = cl.metrics();
+            let ttfc = first_commit_after(&m.sites[1].commits, msec(recover_at));
+            vec![
+                k.to_string(),
+                "DvP".into(),
+                m.sites[1].recovery_remote_messages.to_string(),
+                ttfc.map(ms).unwrap_or_else(|| "n/a".into()),
+                "0".into(),
+            ]
+        } else {
+            let mut cfg = TradClusterConfig::new(8, w.catalog.clone());
+            cfg.net = fixed_net();
+            cfg.scripts = w.scripts.clone();
+            for site in 1..=k {
+                cfg.crashes.push((msec(crash_at), site));
+            }
+            cfg.recoveries.push((msec(recover_at), 1));
+            let mut cl = TradCluster::build(cfg);
+            cl.run_until(until);
+            let m = cl.metrics();
+            // Time to first commit coordinated by site 1 after recovery:
+            // the baseline journal has no per-commit times, so report
+            // blocked + messages, with "n/a" when the site never committed
+            // after recovery.
+            let recovered_committed = m.sites[1].committed > 0;
+            vec![
+                k.to_string(),
+                "2PC".into(),
+                m.sites[1].recovery_remote_messages.to_string(),
+                if recovered_committed {
+                    "committed".into()
+                } else {
+                    "n/a".into()
+                },
+                m.still_blocked().to_string(),
+            ]
         }
-        faults = faults.recover(msec(recover_at), 1);
-        cfg.faults = faults;
-        let mut cl = Cluster::build(cfg);
-        cl.run_until(until);
-        cl.auditor().check_conservation().unwrap();
-        let m = cl.metrics();
-        let ttfc = first_commit_after(&m.sites[1].commits, msec(recover_at));
-        t.row(vec![
-            k.to_string(),
-            "DvP".into(),
-            m.sites[1].recovery_remote_messages.to_string(),
-            ttfc.map(ms).unwrap_or_else(|| "n/a".into()),
-            "0".into(),
-        ]);
-
-        // ---- 2PC ----
-        let mut cfg = TradClusterConfig::new(8, w.catalog.clone());
-        cfg.net = fixed_net();
-        cfg.scripts = w.scripts.clone();
-        for site in 1..=k {
-            cfg.crashes.push((msec(crash_at), site));
-        }
-        cfg.recoveries.push((msec(recover_at), 1));
-        let mut cl = TradCluster::build(cfg);
-        cl.run_until(until);
-        let m = cl.metrics();
-        // Time to first commit coordinated by site 1 after recovery: the
-        // baseline journal has no per-commit times, so measure via the
-        // recovered site's commit count before/after instead: we re-run
-        // is avoidable — report blocked + messages, and probe commits via
-        // latency vector length change is equivalent. We use "n/a" when
-        // the site never committed after recovery.
-        let recovered_committed = m.sites[1].committed > 0;
-        t.row(vec![
-            k.to_string(),
-            "2PC".into(),
-            m.sites[1].recovery_remote_messages.to_string(),
-            if recovered_committed {
-                "committed".into()
-            } else {
-                "n/a".into()
-            },
-            m.still_blocked().to_string(),
-        ]);
+    }) {
+        t.row(row);
     }
     t
 }

@@ -10,6 +10,7 @@
 //! The table is a per-seed verdict; any violation panics the harness
 //! (and the matching proptest in `tests/` shrinks it).
 
+use crate::sweep::sweep;
 use crate::table::Table;
 use crate::Scale;
 use dvp_core::{Cluster, ClusterConfig, FaultPlan};
@@ -73,7 +74,7 @@ pub fn run(scale: Scale) -> Table {
         "T5: conservation N = ΣNᵢ + N_M under random faults (6 sites)",
         &["seed", "txns decided", "audits", "verdict"],
     );
-    for seed in 0..seeds {
+    for row in sweep((0..seeds).collect(), |&seed| {
         let w = AirlineWorkload {
             n_sites: n,
             flights: 3,
@@ -101,12 +102,14 @@ pub fn run(scale: Scale) -> Table {
             audits += 1;
         }
         let m = cl.metrics();
-        t.row(vec![
+        vec![
             seed.to_string(),
             (m.committed() + m.aborted()).to_string(),
             audits.to_string(),
             "OK".into(),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t
 }

@@ -23,9 +23,11 @@ pub mod exp_t3_recovery;
 pub mod exp_t4_conc;
 pub mod exp_t5_conservation;
 pub mod summary;
+pub mod sweep;
 pub mod table;
 
 pub use summary::{run_dvp, run_trad, RunSummary};
+pub use sweep::{sweep, sweep_serial};
 pub use table::Table;
 
 /// Experiment scale.

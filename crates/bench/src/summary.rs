@@ -70,11 +70,7 @@ pub fn run_dvp(
         requests: m.requests_sent(),
         donations: m.donations(),
         still_blocked: 0,
-        recovery_remote_msgs: m
-            .sites
-            .iter()
-            .map(|s| s.recovery_remote_messages)
-            .sum(),
+        recovery_remote_msgs: m.sites.iter().map(|s| s.recovery_remote_messages).sum(),
     }
 }
 

@@ -130,8 +130,10 @@ impl Cluster {
 
         let nodes: Vec<SiteNode> = (0..n)
             .map(|s| {
-                let script: Vec<TxnSpec> =
-                    cfg.scripts[s].iter().map(|(_, spec)| spec.clone()).collect();
+                let script: Vec<TxnSpec> = cfg.scripts[s]
+                    .iter()
+                    .map(|(_, spec)| spec.clone())
+                    .collect();
                 SiteNode::new(s, n, cfg.site, site_quotas[s].clone(), script)
             })
             .collect();
@@ -449,7 +451,11 @@ mod tests {
             cl.run_until(ms(5_000));
             cl.auditor().check_conservation().unwrap();
             let m = cl.metrics();
-            (m.committed(), m.requests_sent(), m.sites.iter().map(|s| s.rebalances).sum::<u64>())
+            (
+                m.committed(),
+                m.requests_sent(),
+                m.sites.iter().map(|s| s.rebalances).sum::<u64>(),
+            )
         };
         let (c0, req0, rb0) = run(false);
         let (c1, req1, rb1) = run(true);

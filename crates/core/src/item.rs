@@ -106,13 +106,13 @@ impl Catalog {
             Split::Even => {
                 let base = def.total / n as Qty;
                 let rem = (def.total % n as Qty) as usize;
-                (0..n)
-                    .map(|i| base + if i < rem { 1 } else { 0 })
-                    .collect()
+                (0..n).map(|i| base + if i < rem { 1 } else { 0 }).collect()
             }
             Split::AllAt(s) => {
                 assert!(*s < n, "AllAt site out of range");
-                (0..n).map(|i| if i == *s { def.total } else { 0 }).collect()
+                (0..n)
+                    .map(|i| if i == *s { def.total } else { 0 })
+                    .collect()
             }
             Split::Explicit(qs) => {
                 assert_eq!(qs.len(), n, "explicit split must cover all sites");

@@ -75,14 +75,19 @@ impl LockTable {
         }
     }
 
-    /// Release everything held on behalf of `txn`; returns the items.
+    /// Release everything held on behalf of `txn`; returns the items in
+    /// item order. Sorted because callers wake Conc2 waiters item by item
+    /// in the returned order, and `HashMap` iteration order is randomised
+    /// per instance — unsorted, identical runs could grant locks in
+    /// different interleavings.
     pub fn release_all(&mut self, txn: Ts) -> Vec<ItemId> {
-        let items: Vec<ItemId> = self
+        let mut items: Vec<ItemId> = self
             .held
             .iter()
             .filter(|(_, h)| h.txn() == txn)
             .map(|(i, _)| *i)
             .collect();
+        items.sort_unstable();
         for i in &items {
             self.held.remove(i);
         }

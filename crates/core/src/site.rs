@@ -193,7 +193,13 @@ impl SiteNode {
     ///   value partitioning). Logged as genesis records.
     /// * `script`: transactions this site will run, indexed by the
     ///   external-event tag the cluster scheduler uses.
-    pub fn new(id: NodeId, n: usize, cfg: SiteConfig, quotas: Vec<Qty>, script: Vec<TxnSpec>) -> Self {
+    pub fn new(
+        id: NodeId,
+        n: usize,
+        cfg: SiteConfig,
+        quotas: Vec<Qty>,
+        script: Vec<TxnSpec>,
+    ) -> Self {
         let mut log = StableLog::new();
         let mut frags = FragmentStore::new(quotas.len());
         for (i, &q) in quotas.iter().enumerate() {
@@ -341,7 +347,10 @@ impl SiteNode {
     fn begin_txn(&mut self, spec: TxnSpec, ctx: &mut Context<'_, ProtoMsg>) {
         let ts = self.clock.tick_at(ctx.now().micros());
         let timer = ctx.set_timer(self.cfg.txn_timeout, TAG_TIMEOUT | ts.0);
-        debug_assert!(ts.0 <= TAG_PAYLOAD_MASK, "timestamp exceeds timer-tag space");
+        debug_assert!(
+            ts.0 <= TAG_PAYLOAD_MASK,
+            "timestamp exceeds timer-tag space"
+        );
         let items = spec.access_set();
         let mut txn = ActiveTxn {
             spec,
@@ -753,12 +762,15 @@ impl SiteNode {
                     self.metrics.requests_ignored += 1;
                 }
                 ConcMode::Conc2 => {
-                    self.lock_queue.entry(item).or_default().push_back(Waiter::Request {
-                        from,
-                        txn,
-                        need,
-                        read,
-                    });
+                    self.lock_queue
+                        .entry(item)
+                        .or_default()
+                        .push_back(Waiter::Request {
+                            from,
+                            txn,
+                            need,
+                            read,
+                        });
                 }
             }
             return;

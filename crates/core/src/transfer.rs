@@ -157,6 +157,9 @@ mod tests {
         let t = sample();
         let raw = t.to_bytes();
         let b = raw.slice(0..raw.len() - 2);
-        assert_eq!(Transfer::from_bytes(&b).unwrap_err(), DecodeError::Truncated);
+        assert_eq!(
+            Transfer::from_bytes(&b).unwrap_err(),
+            DecodeError::Truncated
+        );
     }
 }

@@ -6,24 +6,19 @@
 //! "every site sees broadcasts in the same order" property: equal-delay
 //! deliveries inherit the ordering of their sends.
 
-use crate::node::TimerId;
 use crate::time::SimTime;
 use crate::NodeId;
 use std::cmp::Ordering;
 
 /// What an event does when it fires.
+///
+/// Timers are *not* events: they live in their own indexed lane (see
+/// `crate::timers`) so cancellation can remove them in place instead of
+/// leaving tombstones in this queue.
 #[derive(Debug)]
 pub(crate) enum EventKind<M> {
     /// Deliver `msg` from `from` to `to`.
     Deliver { from: NodeId, to: NodeId, msg: M },
-    /// Fire node `node`'s timer `id` with `tag`, if still armed and the
-    /// node hasn't crashed since (checked via `epoch`).
-    Timer {
-        node: NodeId,
-        id: TimerId,
-        tag: u64,
-        epoch: u32,
-    },
     /// Externally injected event for `node` (workload arrivals etc.).
     External { node: NodeId, tag: u64 },
     /// Crash `node`.

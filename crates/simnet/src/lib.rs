@@ -67,6 +67,7 @@ pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
+mod timers;
 pub mod trace;
 
 /// Identifier of a simulated site. Sites are numbered `0..n`.

@@ -117,11 +117,38 @@ impl NetworkConfig {
     }
 }
 
+/// Arrival instants for a delivered message: the copy the link always
+/// produces, plus at most one duplicate. Inline — no allocation on the
+/// per-send hot path (the old `Vec<SimTime>` cost one heap allocation per
+/// message routed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrivals {
+    /// Arrival instant of the primary copy.
+    pub first: SimTime,
+    /// Arrival instant of the duplicate, if the link duplicated.
+    pub dup: Option<SimTime>,
+}
+
+impl Arrivals {
+    /// One copy, no duplicate.
+    pub fn single(at: SimTime) -> Self {
+        Arrivals {
+            first: at,
+            dup: None,
+        }
+    }
+
+    /// Number of copies (1 or 2).
+    pub fn count(&self) -> usize {
+        1 + usize::from(self.dup.is_some())
+    }
+}
+
 /// The fate of a single send.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Fate {
-    /// Deliver at each listed instant (length 2 means a duplicate).
-    Deliver(Vec<SimTime>),
+    /// Deliver at the listed instant(s).
+    Deliver(Arrivals),
     /// Lost to random loss.
     Lost,
     /// Cut by a network partition.
@@ -163,16 +190,16 @@ impl NetworkModel {
             // Fixed delay, no loss, no duplication: arrival order at every
             // site equals global send order (ties broken by the kernel's
             // sequence numbers, identically everywhere).
-            return Fate::Deliver(vec![now + link.delay_min]);
+            return Fate::Deliver(Arrivals::single(now + link.delay_min));
         }
         if rng.chance(link.loss) {
             return Fate::Lost;
         }
         let d1 = rng.uniform(link.delay_min.as_micros(), link.delay_max.as_micros());
-        let mut arrivals = vec![now + SimDuration::micros(d1)];
+        let mut arrivals = Arrivals::single(now + SimDuration::micros(d1));
         if rng.chance(link.duplicate) {
             let d2 = rng.uniform(link.delay_min.as_micros(), link.delay_max.as_micros() * 2);
-            arrivals.push(now + SimDuration::micros(d2));
+            arrivals.dup = Some(now + SimDuration::micros(d2));
         }
         Fate::Deliver(arrivals)
     }
@@ -190,8 +217,8 @@ mod tests {
         for _ in 0..200 {
             match m.route(0, 1, SimTime::ZERO, &mut rng) {
                 Fate::Deliver(ts) => {
-                    assert_eq!(ts.len(), 1);
-                    let d = ts[0].since(SimTime::ZERO);
+                    assert_eq!(ts.count(), 1);
+                    let d = ts.first.since(SimTime::ZERO);
                     assert!(d >= SimDuration::millis(1) && d <= SimDuration::millis(5));
                 }
                 other => panic!("unexpected fate {other:?}"),
@@ -223,7 +250,7 @@ mod tests {
         let m = NetworkModel::new(cfg);
         let mut rng = SimRng::new(3);
         match m.route(0, 1, SimTime::ZERO, &mut rng) {
-            Fate::Deliver(ts) => assert_eq!(ts.len(), 2),
+            Fate::Deliver(ts) => assert_eq!(ts.count(), 2),
             other => panic!("unexpected fate {other:?}"),
         }
     }
@@ -253,7 +280,7 @@ mod tests {
         for _ in 0..100 {
             match m.route(1, 0, SimTime::ZERO, &mut rng) {
                 Fate::Deliver(ts) => {
-                    assert_eq!(ts, vec![SimTime::ZERO + SimDuration::millis(2)])
+                    assert_eq!(ts, Arrivals::single(SimTime::ZERO + SimDuration::millis(2)))
                 }
                 other => panic!("unexpected fate {other:?}"),
             }

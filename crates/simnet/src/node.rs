@@ -171,9 +171,7 @@ mod tests {
         ctx.cancel_timer(t);
         assert_eq!(ctx.actions.len(), 3);
         assert!(matches!(ctx.actions[0], Action::Send { to: 1, msg: 10 }));
-        assert!(
-            matches!(ctx.actions[1], Action::SetTimer { id, tag: 77, .. } if id == t)
-        );
+        assert!(matches!(ctx.actions[1], Action::SetTimer { id, tag: 77, .. } if id == t));
         assert!(matches!(ctx.actions[2], Action::CancelTimer { id } if id == t));
     }
 

@@ -2,24 +2,38 @@
 //!
 //! All stochastic decisions in a simulation (message delays, loss,
 //! workload arrivals) must flow from one seed so that a run is exactly
-//! reproducible. [`SimRng`] wraps a [`SmallRng`] and adds `fork`, which
-//! derives an independent child stream — components that consume random
-//! numbers at different rates then cannot perturb each other.
+//! reproducible. [`SimRng`] is a self-contained xoshiro256++ generator
+//! (no external crate: the kernel owns its hot-path RNG) with `fork`,
+//! which derives an independent child stream — components that consume
+//! random numbers at different rates then cannot perturb each other.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// A seedable, forkable deterministic RNG stream.
+/// A seedable, forkable deterministic RNG stream (xoshiro256++).
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl SimRng {
-    /// Create the root stream from a seed.
+    /// Create the root stream from a seed (SplitMix64 state expansion, so
+    /// even seed 0 yields a well-mixed non-zero state).
     pub fn new(seed: u64) -> Self {
+        let mut z = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut z),
+                splitmix64(&mut z),
+                splitmix64(&mut z),
+                splitmix64(&mut z),
+            ],
         }
     }
 
@@ -30,13 +44,44 @@ impl SimRng {
     /// sequences, while the same `(parent state, stream)` always gives the
     /// same child.
     pub fn fork(&mut self, stream: u64) -> SimRng {
-        let base: u64 = self.inner.gen();
+        let base: u64 = self.next_u64();
         // SplitMix64 finalizer: decorrelates sequential stream ids.
         let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
         SimRng::new(z)
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Next raw 32-bit output.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
     }
 
     /// Bernoulli draw: `true` with probability `p` (clamped to `[0,1]`).
@@ -47,7 +92,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -57,21 +102,30 @@ impl SimRng {
         if lo >= hi {
             lo
         } else {
-            self.inner.gen_range(lo..=hi)
+            // Span never overflows to 0 here because lo < hi rules out the
+            // full-u64 range; Lemire multiply-shift keeps it branch-light.
+            let span = hi - lo + 1;
+            lo + self.below(span)
         }
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform integer in `[0, n)` (n > 0), via 128-bit multiply-shift.
+    #[inline]
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)` (53-bit precision).
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Sample an index in `0..n` (panics if `n == 0`).
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() requires a non-empty range");
-        self.inner.gen_range(0..n)
+        self.below(n as u64) as usize
     }
 
     /// Exponentially distributed value with the given mean (rounded to u64).
@@ -82,31 +136,16 @@ impl SimRng {
         if mean <= 0.0 {
             return 0;
         }
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u: f64 = f64::EPSILON + self.unit() * (1.0 - f64::EPSILON);
         (-mean * u.ln()).round().max(0.0) as u64
     }
 
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             xs.swap(i, j);
         }
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -184,5 +223,26 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SimRng::new(19);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0), "13 random bytes, some nonzero");
+        let mut a = SimRng::new(19);
+        let mut buf2 = [0u8; 13];
+        a.fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = SimRng::new(23);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 }

@@ -19,13 +19,14 @@
 
 use crate::event::{Event, EventKind};
 use crate::network::{Fate, NetworkConfig, NetworkModel};
-use crate::node::{Action, Context, Node};
+use crate::node::{Action, Context, Node, TimerId};
 use crate::rng::SimRng;
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
+use crate::timers::{TimerEntry, TimerLane};
 use crate::trace::{Trace, TraceEvent};
 use crate::NodeId;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Default cap on processed events per `run_*` call; a protocol that
 /// exceeds it almost certainly livelocked, and determinism means the
@@ -41,10 +42,17 @@ pub struct Simulation<N: Node> {
     net_rng: SimRng,
     net: NetworkModel,
     queue: BinaryHeap<Event<N::Msg>>,
+    /// Armed timers, separate from the event queue so cancellation is an
+    /// in-place removal instead of a tombstone. Both lanes draw `seq` from
+    /// the same counter, and the run loop merges them by `(at, seq)`, so
+    /// the total order is identical to the single-queue kernel's.
+    timers: TimerLane,
     now: SimTime,
     seq: u64,
     next_timer: u64,
-    cancelled: HashSet<u64>,
+    /// Reusable action buffer loaned to each `Context` (callbacks never
+    /// nest, so one buffer suffices) — no per-event allocation.
+    scratch: Vec<Action<N::Msg>>,
     started: bool,
     halted: bool,
     stats: NetStats,
@@ -67,10 +75,11 @@ impl<N: Node> Simulation<N> {
             net_rng,
             net: NetworkModel::new(net),
             queue: BinaryHeap::new(),
+            timers: TimerLane::new(),
             now: SimTime::ZERO,
             seq: 0,
             next_timer: 0,
-            cancelled: HashSet::new(),
+            scratch: Vec::new(),
             started: false,
             halted: false,
             stats: NetStats::default(),
@@ -130,9 +139,15 @@ impl<N: Node> Simulation<N> {
         self.net.connected(a, b, self.now)
     }
 
-    /// Number of pending events.
+    /// Number of pending events (message/external/fault events plus armed
+    /// timers).
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.timers.len()
+    }
+
+    /// Number of armed (not yet fired, not cancelled) timers.
+    pub fn pending_timers(&self) -> usize {
+        self.timers.len()
     }
 
     // ---- scheduling -----------------------------------------------------
@@ -161,6 +176,15 @@ impl<N: Node> Simulation<N> {
         };
         self.seq += 1;
         self.queue.push(ev);
+        self.note_depth();
+    }
+
+    #[inline]
+    fn note_depth(&mut self) {
+        let depth = (self.queue.len() + self.timers.len()) as u64;
+        if depth > self.stats.peak_queue_depth {
+            self.stats.peak_queue_depth = depth;
+        }
     }
 
     // ---- running --------------------------------------------------------
@@ -197,16 +221,36 @@ impl<N: Node> Simulation<N> {
         self.ensure_started();
         let mut processed = 0u64;
         while !self.halted {
-            match self.queue.peek() {
-                None => break,
-                Some(ev) if ev.at > deadline => break,
-                Some(_) => {}
+            // Merge the event and timer lanes by `(at, seq)`. Both draw
+            // `seq` from the same counter, so this replays exactly the
+            // total order of the old single-queue kernel.
+            let ev_key = self.queue.peek().map(|e| (e.at, e.seq));
+            let (key, from_timers) = match (ev_key, self.timers.peek_key()) {
+                (None, None) => break,
+                (Some(e), None) => (e, false),
+                (None, Some(t)) => (t, true),
+                (Some(e), Some(t)) => {
+                    if t < e {
+                        (t, true)
+                    } else {
+                        (e, false)
+                    }
+                }
+            };
+            if key.0 > deadline {
+                break;
             }
-            let ev = self.queue.pop().expect("peeked");
-            debug_assert!(ev.at >= self.now, "time went backwards");
-            self.now = ev.at;
-            self.handle(ev.kind);
+            debug_assert!(key.0 >= self.now, "time went backwards");
+            self.now = key.0;
+            if from_timers {
+                let t = self.timers.pop().expect("peeked");
+                self.fire_timer(t);
+            } else {
+                let ev = self.queue.pop().expect("peeked");
+                self.handle(ev.kind);
+            }
             processed += 1;
+            self.stats.events_processed += 1;
             if processed >= self.event_limit {
                 panic!(
                     "event limit {} exceeded at {} — livelock? raise with set_event_limit()",
@@ -251,20 +295,6 @@ impl<N: Node> Simulation<N> {
                 });
                 self.dispatch(to, |node, ctx| node.on_message(from, msg, ctx));
             }
-            EventKind::Timer {
-                node,
-                id,
-                tag,
-                epoch,
-            } => {
-                if self.cancelled.remove(&id.0) || self.epoch[node] != epoch || self.crashed[node]
-                {
-                    self.stats.timers_suppressed += 1;
-                    return;
-                }
-                self.stats.timers_fired += 1;
-                self.dispatch(node, |n, ctx| n.on_timer(id, tag, ctx));
-            }
             EventKind::External { node, tag } => {
                 if self.crashed[node] {
                     return; // a client arriving at a dead site gets nothing
@@ -277,10 +307,8 @@ impl<N: Node> Simulation<N> {
                 }
                 self.crashed[node] = true;
                 self.epoch[node] += 1; // invalidates all outstanding timers
-                self.trace.record(TraceEvent::Crashed {
-                    at: self.now,
-                    node,
-                });
+                self.trace
+                    .record(TraceEvent::Crashed { at: self.now, node });
                 self.nodes[node].on_crash();
             }
             EventKind::Recover { node } => {
@@ -288,47 +316,67 @@ impl<N: Node> Simulation<N> {
                     return;
                 }
                 self.crashed[node] = false;
-                self.trace.record(TraceEvent::Recovered {
-                    at: self.now,
-                    node,
-                });
+                self.trace
+                    .record(TraceEvent::Recovered { at: self.now, node });
                 self.dispatch(node, |n, ctx| n.on_recover(ctx));
             }
         }
     }
 
+    /// A timer popped from the lane at its instant. Cancellation never gets
+    /// here (cancelled timers are removed from the lane in place); only the
+    /// epoch/crash check remains, because a crash must lazily invalidate
+    /// timers armed before it without the kernel walking the lane.
+    fn fire_timer(&mut self, t: TimerEntry) {
+        if self.epoch[t.node] != t.epoch || self.crashed[t.node] {
+            self.stats.timers_suppressed += 1;
+            return;
+        }
+        self.stats.timers_fired += 1;
+        let (node, id, tag) = (t.node, TimerId(t.id), t.tag);
+        self.dispatch(node, |n, ctx| n.on_timer(id, tag, ctx));
+    }
+
     /// Run `f` on node `id` with a fresh context, then apply the buffered
-    /// actions.
+    /// actions. The action buffer is loaned from `self.scratch` and handed
+    /// back afterwards, so steady-state dispatch allocates nothing.
     fn dispatch<F>(&mut self, id: NodeId, f: F)
     where
         F: FnOnce(&mut N, &mut Context<'_, N::Msg>),
     {
         let mut ctx = Context::new(self.now, id, &mut self.node_rngs[id], &mut self.next_timer);
+        ctx.actions = std::mem::take(&mut self.scratch);
         f(&mut self.nodes[id], &mut ctx);
-        let actions = ctx.actions;
-        for a in actions {
+        let mut actions = ctx.actions;
+        for a in actions.drain(..) {
             match a {
                 Action::Send { to, msg } => self.transmit(id, to, msg),
                 Action::SetTimer { id: tid, at, tag } => {
-                    let epoch = self.epoch[id];
-                    self.push(
-                        at,
-                        EventKind::Timer {
-                            node: id,
-                            id: tid,
-                            tag,
-                            epoch,
-                        },
-                    );
+                    debug_assert!(at >= self.now, "cannot schedule into the past");
+                    self.timers.schedule(TimerEntry {
+                        at: at.max(self.now),
+                        seq: self.seq,
+                        node: id,
+                        id: tid.0,
+                        tag,
+                        epoch: self.epoch[id],
+                    });
+                    self.seq += 1;
+                    self.note_depth();
                 }
                 Action::CancelTimer { id: tid } => {
-                    self.cancelled.insert(tid.0);
+                    // Removed from the lane immediately; counted as
+                    // suppressed so totals match the tombstone kernel's.
+                    if self.timers.cancel(tid.0) {
+                        self.stats.timers_suppressed += 1;
+                    }
                 }
                 Action::Halt => {
                     self.halted = true;
                 }
             }
         }
+        self.scratch = actions;
     }
 
     fn transmit(&mut self, from: NodeId, to: NodeId, msg: N::Msg) {
@@ -355,22 +403,24 @@ impl<N: Node> Simulation<N> {
                     to,
                 });
             }
-            Fate::Deliver(arrivals) => {
-                let extra = arrivals.len().saturating_sub(1) as u64;
-                self.stats.duplicated += extra;
-                for (i, at) in arrivals.into_iter().enumerate() {
-                    let m = if i == 0 { None } else { Some(msg.clone()) };
-                    let payload = m.unwrap_or_else(|| msg.clone());
+            Fate::Deliver(arrivals) => match arrivals.dup {
+                // Single arrival (the overwhelmingly common case): the
+                // message moves into the queue — no clone.
+                None => self.push(arrivals.first, EventKind::Deliver { from, to, msg }),
+                Some(dup_at) => {
+                    self.stats.duplicated += 1;
+                    // Push order (first, then dup) fixes seq assignment.
                     self.push(
-                        at,
+                        arrivals.first,
                         EventKind::Deliver {
                             from,
                             to,
-                            msg: payload,
+                            msg: msg.clone(),
                         },
                     );
+                    self.push(dup_at, EventKind::Deliver { from, to, msg });
                 }
-            }
+            },
         }
     }
 
@@ -554,6 +604,48 @@ mod tests {
         let mut sim = Simulation::new(vec![T::default()], NetworkConfig::reliable(), 7);
         sim.run_to_quiescence();
         assert_eq!(sim.node(0).fired, 1);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_free_no_op() {
+        // Regression: the old kernel kept cancellations in a tombstone set
+        // keyed by timer id; cancelling a timer that had already fired
+        // inserted an id that no future pop could ever reclaim, leaking one
+        // entry per late cancel. The timer lane must treat a late cancel as
+        // a pure no-op: nothing pending afterwards, nothing counted as
+        // suppressed, and every timer still fires exactly once.
+        #[derive(Default)]
+        struct T {
+            rounds: u64,
+            fired: u64,
+        }
+        impl Node for T {
+            type Msg = ();
+            fn on_message(&mut self, _from: NodeId, _msg: (), _ctx: &mut Context<'_, ()>) {}
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(SimDuration::millis(1), 0);
+            }
+            fn on_timer(&mut self, id: TimerId, _tag: u64, ctx: &mut Context<'_, ()>) {
+                self.fired += 1;
+                // `id` was consumed by this very fire — cancelling it now
+                // is the late cancel the old kernel leaked on.
+                ctx.cancel_timer(id);
+                if self.fired < self.rounds {
+                    ctx.set_timer(SimDuration::millis(1), 0);
+                }
+            }
+        }
+        let rounds = 10_000;
+        let mut sim = Simulation::new(vec![T { rounds, fired: 0 }], NetworkConfig::reliable(), 10);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(0).fired, rounds);
+        assert_eq!(sim.stats().timers_fired, rounds);
+        assert_eq!(
+            sim.stats().timers_suppressed,
+            0,
+            "a late cancel is not a suppression"
+        );
+        assert_eq!(sim.pending_timers(), 0, "late cancels must not accumulate");
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct NetStats {
     pub timers_fired: u64,
     /// Timer events suppressed by cancellation or crash.
     pub timers_suppressed: u64,
+    /// Events processed by the kernel (deliveries, externals, timer fires,
+    /// crashes, recoveries — everything the main loop pops).
+    pub events_processed: u64,
+    /// High-water mark of pending work (event queue + armed timers).
+    pub peak_queue_depth: u64,
 }
 
 impl NetStats {

@@ -1,0 +1,260 @@
+//! The timer lane: an indexed min-heap with in-place cancellation.
+//!
+//! Timers used to ride the main event heap, with cancellation recorded in
+//! a side `HashSet` of tombstones that every pop had to consult — cancelled
+//! timers stayed in the queue until their instant came around, inflating
+//! queue depth and wasting pops. Here they live in their own lane: a
+//! binary min-heap ordered by `(at, seq)` plus a position map by timer id,
+//! so `cancel` removes the entry immediately in `O(log n)` and the fire
+//! path never sees dead timers.
+//!
+//! Determinism: `seq` comes from the kernel's one global counter (shared
+//! with the event heap), so merging the two lanes by `(at, seq)` replays
+//! the exact total order the single-queue kernel produced.
+
+use crate::time::SimTime;
+use crate::NodeId;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-shift hasher for timer ids. Ids are sequential `u64`s from the
+/// kernel's counter, so a Fibonacci multiply scrambles them perfectly well;
+/// SipHash here would dominate the cost of every sift (each heap swap
+/// updates two `pos` entries).
+#[derive(Default)]
+pub(crate) struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    #[inline]
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdHasher is only for u64 keys");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, id: u64) {
+        self.0 = id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type IdMap<V> = HashMap<u64, V, BuildHasherDefault<IdHasher>>;
+
+/// One armed timer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TimerEntry {
+    pub at: SimTime,
+    pub seq: u64,
+    pub node: NodeId,
+    pub id: u64,
+    pub tag: u64,
+    pub epoch: u32,
+}
+
+impl TimerEntry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
+/// Indexed binary min-heap of pending timers.
+#[derive(Debug, Default)]
+pub(crate) struct TimerLane {
+    heap: Vec<TimerEntry>,
+    /// timer id → current index in `heap`.
+    pos: IdMap<usize>,
+}
+
+impl TimerLane {
+    pub fn new() -> Self {
+        TimerLane::default()
+    }
+
+    /// Number of armed timers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Key of the earliest timer, if any.
+    #[inline]
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.first().map(TimerEntry::key)
+    }
+
+    /// Arm a timer.
+    pub fn schedule(&mut self, e: TimerEntry) {
+        debug_assert!(!self.pos.contains_key(&e.id), "timer id reused");
+        let i = self.heap.len();
+        self.heap.push(e);
+        self.pos.insert(e.id, i);
+        self.sift_up(i);
+    }
+
+    /// Disarm timer `id` in place. Returns whether it was pending.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        match self.pos.remove(&id) {
+            None => false,
+            Some(i) => {
+                self.remove_at(i);
+                true
+            }
+        }
+    }
+
+    /// Remove and return the earliest timer.
+    pub fn pop(&mut self) -> Option<TimerEntry> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let e = self.heap[0];
+        self.pos.remove(&e.id);
+        self.remove_at(0);
+        Some(e)
+    }
+
+    /// Remove the entry at heap index `i` (its `pos` entry must already be
+    /// gone) and restore the heap invariant.
+    fn remove_at(&mut self, i: usize) {
+        let last = self.heap.len() - 1;
+        if i == last {
+            self.heap.pop();
+            return;
+        }
+        self.heap.swap(i, last);
+        self.heap.pop();
+        self.pos.insert(self.heap[i].id, i);
+        // The moved element may violate the invariant in either direction.
+        self.sift_down(i);
+        self.sift_up(i);
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].key() >= self.heap[parent].key() {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.heap.len() {
+                break;
+            }
+            let r = l + 1;
+            let smallest = if r < self.heap.len() && self.heap[r].key() < self.heap[l].key() {
+                r
+            } else {
+                l
+            };
+            if self.heap[smallest].key() >= self.heap[i].key() {
+                break;
+            }
+            self.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos.insert(self.heap[a].id, a);
+        self.pos.insert(self.heap[b].id, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(at: u64, seq: u64, id: u64) -> TimerEntry {
+        TimerEntry {
+            at: SimTime(at),
+            seq,
+            node: 0,
+            id,
+            tag: 0,
+            epoch: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut l = TimerLane::new();
+        l.schedule(e(30, 3, 0));
+        l.schedule(e(10, 7, 1));
+        l.schedule(e(10, 2, 2));
+        l.schedule(e(20, 5, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| l.pop().map(|t| t.id)).collect();
+        assert_eq!(order, vec![2, 1, 3, 0]);
+        assert_eq!(l.len(), 0);
+    }
+
+    #[test]
+    fn cancel_removes_in_place() {
+        let mut l = TimerLane::new();
+        for i in 0..10 {
+            l.schedule(e(100 - i, i, i));
+        }
+        assert!(l.cancel(5));
+        assert!(!l.cancel(5), "double cancel is a no-op");
+        assert!(l.cancel(9));
+        assert_eq!(l.len(), 8);
+        let ids: Vec<u64> = std::iter::from_fn(|| l.pop().map(|t| t.id)).collect();
+        assert_eq!(ids, vec![8, 7, 6, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn cancel_never_fired_and_unknown_ids() {
+        let mut l = TimerLane::new();
+        assert!(!l.cancel(42), "unknown id");
+        l.schedule(e(1, 0, 7));
+        let p = l.pop().unwrap();
+        assert_eq!(p.id, 7);
+        assert!(!l.cancel(7), "already fired: no tombstone, no effect");
+        assert_eq!(l.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_schedule_cancel_pop_stays_consistent() {
+        let mut l = TimerLane::new();
+        // Deterministic pseudo-random workout of the index maintenance.
+        let mut live: Vec<u64> = Vec::new();
+        let mut x = 12345u64;
+        for id in 0..500u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            l.schedule(e(x % 1000, id, id));
+            live.push(id);
+            if x.is_multiple_of(3) {
+                let victim = live[(x % live.len() as u64) as usize];
+                if l.cancel(victim) {
+                    live.retain(|&v| v != victim);
+                }
+            }
+            if x.is_multiple_of(5) {
+                if let Some(p) = l.pop() {
+                    live.retain(|&v| v != p.id);
+                }
+            }
+        }
+        let mut drained: Vec<(SimTime, u64)> = Vec::new();
+        while let Some(p) = l.pop() {
+            drained.push((p.at, p.seq));
+            live.retain(|&v| v != p.id);
+        }
+        assert!(live.is_empty());
+        let mut sorted = drained.clone();
+        sorted.sort();
+        assert_eq!(drained, sorted, "pop order must be (at, seq) sorted");
+    }
+}

@@ -15,15 +15,35 @@ use std::collections::VecDeque;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A node handed a message to the network.
-    Sent { at: SimTime, from: NodeId, to: NodeId },
+    Sent {
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+    },
     /// A message was delivered.
-    Delivered { at: SimTime, from: NodeId, to: NodeId },
+    Delivered {
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+    },
     /// A message was dropped by random loss.
-    Lost { at: SimTime, from: NodeId, to: NodeId },
+    Lost {
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+    },
     /// A message was cut by a partition.
-    Partitioned { at: SimTime, from: NodeId, to: NodeId },
+    Partitioned {
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+    },
     /// A delivery was suppressed because the recipient was down.
-    DeadRecipient { at: SimTime, from: NodeId, to: NodeId },
+    DeadRecipient {
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+    },
     /// A site crashed.
     Crashed { at: SimTime, node: NodeId },
     /// A site recovered.
@@ -69,10 +89,15 @@ impl Trace {
     }
 
     /// Whether recording is active.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
 
+    /// Record one event. `#[inline]` so that at a disabled-trace call site
+    /// the `enabled` check folds into the caller and the event argument is
+    /// never even materialised — recording must cost nothing when off.
+    #[inline]
     pub(crate) fn record(&mut self, ev: TraceEvent) {
         if !self.enabled {
             return;

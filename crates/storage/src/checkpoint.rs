@@ -44,7 +44,10 @@ impl<S: Clone> CheckpointSlot<S> {
 
     /// Install a new checkpoint, replacing the previous one.
     pub fn install(&mut self, redo_from: Lsn, snapshot: S) {
-        self.current = Some(CheckpointMeta { redo_from, snapshot });
+        self.current = Some(CheckpointMeta {
+            redo_from,
+            snapshot,
+        });
         self.taken += 1;
     }
 

@@ -241,10 +241,7 @@ mod tests {
             log.append(R(i));
         }
         log.force();
-        assert_eq!(
-            log.recover().unwrap(),
-            (0..100).map(R).collect::<Vec<_>>()
-        );
+        assert_eq!(log.recover().unwrap(), (0..100).map(R).collect::<Vec<_>>());
         assert!(log.stats().stable_bytes > 0);
     }
 

@@ -49,11 +49,7 @@ impl Channel {
             return Vec::new();
         }
         self.acked_out = ack;
-        let released: Vec<Seq> = self
-            .outgoing
-            .range(..=ack)
-            .map(|(&seq, _)| seq)
-            .collect();
+        let released: Vec<Seq> = self.outgoing.range(..=ack).map(|(&seq, _)| seq).collect();
         self.outgoing.retain(|&seq, _| seq > ack);
         released
     }

@@ -167,7 +167,8 @@ impl VmEndpoint {
         if !released.is_empty() {
             self.stats.acks_effective += 1;
             self.stats.completed += released.len() as u64;
-            self.completed.extend(released.into_iter().map(|s| (from, s)));
+            self.completed
+                .extend(released.into_iter().map(|s| (from, s)));
         }
         match frame {
             Frame::Ack { .. } => Receipt::AckOnly,
@@ -261,12 +262,7 @@ impl VmEndpoint {
     pub fn outgoing_toward(&self, peer: SiteId) -> Vec<(Seq, Bytes)> {
         self.chans
             .get(&peer)
-            .map(|c| {
-                c.outgoing
-                    .iter()
-                    .map(|(&s, p)| (s, p.clone()))
-                    .collect()
-            })
+            .map(|c| c.outgoing.iter().map(|(&s, p)| (s, p.clone())).collect())
             .unwrap_or_default()
     }
 
@@ -468,7 +464,10 @@ mod tests {
         let receipts = flush(&mut s, &mut r);
         assert!(matches!(receipts[0], Receipt::Fresh { seq: 1, .. }));
         r.commit_accept(0, 1);
-        assert!(matches!(receipts[1], Receipt::Fresh { .. } | Receipt::OutOfOrder));
+        assert!(matches!(
+            receipts[1],
+            Receipt::Fresh { .. } | Receipt::OutOfOrder
+        ));
     }
 
     #[test]

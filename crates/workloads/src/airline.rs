@@ -85,9 +85,9 @@ impl AirlineWorkload {
         let site_z = Zipf::new(self.n_sites, self.site_skew);
         let flight_z = Zipf::new(self.flights, self.flight_skew);
 
-        let times = self
-            .arrivals
-            .generate(SimTime::ZERO + SimDuration::millis(1), self.txns, &mut rng);
+        let times =
+            self.arrivals
+                .generate(SimTime::ZERO + SimDuration::millis(1), self.txns, &mut rng);
         let mut scripts: Vec<Vec<(SimTime, TxnSpec)>> = vec![Vec::new(); self.n_sites];
 
         let (p_res, p_can, p_chg, p_read) = self.mix;

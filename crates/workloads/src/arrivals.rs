@@ -48,10 +48,7 @@ mod tests {
         };
         let mut rng = SimRng::new(1);
         let ts = a.generate(SimTime::ZERO, 3, &mut rng);
-        assert_eq!(
-            ts,
-            vec![SimTime(5_000), SimTime(10_000), SimTime(15_000)]
-        );
+        assert_eq!(ts, vec![SimTime(5_000), SimTime(10_000), SimTime(15_000)]);
     }
 
     #[test]

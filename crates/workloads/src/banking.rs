@@ -72,9 +72,9 @@ impl BankingWorkload {
             );
         }
         let acct_z = Zipf::new(self.accounts, self.account_skew);
-        let times = self
-            .arrivals
-            .generate(SimTime::ZERO + SimDuration::millis(1), self.txns, &mut rng);
+        let times =
+            self.arrivals
+                .generate(SimTime::ZERO + SimDuration::millis(1), self.txns, &mut rng);
         let mut scripts: Vec<Vec<(SimTime, TxnSpec)>> = vec![Vec::new(); self.n_sites];
         let (p_dep, p_wdr, p_tr, p_read) = self.mix;
         for t in times {

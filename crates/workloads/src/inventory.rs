@@ -71,9 +71,9 @@ impl InventoryWorkload {
             catalog.add(format!("sku-{p}"), self.stock, self.split.clone());
         }
         let prod_z = Zipf::new(self.products, self.product_skew);
-        let times = self
-            .arrivals
-            .generate(SimTime::ZERO + SimDuration::millis(1), self.txns, &mut rng);
+        let times =
+            self.arrivals
+                .generate(SimTime::ZERO + SimDuration::millis(1), self.txns, &mut rng);
         let mut scripts: Vec<Vec<(SimTime, TxnSpec)>> = vec![Vec::new(); self.n_sites];
         let (p_ship, p_restock, p_take) = self.mix;
         for t in times {

@@ -70,14 +70,16 @@ fn main() {
         dm.commit_ratio() * 100.0,
         tm.commit_ratio() * 100.0
     );
-    let dvp_window = format!("{:.0}ms", dm.decision_latency_percentile(100.0) as f64 / 1000.0);
-    let trad_window = format!("{:.0}ms", tm.max_blocking_us(trad.sim.now()) as f64 / 1000.0);
-    println!("worst decision window     {dvp_window:<10} {trad_window}");
-    println!(
-        "still blocked at end      {:<10} {}",
-        0,
-        tm.still_blocked()
+    let dvp_window = format!(
+        "{:.0}ms",
+        dm.decision_latency_percentile(100.0) as f64 / 1000.0
     );
+    let trad_window = format!(
+        "{:.0}ms",
+        tm.max_blocking_us(trad.sim.now()) as f64 / 1000.0
+    );
+    println!("worst decision window     {dvp_window:<10} {trad_window}");
+    println!("still blocked at end      {:<10} {}", 0, tm.still_blocked());
 
     println!("\nDvP kept both halves selling seats from their local quotas;");
     println!("2PC could not assemble a majority in either half and, worse,");

@@ -57,11 +57,7 @@ fn main() {
 
     let m = cluster.metrics();
     println!("=== 4-branch bank: partition + branch crash ===\n");
-    println!(
-        "committed {} / aborted {}",
-        m.committed(),
-        m.aborted()
-    );
+    println!("committed {} / aborted {}", m.committed(), m.aborted());
     for (reason, count) in m.sites.iter().flat_map(|s| s.aborted.iter()) {
         println!("  abort reason {reason:?}: {count}");
     }

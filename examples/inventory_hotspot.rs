@@ -31,7 +31,10 @@ fn part1_distributed() {
     cfg.scripts = workload.scripts.clone();
     let mut cluster = Cluster::build(cfg);
     cluster.run_until(SimTime::ZERO + SimDuration::secs(30));
-    cluster.auditor().check_conservation().expect("conservation");
+    cluster
+        .auditor()
+        .check_conservation()
+        .expect("conservation");
 
     let m = cluster.metrics();
     println!(
@@ -82,7 +85,11 @@ fn bench_counter(name: &str, counter: Arc<dyn Counter>, threads: usize) -> f64 {
 fn part2_hotspot() {
     println!("=== part 2: one hot counter, 4 threads ===\n");
     let initial = 1u64 << 40;
-    let ex = bench_counter("exclusive lock", Arc::new(ExclusiveCounter::new(initial)), 4);
+    let ex = bench_counter(
+        "exclusive lock",
+        Arc::new(ExclusiveCounter::new(initial)),
+        4,
+    );
     let es = bench_counter("escrow (O'Neil)", Arc::new(EscrowCounter::new(initial)), 4);
     let sh = bench_counter(
         "DvP sharded (16)",

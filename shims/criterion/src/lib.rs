@@ -1,0 +1,286 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use — groups,
+//! `bench_function`, `iter`/`iter_batched`, throughput annotation, and the
+//! `criterion_group!`/`criterion_main!` macros — over a simple wall-clock
+//! harness: warm up, calibrate iterations per sample, then report the
+//! median ns/iter across samples.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration (builder-style, like real criterion).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_one(&cfg, None, &id.into(), f);
+        self
+    }
+}
+
+/// Throughput annotation: reported alongside time when set on a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named collection of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.criterion.clone();
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&cfg, self.throughput, &id, f);
+        self
+    }
+
+    /// End the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Batch sizing hint for `iter_batched`; only the API shape is honoured.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Passed to each benchmark closure; call [`iter`](Bencher::iter) or
+/// [`iter_batched`](Bencher::iter_batched) exactly once.
+pub struct Bencher {
+    cfg: Criterion,
+    result: Option<Sample>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    median_ns: f64,
+    min_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f` per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm up and calibrate: how many calls fit in ~1/sample of budget?
+        let warm_deadline = Instant::now() + self.cfg.warm_up_time;
+        let mut calls_per_ns = f64::MAX;
+        while Instant::now() < warm_deadline {
+            let t = Instant::now();
+            black_box(f());
+            let ns = t.elapsed().as_nanos().max(1) as f64;
+            calls_per_ns = calls_per_ns.min(ns);
+        }
+        let per_sample_ns =
+            self.cfg.measurement_time.as_nanos() as f64 / self.cfg.sample_size as f64;
+        let iters = ((per_sample_ns / calls_per_ns).ceil() as u64).clamp(1, 1_000_000_000);
+
+        let mut samples = Vec::with_capacity(self.cfg.sample_size);
+        for _ in 0..self.cfg.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some(summarize(&mut samples));
+    }
+
+    /// Measure `routine` per call, excluding `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.cfg.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            black_box(routine(input));
+        }
+        // One timed call per sample batch; setup stays untimed.
+        let iters = 16usize;
+        let mut samples = Vec::with_capacity(self.cfg.sample_size);
+        for _ in 0..self.cfg.sample_size {
+            let mut total_ns = 0u128;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                total_ns += t.elapsed().as_nanos();
+            }
+            samples.push(total_ns as f64 / iters as f64);
+        }
+        self.result = Some(summarize(&mut samples));
+    }
+}
+
+fn summarize(samples: &mut [f64]) -> Sample {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Sample {
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+    }
+}
+
+fn run_one<F>(cfg: &Criterion, throughput: Option<Throughput>, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        cfg: cfg.clone(),
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        None => println!("{id:<48} (no measurement: closure never called iter)"),
+        Some(s) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Bytes(n) => format!("  {:>10.1} MiB/s", gb_per_s(n, s.median_ns)),
+                Throughput::Elements(n) => {
+                    format!("  {:>10.0} elem/s", n as f64 / (s.median_ns * 1e-9))
+                }
+            });
+            println!(
+                "{id:<48} median {:>12} min {:>12}{}",
+                fmt_ns(s.median_ns),
+                fmt_ns(s.min_ns),
+                rate.unwrap_or_default()
+            );
+        }
+    }
+}
+
+fn gb_per_s(bytes: u64, ns: f64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0) / (ns * 1e-9)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group: either `criterion_group!(name, target...)` or
+/// the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of proptest the workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert*` macros, range/tuple/collection
+//! strategies, `any`, `Just`, and `prop_oneof!`.
+//!
+//! Differences from real proptest, chosen for determinism and size:
+//! inputs are generated from a seed derived from the test name (override
+//! with `PROPTEST_SEED`), and failing cases are reported without
+//! shrinking — the panic message carries the seed and case index so a
+//! failure replays exactly.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests: each argument is drawn from its strategy for
+/// `cases` iterations (default 256, or `ProptestConfig::with_cases`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                let mut rng = $crate::test_runner::TestRng::new(seed);
+                let mut rejects: u32 = 0;
+                let mut case: u32 = 0;
+                while case < config.cases {
+                    $(let $arg = $crate::strategy::Strategy::gen(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => case += 1,
+                        Err(e) if e.is_reject() => {
+                            rejects += 1;
+                            assert!(
+                                rejects < 65_536,
+                                "proptest {}: too many prop_assume rejections",
+                                stringify!($name),
+                            );
+                        }
+                        Err(e) => panic!(
+                            "proptest {} failed at case {} (seed {:#x}): {}",
+                            stringify!($name), case, seed, e,
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Assert a condition inside a property test (fails the case, not the
+/// process, so the harness can report the inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} != {:?})", format!($($fmt)*), a, b),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Discard the current case (does not count toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+/// Choose uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -65,7 +65,7 @@ pub use dvp_workloads as workloads;
 pub mod prelude {
     pub use dvp_core::item::{Catalog, ItemDef, Split};
     pub use dvp_core::{
-        AbortReason, Cluster, ClusterConfig, ConcMode, FaultPlan, Fanout, ItemId, Op, Qty,
+        AbortReason, Cluster, ClusterConfig, ConcMode, Fanout, FaultPlan, ItemId, Op, Qty,
         RefillPolicy, SiteConfig, TxnOutcome, TxnSpec,
     };
     pub use dvp_simnet::prelude::*;

@@ -88,7 +88,9 @@ fn run_scenario(sc: &Scenario) -> Result<(), TestCaseError> {
     let mut faults = FaultPlan::none();
     for &(site, crash, down) in &sc.crashes {
         let site = site % sc.n_sites;
-        faults = faults.crash(ms(crash), site).recover(ms(crash + down), site);
+        faults = faults
+            .crash(ms(crash), site)
+            .recover(ms(crash + down), site);
     }
 
     let mut cfg = ClusterConfig::new(sc.n_sites, w.catalog.clone());

@@ -91,8 +91,16 @@ fn both_engines_agree_on_final_totals_when_everything_commits() {
     trad.run_until(horizon());
     assert_eq!(trad.metrics().committed(), 4);
     trad.check_replica_convergence().unwrap();
-    let trad_a = (0..4).map(|s| trad.sim.node(s).replica(a)).max_by_key(|r| r.1).unwrap().0;
-    let trad_b = (0..4).map(|s| trad.sim.node(s).replica(b)).max_by_key(|r| r.1).unwrap().0;
+    let trad_a = (0..4)
+        .map(|s| trad.sim.node(s).replica(a))
+        .max_by_key(|r| r.1)
+        .unwrap()
+        .0;
+    let trad_b = (0..4)
+        .map(|s| trad.sim.node(s).replica(b))
+        .max_by_key(|r| r.1)
+        .unwrap()
+        .0;
 
     assert_eq!(dvp_a, 700);
     assert_eq!(dvp_b, 720);

@@ -80,10 +80,14 @@ fn vm_in_flight_across_receiver_crash_is_not_lost_or_doubled() {
     let mut cfg = ClusterConfig::new(4, catalog)
         // Site 3 needs 40 (quota 25): donation Vms target site 3.
         .at(3, ms(1), TxnSpec::reserve(flight, 40));
-    // Crash site 3 right when Vms are in flight (a few ms in), recover
-    // later; the reservation itself will have aborted with its site, but
-    // the *value* must survive.
-    cfg.faults = FaultPlan::none().crash(ms(4), 3).recover(ms(60), 3);
+    // Pin the hop delay so the schedule is airtight: solicitations land at
+    // ms 4, donation Vms are in flight ms 4..7 — the ms-5 crash provably
+    // catches them mid-air, and the reservation cannot have committed yet
+    // (commit needs the donations back at site 3, earliest ms 7).
+    cfg.net.default_link = LinkConfig::reliable_fixed(SimDuration::millis(3));
+    // The reservation itself aborts with its site, but the *value* must
+    // survive: senders retransmit until the recovered site accepts.
+    cfg.faults = FaultPlan::none().crash(ms(5), 3).recover(ms(60), 3);
     let mut cl = Cluster::build(cfg);
     cl.run_to_quiescence();
     cl.auditor().check_conservation().unwrap();

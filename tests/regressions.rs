@@ -109,7 +109,11 @@ fn ablating_the_read_drain_gate_breaks_read_exactness() {
         .iter()
         .flat_map(|e| e.reads.iter().map(|&(_, v)| v))
         .collect();
-    assert_eq!(read_vals, vec![83], "the gateless read misses in-flight value");
+    assert_eq!(
+        read_vals,
+        vec![83],
+        "the gateless read misses in-flight value"
+    );
     assert!(
         !reads_ok,
         "check_reads must flag the miss — the §5 rule is load-bearing"
