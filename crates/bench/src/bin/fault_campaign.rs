@@ -1,0 +1,288 @@
+//! `fault_campaign` — the nemesis smoke matrix.
+//!
+//! Runs N seeded fault campaigns (crashes, partitions, chaos bursts,
+//! crashpoints, torn log writes) against each protocol configuration and
+//! checks the full oracle suite (conservation, Vm channel sanity, read
+//! exactness, rebuild equivalence) at many pause points per campaign.
+//!
+//! On a violation, the failing schedule is shrunk with `ddmin` to a
+//! 1-minimal reproduction and a one-line replay invocation is printed;
+//! the process exits nonzero.
+//!
+//! Knobs:
+//!
+//! * `DVP_NEMESIS_SEEDS` — seeds per configuration (default 50 quick /
+//!   100 full);
+//! * `DVP_NEMESIS_INTENSITY` — scale factor on the standard intensity
+//!   (default 1.0);
+//! * `--replay seed=S config=NAME keep=I,J,... [digest=X]` — rerun one
+//!   (possibly shrunk) campaign and print its verdict.
+
+use dvp_bench::{sweep, Scale, Table};
+use dvp_core::{ConcMode, SiteConfig};
+use dvp_nemesis::{
+    ddmin, generate, legacy_environment, run_campaign, CampaignConfig, CampaignResult,
+    FaultSchedule, Intensity, Replay,
+};
+use dvp_simnet::network::NetworkConfig;
+use dvp_simnet::time::SimDuration;
+use dvp_workloads::AirlineWorkload;
+
+/// One protocol configuration under test.
+struct ProtoConfig {
+    name: &'static str,
+    site: SiteConfig,
+    net: NetworkConfig,
+}
+
+fn configs() -> Vec<ProtoConfig> {
+    let base = SiteConfig::default();
+    let ckpt = SiteConfig {
+        checkpoint_every: Some(24),
+        ..base
+    };
+    let retry_rebalance = SiteConfig {
+        solicit_retries: 2,
+        rebalance: Some(Default::default()),
+        ..base
+    };
+    let lazy_acks_ckpt = {
+        let mut c = ckpt;
+        c.vm.eager_acks = false;
+        c
+    };
+    let conc2 = SiteConfig {
+        conc: ConcMode::Conc2,
+        ..base
+    };
+    vec![
+        ProtoConfig {
+            name: "conc1-baseline",
+            site: base,
+            net: legacy_environment(),
+        },
+        ProtoConfig {
+            name: "conc1-ckpt",
+            site: ckpt,
+            net: legacy_environment(),
+        },
+        ProtoConfig {
+            name: "conc1-retry-rebalance",
+            site: retry_rebalance,
+            net: legacy_environment(),
+        },
+        ProtoConfig {
+            name: "conc1-lazyacks-ckpt",
+            site: lazy_acks_ckpt,
+            net: legacy_environment(),
+        },
+        ProtoConfig {
+            // Conc2 assumes a synchronous-ordered network (paper §6.2), so
+            // its campaigns keep that transport guarantee; crashes,
+            // crashpoints, and torn writes still apply.
+            name: "conc2-sync",
+            site: conc2,
+            net: NetworkConfig::synchronous_ordered(SimDuration::millis(2)),
+        },
+    ]
+}
+
+fn campaign_config(pc: &ProtoConfig, seed: u64, n: usize, horizon_ms: u64) -> CampaignConfig {
+    let w = AirlineWorkload {
+        n_sites: n,
+        flights: 3,
+        seats_per_flight: 500,
+        txns: 60,
+        mix: (0.6, 0.2, 0.15, 0.05),
+        ..Default::default()
+    }
+    .generate(seed);
+    CampaignConfig {
+        seed,
+        n_sites: n,
+        horizon_ms,
+        audit_points: 10,
+        site: pc.site,
+        base_net: pc.net.clone(),
+        catalog: w.catalog,
+        scripts: w.scripts,
+    }
+}
+
+fn intensity() -> Intensity {
+    let factor: f64 = std::env::var("DVP_NEMESIS_INTENSITY")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    Intensity::standard().scaled(factor)
+}
+
+fn seeds_per_config(scale: Scale) -> u64 {
+    std::env::var("DVP_NEMESIS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| scale.pick(50, 100))
+}
+
+const N_SITES: usize = 6;
+const HORIZON_MS: u64 = 1_200;
+
+/// Shrink a failing campaign to a 1-minimal schedule and print its
+/// replay line.
+fn shrink_and_report(
+    pc: &ProtoConfig,
+    seed: u64,
+    schedule: &FaultSchedule,
+    result: &CampaignResult,
+) {
+    let cfg = campaign_config(pc, seed, N_SITES, HORIZON_MS);
+    eprintln!(
+        "VIOLATION  config={} seed={seed}: {}",
+        pc.name,
+        result.violation.as_deref().unwrap_or("?")
+    );
+    eprintln!("shrinking {} fault events...", schedule.events.len());
+    let kept = ddmin(schedule.events.len(), |indices| {
+        !run_campaign(&cfg, &schedule.subset(indices)).passed()
+    });
+    let minimal = schedule.subset(&kept);
+    let verdict = run_campaign(&cfg, &minimal);
+    eprintln!(
+        "minimal repro ({} events): {}",
+        minimal.events.len(),
+        verdict.violation.as_deref().unwrap_or("?")
+    );
+    for (i, ev) in kept.iter().zip(minimal.events.iter()) {
+        eprintln!("  [{i}] {ev:?}");
+    }
+    eprintln!("replay: {}", Replay::new(seed, pc.name, schedule, kept));
+}
+
+fn run_matrix() -> bool {
+    let scale = Scale::from_env();
+    let seeds = seeds_per_config(scale);
+    let intensity = intensity();
+    let all = configs();
+
+    let mut t = Table::new(
+        format!(
+            "Nemesis fault-campaign matrix ({} configs x {seeds} seeds, {N_SITES} sites, horizon {HORIZON_MS}ms)",
+            all.len()
+        ),
+        &[
+            "config",
+            "campaigns",
+            "violations",
+            "commits",
+            "aborts",
+            "recoveries",
+            "crashpoint trips",
+            "torn crashes",
+            "dropped@crashed",
+            "lost",
+            "dup",
+        ],
+    );
+
+    let mut failed = false;
+    for pc in &all {
+        let results: Vec<(u64, FaultSchedule, CampaignResult)> =
+            sweep((0..seeds).collect(), |&seed| {
+                let schedule = generate(seed, N_SITES, HORIZON_MS, &intensity);
+                let cfg = campaign_config(pc, seed, N_SITES, HORIZON_MS);
+                let r = run_campaign(&cfg, &schedule);
+                (seed, schedule, r)
+            });
+        let violations = results.iter().filter(|(_, _, r)| !r.passed()).count();
+        let sum = |f: fn(&CampaignResult) -> u64| results.iter().map(|(_, _, r)| f(r)).sum::<u64>();
+        t.row(vec![
+            pc.name.to_string(),
+            seeds.to_string(),
+            violations.to_string(),
+            sum(|r| r.committed).to_string(),
+            sum(|r| r.aborted).to_string(),
+            sum(|r| r.recoveries).to_string(),
+            sum(|r| r.crashpoint_trips).to_string(),
+            sum(|r| r.torn_crashes).to_string(),
+            sum(|r| r.dropped_crashed).to_string(),
+            sum(|r| r.lost).to_string(),
+            sum(|r| r.duplicated).to_string(),
+        ]);
+        if let Some((seed, schedule, r)) = results.iter().find(|(_, _, r)| !r.passed()) {
+            shrink_and_report(pc, *seed, schedule, r);
+            failed = true;
+        }
+    }
+    println!("{}", t.render());
+    !failed
+}
+
+fn run_replay(args: &[String]) -> bool {
+    let mut seed = None;
+    let mut config = None;
+    let mut keep = None;
+    let mut digest = None;
+    for a in args {
+        if let Some(v) = a.strip_prefix("seed=") {
+            seed = v.parse::<u64>().ok();
+        } else if let Some(v) = a.strip_prefix("config=") {
+            config = Some(v.to_string());
+        } else if let Some(v) = a.strip_prefix("keep=") {
+            keep = Replay::parse_keep(v);
+        } else if let Some(v) = a.strip_prefix("digest=") {
+            digest = u32::from_str_radix(v, 16).ok();
+        }
+    }
+    let (seed, config, keep) = match (seed, config, keep) {
+        (Some(s), Some(c), Some(k)) => (s, c, k),
+        _ => {
+            eprintln!("usage: fault_campaign --replay seed=S config=NAME keep=I,J,... [digest=X]");
+            return false;
+        }
+    };
+    let all = configs();
+    let pc = match all.iter().find(|p| p.name == config) {
+        Some(pc) => pc,
+        None => {
+            eprintln!("unknown config {config:?}");
+            return false;
+        }
+    };
+    let schedule = generate(seed, N_SITES, HORIZON_MS, &intensity()).subset(&keep);
+    if let Some(d) = digest {
+        if schedule.digest() != d {
+            eprintln!(
+                "digest mismatch: expected {d:08x}, schedule is {:08x} (intensity drift?)",
+                schedule.digest()
+            );
+            return false;
+        }
+    }
+    println!("replaying {} events:", schedule.events.len());
+    for ev in &schedule.events {
+        println!("  {ev:?}");
+    }
+    let r = run_campaign(&campaign_config(pc, seed, N_SITES, HORIZON_MS), &schedule);
+    match &r.violation {
+        Some(v) => {
+            println!("REPRODUCED: {v}");
+            true
+        }
+        None => {
+            println!("campaign passed (no violation)");
+            true
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ok = if args.first().map(String::as_str) == Some("--replay") {
+        run_replay(&args[1..])
+    } else {
+        run_matrix()
+    };
+    if !ok {
+        std::process::exit(1);
+    }
+}

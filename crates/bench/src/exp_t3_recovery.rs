@@ -72,6 +72,7 @@ pub fn run(scale: Scale) -> Table {
             "recovery remote msgs",
             "time to first commit",
             "still blocked",
+            "dropped at crashed",
         ],
     );
 
@@ -103,6 +104,7 @@ pub fn run(scale: Scale) -> Table {
                 m.sites[1].recovery_remote_messages.to_string(),
                 ttfc.map(ms).unwrap_or_else(|| "n/a".into()),
                 "0".into(),
+                cl.sim.stats().dropped_crashed.to_string(),
             ]
         } else {
             let mut cfg = TradClusterConfig::new(8, w.catalog.clone());
@@ -130,6 +132,7 @@ pub fn run(scale: Scale) -> Table {
                     "n/a".into()
                 },
                 m.still_blocked().to_string(),
+                cl.sim.stats().dropped_crashed.to_string(),
             ]
         }
     }) {
@@ -169,5 +172,15 @@ mod tests {
         assert_eq!(t.cell(4, 0), "7");
         assert_eq!(t.cell(4, 1), "DvP");
         assert_ne!(t.cell(4, 3), "n/a");
+        // DvP recovery is purely local under this workload: nothing is
+        // even addressed to a downed site, so its suppressed-delivery
+        // count stays 0 while 2PC keeps querying crashed coordinators.
+        assert_eq!(t.cell(4, 5), "0");
+        assert_eq!(t.cell(5, 1), "2PC");
+        assert_ne!(
+            t.cell(5, 5),
+            "0",
+            "2PC must have deliveries suppressed at crashed sites"
+        );
     }
 }

@@ -14,9 +14,8 @@ use crate::sweep::sweep;
 use crate::table::Table;
 use crate::Scale;
 use dvp_core::{Cluster, ClusterConfig, FaultPlan};
-use dvp_simnet::network::{LinkConfig, NetworkConfig};
-use dvp_simnet::partition::PartitionSchedule;
-use dvp_simnet::rng::SimRng;
+use dvp_nemesis::{generate, legacy_environment, Intensity};
+use dvp_simnet::network::NetworkConfig;
 use dvp_simnet::time::{SimDuration, SimTime};
 use dvp_workloads::AirlineWorkload;
 
@@ -25,44 +24,17 @@ fn msec(n: u64) -> SimTime {
 }
 
 /// Build a random fault environment from a seed.
+///
+/// Since the nemesis subsystem landed, this is a thin wrapper over its
+/// generator at [`Intensity::legacy`] — the single source of truth for
+/// fault schedules. The output (and therefore every T5 table cell) is
+/// byte-identical to the original inline generator at every seed; the
+/// `legacy_generator_is_byte_identical` test pins that equivalence
+/// against a verbatim copy of the old algorithm.
 pub fn random_faults(seed: u64, n: usize, horizon_ms: u64) -> (NetworkConfig, FaultPlan) {
-    let mut rng = SimRng::new(seed ^ 0xFA17);
-    // Lossy, duplicating links.
-    let mut net = NetworkConfig {
-        default_link: LinkConfig {
-            delay_min: SimDuration::millis(1),
-            delay_max: SimDuration::millis(8),
-            loss: 0.15,
-            duplicate: 0.10,
-        },
-        ..Default::default()
-    };
-    // A few partition episodes.
-    let mut sched = PartitionSchedule::fully_connected(n);
-    let episodes = rng.uniform(1, 3);
-    let mut tcur = rng.uniform(10, horizon_ms / 4);
-    for _ in 0..episodes {
-        let cut: Vec<usize> = (0..n).filter(|_| rng.chance(0.4)).collect();
-        if !cut.is_empty() && cut.len() < n {
-            sched = sched.isolate_at(msec(tcur), &cut);
-            let heal = tcur + rng.uniform(50, horizon_ms / 3);
-            sched = sched.heal_at(msec(heal));
-            tcur = heal + rng.uniform(10, horizon_ms / 4);
-        } else {
-            tcur += rng.uniform(10, horizon_ms / 4);
-        }
-    }
-    net = net.with_partitions(sched);
-    // Crash/recover a couple of sites.
-    let mut faults = FaultPlan::none();
-    for site in 0..n {
-        if rng.chance(0.3) {
-            let c = rng.uniform(10, horizon_ms / 2);
-            let r = c + rng.uniform(20, horizon_ms / 2);
-            faults = faults.crash(msec(c), site).recover(msec(r), site);
-        }
-    }
-    (net, faults)
+    let schedule = generate(seed, n, horizon_ms, &Intensity::legacy());
+    let applied = schedule.apply(n, legacy_environment());
+    (applied.net, applied.faults)
 }
 
 /// Run T5 and return the table.
@@ -133,5 +105,68 @@ mod tests {
         let (_, f1) = random_faults(3, 6, 1000);
         let (_, f2) = random_faults(3, 6, 1000);
         assert_eq!(format!("{f1:?}"), format!("{f2:?}"));
+    }
+
+    /// Verbatim copy of the pre-nemesis inline generator, kept only to
+    /// pin that the nemesis legacy profile reproduces it byte-for-byte
+    /// (same RNG stream, same push order ⇒ same trajectories).
+    fn old_random_faults(seed: u64, n: usize, horizon_ms: u64) -> (NetworkConfig, FaultPlan) {
+        use dvp_simnet::network::LinkConfig;
+        use dvp_simnet::partition::PartitionSchedule;
+        use dvp_simnet::rng::SimRng;
+        let mut rng = SimRng::new(seed ^ 0xFA17);
+        let mut net = NetworkConfig {
+            default_link: LinkConfig {
+                delay_min: SimDuration::millis(1),
+                delay_max: SimDuration::millis(8),
+                loss: 0.15,
+                duplicate: 0.10,
+            },
+            ..Default::default()
+        };
+        let mut sched = PartitionSchedule::fully_connected(n);
+        let episodes = rng.uniform(1, 3);
+        let mut tcur = rng.uniform(10, horizon_ms / 4);
+        for _ in 0..episodes {
+            let cut: Vec<usize> = (0..n).filter(|_| rng.chance(0.4)).collect();
+            if !cut.is_empty() && cut.len() < n {
+                sched = sched.isolate_at(msec(tcur), &cut);
+                let heal = tcur + rng.uniform(50, horizon_ms / 3);
+                sched = sched.heal_at(msec(heal));
+                tcur = heal + rng.uniform(10, horizon_ms / 4);
+            } else {
+                tcur += rng.uniform(10, horizon_ms / 4);
+            }
+        }
+        net = net.with_partitions(sched);
+        let mut faults = FaultPlan::none();
+        for site in 0..n {
+            if rng.chance(0.3) {
+                let c = rng.uniform(10, horizon_ms / 2);
+                let r = c + rng.uniform(20, horizon_ms / 2);
+                faults = faults.crash(msec(c), site).recover(msec(r), site);
+            }
+        }
+        (net, faults)
+    }
+
+    #[test]
+    fn legacy_generator_is_byte_identical() {
+        for seed in 0..40u64 {
+            for horizon in [1000u64, 1500, 6000] {
+                let (net_old, faults_old) = old_random_faults(seed, 6, horizon);
+                let (net_new, faults_new) = random_faults(seed, 6, horizon);
+                assert_eq!(
+                    format!("{net_old:?}"),
+                    format!("{net_new:?}"),
+                    "net mismatch at seed {seed}, horizon {horizon}"
+                );
+                assert_eq!(
+                    format!("{faults_old:?}"),
+                    format!("{faults_new:?}"),
+                    "fault plan mismatch at seed {seed}, horizon {horizon}"
+                );
+            }
+        }
     }
 }

@@ -35,6 +35,12 @@ pub struct RunSummary {
     pub still_blocked: u64,
     /// Remote messages consumed by recovery.
     pub recovery_remote_msgs: u64,
+    /// Deliveries suppressed because the recipient site was crashed.
+    pub dropped_crashed: u64,
+    /// Nemesis crashpoint triggers fired during the run.
+    pub crashpoint_trips: u64,
+    /// Crashes whose in-flight log write tore (and recovery repaired).
+    pub torn_crashes: u64,
 }
 
 /// Run the DvP engine on a workload. Panics if the conservation audit
@@ -71,6 +77,9 @@ pub fn run_dvp(
         donations: m.donations(),
         still_blocked: 0,
         recovery_remote_msgs: m.sites.iter().map(|s| s.recovery_remote_messages).sum(),
+        dropped_crashed: cl.sim.stats().dropped_crashed,
+        crashpoint_trips: m.crashpoint_trips(),
+        torn_crashes: m.torn_crashes(),
     }
 }
 
@@ -120,6 +129,9 @@ pub fn run_trad(
         donations: 0,
         still_blocked: m.still_blocked() as u64,
         recovery_remote_msgs: m.recovery_remote_messages(),
+        dropped_crashed: cl.sim.stats().dropped_crashed,
+        crashpoint_trips: 0,
+        torn_crashes: 0,
     }
 }
 

@@ -49,7 +49,9 @@ pub use cluster::{Cluster, ClusterConfig, FaultPlan};
 pub use item::{Catalog, ItemId};
 pub use metrics::{AbortReason, ClusterMetrics, SiteMetrics};
 pub use ops::Op;
-pub use policy::{ConcMode, Fanout, RebalanceConfig, RefillPolicy, SiteConfig};
+pub use policy::{
+    ConcMode, Crashpoint, Fanout, InjectConfig, RebalanceConfig, RefillPolicy, SiteConfig,
+};
 pub use site::SiteNode;
 pub use txn::{TxnOutcome, TxnSpec};
 

@@ -84,6 +84,12 @@ pub struct SiteMetrics {
     /// recovery (always 0 for DvP — the independence claim; the 2PC
     /// baseline reports nonzero).
     pub recovery_remote_messages: u64,
+    /// Crashpoint triggers fired at this site (nemesis injection).
+    pub crashpoint_trips: u64,
+    /// Crashes that tore the in-flight log write (nemesis injection).
+    pub torn_crashes: u64,
+    /// Torn-tail bytes recovery dropped and repaired at this site.
+    pub torn_bytes_dropped: u64,
 }
 
 impl SiteMetrics {
@@ -188,6 +194,21 @@ impl ClusterMetrics {
     /// Sum of donations made.
     pub fn donations(&self) -> u64 {
         self.sites.iter().map(|s| s.donations).sum()
+    }
+
+    /// Sum of crashpoint triggers fired (nemesis injection).
+    pub fn crashpoint_trips(&self) -> u64 {
+        self.sites.iter().map(|s| s.crashpoint_trips).sum()
+    }
+
+    /// Sum of crashes that tore the in-flight log write.
+    pub fn torn_crashes(&self) -> u64 {
+        self.sites.iter().map(|s| s.torn_crashes).sum()
+    }
+
+    /// Sum of recoveries performed.
+    pub fn recoveries(&self) -> u64 {
+        self.sites.iter().map(|s| s.recoveries).sum()
     }
 }
 

@@ -7,6 +7,7 @@
 
 use crate::Qty;
 use dvp_simnet::time::SimDuration;
+use dvp_storage::TornWrite;
 use dvp_vmsg::VmConfig;
 
 /// How much value a donor ships when honouring a refill request.
@@ -90,6 +91,61 @@ impl Default for RebalanceConfig {
     }
 }
 
+/// A named crash site inside the protocol (nemesis crashpoint).
+///
+/// Each names the instant *between* two steps whose atomicity the paper
+/// never assumes — exactly where a real crash is most interesting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Crashpoint {
+    /// In `commit_txn`, after the Commit record is appended but before it
+    /// is forced: the transaction must *not* survive recovery.
+    AfterAppendBeforeForce,
+    /// In `try_donate`, after the Rds record is forced but before the Vm
+    /// frame is transmitted: the Vm exists durably and must reach its
+    /// destination via post-recovery retransmission.
+    AfterForceBeforeSend,
+    /// In `maybe_checkpoint`, after the checkpoint slot is installed but
+    /// before the log is truncated: recovery must not double-apply the
+    /// records both snapshotted and still in the log.
+    MidCheckpoint,
+}
+
+/// Fault-injection knobs carried on [`SiteConfig`] (all off by default —
+/// the disabled path costs one branch on an always-false flag).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InjectConfig {
+    /// Crash the victim site at this named crashpoint (one-shot: the
+    /// trigger disarms after firing so recovery cannot crash-loop).
+    pub crashpoint: Option<Crashpoint>,
+    /// Which hit of the crashpoint fires it (1 = the first).
+    pub crash_on_hit: u32,
+    /// The site the crashpoint (and torn-write mode) applies to.
+    pub victim: usize,
+    /// Tear the in-flight log write on the victim's crashes.
+    pub torn: TornWrite,
+}
+
+impl InjectConfig {
+    /// Arm a crashpoint at `victim`, firing on the first hit.
+    pub fn crashpoint_at(victim: usize, point: Crashpoint) -> Self {
+        InjectConfig {
+            crashpoint: Some(point),
+            crash_on_hit: 1,
+            victim,
+            ..Default::default()
+        }
+    }
+
+    /// Tear the victim's log writes on every crash.
+    pub fn torn_at(victim: usize, mode: TornWrite) -> Self {
+        InjectConfig {
+            victim,
+            torn: mode,
+            ..Default::default()
+        }
+    }
+}
+
 /// Per-site protocol configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct SiteConfig {
@@ -128,6 +184,16 @@ pub struct SiteConfig {
     /// reads can silently miss in-flight value — the test suite proves
     /// exactly that, which is why the rule exists.
     pub unsafe_skip_read_drain_gate: bool,
+    /// **Ablation-only.** Restore the checkpoint image on recovery but
+    /// skip the log-redo phase — the classic "forgot the REDO pass" bug.
+    /// Any crash then reverts the site to its last checkpoint (or its
+    /// empty initial image), destroying committed value. The nemesis
+    /// shrinker demo uses this to show a fault campaign minimizing to a
+    /// single crash event.
+    pub unsafe_skip_recovery_redo: bool,
+    /// Nemesis fault injection (crashpoints, torn log writes). Defaults to
+    /// fully disabled.
+    pub inject: InjectConfig,
 }
 
 impl Default for SiteConfig {
@@ -145,6 +211,8 @@ impl Default for SiteConfig {
             rebalance: None,
             checkpoint_every: None,
             unsafe_skip_read_drain_gate: false,
+            unsafe_skip_recovery_redo: false,
+            inject: InjectConfig::default(),
         }
     }
 }

@@ -32,7 +32,7 @@ use crate::fragment::FragmentStore;
 use crate::item::ItemId;
 use crate::locks::{Holder, LockTable};
 use crate::metrics::{AbortReason, CommitEntry, SiteMetrics};
-use crate::policy::{ConcMode, Fanout, SiteConfig};
+use crate::policy::{ConcMode, Crashpoint, Fanout, SiteConfig};
 use crate::record::SiteRecord;
 use crate::transfer::{Transfer, TransferKind};
 use crate::txn::TxnSpec;
@@ -40,7 +40,7 @@ use crate::Qty;
 use dvp_simnet::node::{Context, Node, TimerId};
 use dvp_simnet::time::{SimDuration, SimTime};
 use dvp_simnet::NodeId;
-use dvp_storage::{CheckpointSlot, StableLog};
+use dvp_storage::{CheckpointSlot, Lsn, StableLog, TornWrite};
 use dvp_vmsg::{ChannelSnapshot, Frame, Receipt, Seq, VmEndpoint, VmLogOp};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -181,6 +181,15 @@ pub struct SiteNode {
     /// Round-robin pointer for `Fanout::One`.
     rr: usize,
     retransmit_armed: bool,
+    /// Times the armed crashpoint has been reached (survives crashes so
+    /// `crash_on_hit` counts protocol events, not boots).
+    crashpoint_hits: u32,
+    /// The armed crashpoint already fired (one-shot — recovery would
+    /// otherwise re-enter the same code path and crash-loop forever).
+    crashpoint_tripped: bool,
+    /// A crashpoint fired in the current callback: the kernel will crash
+    /// us when it returns, so no further durable effects may happen.
+    crash_pending: bool,
     /// Experiment instrumentation (omniscient: survives crashes).
     metrics: SiteMetrics,
 }
@@ -228,6 +237,9 @@ impl SiteNode {
             vm_item: BTreeMap::new(),
             rr: (id + 1) % n.max(1),
             retransmit_armed: false,
+            crashpoint_hits: 0,
+            crashpoint_tripped: false,
+            crash_pending: false,
             metrics: SiteMetrics::default(),
         }
     }
@@ -271,6 +283,29 @@ impl SiteNode {
 
     // ---- helpers ---------------------------------------------------------
 
+    /// Evaluate an armed crashpoint at a named protocol instant. Returns
+    /// `true` when it fires: the caller must return immediately without
+    /// performing the step that follows the crash site. The kernel applies
+    /// the crash when the current callback finishes; `crash_pending` guards
+    /// the durable operations that could otherwise run in between.
+    fn crashpoint(&mut self, ctx: &mut Context<'_, ProtoMsg>, point: Crashpoint) -> bool {
+        if self.cfg.inject.crashpoint != Some(point)
+            || self.id != self.cfg.inject.victim
+            || self.crashpoint_tripped
+        {
+            return false;
+        }
+        self.crashpoint_hits += 1;
+        if self.crashpoint_hits < self.cfg.inject.crash_on_hit.max(1) {
+            return false;
+        }
+        self.crashpoint_tripped = true;
+        self.crash_pending = true;
+        self.metrics.crashpoint_trips += 1;
+        ctx.crash_self();
+        true
+    }
+
     fn others(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.n).filter(move |&s| s != self.id)
     }
@@ -283,6 +318,9 @@ impl SiteNode {
     /// Drain the Vm outbox onto the wire, account completed Vm
     /// lifecycles, and keep the retransmit timer armed while needed.
     fn flush_vm(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        if self.crash_pending {
+            return;
+        }
         for (to, frame) in self.vm.drain_outbox() {
             self.send(ctx, to, Body::Vm(frame));
         }
@@ -312,13 +350,16 @@ impl SiteNode {
             ctx.set_timer(self.cfg.retransmit_every, TAG_RETRANSMIT);
             self.retransmit_armed = true;
         }
-        self.maybe_checkpoint();
+        self.maybe_checkpoint(ctx);
     }
 
     /// Take a checkpoint when the stable log has grown past the
     /// configured bound: snapshot durable state, remember the redo point,
     /// truncate the log prefix.
-    fn maybe_checkpoint(&mut self) {
+    fn maybe_checkpoint(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        if self.crash_pending {
+            return;
+        }
         let limit = match self.cfg.checkpoint_every {
             Some(l) => l,
             None => return,
@@ -338,6 +379,12 @@ impl SiteNode {
                 vm: self.vm.snapshot(),
             },
         );
+        if self.crashpoint(ctx, Crashpoint::MidCheckpoint) {
+            // Crash between installing the checkpoint and truncating the
+            // log: the snapshotted records are still in the log, and
+            // recovery must not redo them (the LSN skip below).
+            return;
+        }
         self.log.truncate_before(redo_from);
         self.metrics.checkpoints += 1;
     }
@@ -616,6 +663,9 @@ impl SiteNode {
 
     /// Steps 5–7: force the commit record, install changes, release locks.
     fn commit_txn(&mut self, ts: Ts, ctx: &mut Context<'_, ProtoMsg>) {
+        if self.crash_pending {
+            return; // the impending crash will abort it as Crashed
+        }
         let t = self.active.remove(&ts).expect("active");
         ctx.cancel_timer(t.timeout_timer);
         self.release_read_leases(ts, &t.spec, ctx);
@@ -633,6 +683,12 @@ impl SiteNode {
             txn: ts,
             actions: deltas.clone(),
         });
+        if self.crashpoint(ctx, Crashpoint::AfterAppendBeforeForce) {
+            // Crash with the Commit record appended but unforced: the
+            // record dies with the tail, so the transaction must *not*
+            // survive recovery (it never reached its commit point).
+            return;
+        }
         self.log.force();
 
         // Step 6: install and note installation.
@@ -788,6 +844,9 @@ impl SiteNode {
         read: bool,
         ctx: &mut Context<'_, ProtoMsg>,
     ) {
+        if self.crash_pending {
+            return;
+        }
         if self.cfg.conc == ConcMode::Conc1 && txn <= self.frags.ts(item) {
             // Conc1: the soliciting transaction is too old for this value.
             self.metrics.requests_ignored += 1;
@@ -834,6 +893,12 @@ impl SiteNode {
             vm_ops: vec![op],
         });
         self.log.force();
+        if self.crashpoint(ctx, Crashpoint::AfterForceBeforeSend) {
+            // Crash with the Rds record forced but the Vm frame never
+            // transmitted: the Vm exists durably and must still reach its
+            // destination via post-recovery retransmission.
+            return;
+        }
         self.frags.debit(item, amount);
         self.frags.bump_ts(item, txn);
         *self.outstanding_out.entry(item).or_insert(0) += 1;
@@ -854,6 +919,9 @@ impl SiteNode {
     /// The proactive rebalancer: a spontaneous Rds transaction shipping
     /// surplus value toward observed demand.
     fn run_rebalance(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        if self.crash_pending {
+            return;
+        }
         let rb = match self.cfg.rebalance {
             Some(rb) => rb,
             None => return,
@@ -942,6 +1010,9 @@ impl SiteNode {
         transfer: &Transfer,
         _ctx: &mut Context<'_, ProtoMsg>,
     ) {
+        if self.crash_pending {
+            return;
+        }
         let op = self.vm.commit_accept(from, seq);
         self.log.append(SiteRecord::Rds {
             txn: transfer.for_txn,
@@ -979,7 +1050,10 @@ impl SiteNode {
     /// and Vm state purely from the local stable log.
     fn rebuild_from_log(&mut self) {
         // Start from the latest checkpoint image (if any), then redo the
-        // log suffix. Records before the checkpoint were truncated away.
+        // log suffix. Records before the checkpoint were truncated away —
+        // unless the crash landed between checkpoint installation and log
+        // truncation, in which case the LSN skip below keeps the redo from
+        // double-applying the snapshotted prefix.
         match self.checkpoint.load() {
             Some(cp) => {
                 self.frags
@@ -988,31 +1062,21 @@ impl SiteNode {
             }
             None => self.frags.reset(),
         }
-        let records = self.log.recover().expect("stable image must decode");
-        for rec in &records {
-            match rec {
-                SiteRecord::Init { item, qty } => self.frags.credit(*item, *qty),
-                SiteRecord::Rds {
-                    txn,
-                    actions,
-                    vm_ops,
-                } => {
-                    for &(item, delta) in actions {
-                        self.frags.apply_delta(item, delta);
-                        self.frags.bump_ts(item, *txn);
-                    }
-                    for op in vm_ops {
-                        self.vm.replay(op);
-                    }
-                }
-                SiteRecord::Commit { txn, actions } => {
-                    for &(item, delta) in actions {
-                        self.frags.apply_delta(item, delta);
-                        self.frags.bump_ts(item, *txn);
-                    }
-                }
-                SiteRecord::Applied { .. } => {}
-            }
+        let recovered = self.log.recover_lenient();
+        if let Some(torn) = &recovered.torn {
+            // WAL-style: the torn tail frame never committed; drop it and
+            // repair the image so later scans see a clean log.
+            self.metrics.torn_crashes += 1;
+            self.metrics.torn_bytes_dropped += torn.bytes_dropped;
+            self.log.repair_torn_tail();
+        }
+        if !self.cfg.unsafe_skip_recovery_redo {
+            redo_entries(
+                &mut self.frags,
+                &mut self.vm,
+                &recovered.entries,
+                self.checkpoint.redo_from(),
+            );
         }
         // Rebuild the per-item outstanding index from the endpoint.
         for peer in self.vm.peers() {
@@ -1022,6 +1086,67 @@ impl SiteNode {
                     *self.outstanding_out.entry(t.item).or_insert(0) += 1;
                 }
             }
+        }
+    }
+
+    /// Reconstruct this site's durable state — fragments and Vm channels —
+    /// from the checkpoint slot and stable log alone, touching nothing
+    /// live. The nemesis rebuild-equivalence oracle compares this against
+    /// the running site: recovery must be a pure function of stable
+    /// storage.
+    pub fn rebuilt_durable_state(&self) -> (FragmentStore, VmEndpoint) {
+        let mut frags = FragmentStore::new(self.initial_quotas.len());
+        let mut vm = VmEndpoint::new(self.id, self.cfg.vm);
+        if let Some(cp) = self.checkpoint.load() {
+            frags.restore(&cp.snapshot.frag_vals, &cp.snapshot.frag_ts);
+            vm.restore(&cp.snapshot.vm);
+        }
+        let recovered = self.log.recover_lenient();
+        redo_entries(
+            &mut frags,
+            &mut vm,
+            &recovered.entries,
+            self.checkpoint.redo_from(),
+        );
+        (frags, vm)
+    }
+}
+
+/// Redo the log suffix at or past `redo_from` onto `frags`/`vm` (the
+/// shared core of live recovery and the pure rebuild oracle). Entries
+/// below `redo_from` are already reflected in the checkpoint snapshot.
+fn redo_entries(
+    frags: &mut FragmentStore,
+    vm: &mut VmEndpoint,
+    entries: &[(Lsn, SiteRecord)],
+    redo_from: Lsn,
+) {
+    for (lsn, rec) in entries {
+        if *lsn < redo_from {
+            continue;
+        }
+        match rec {
+            SiteRecord::Init { item, qty } => frags.credit(*item, *qty),
+            SiteRecord::Rds {
+                txn,
+                actions,
+                vm_ops,
+            } => {
+                for &(item, delta) in actions {
+                    frags.apply_delta(item, delta);
+                    frags.bump_ts(item, *txn);
+                }
+                for op in vm_ops {
+                    vm.replay(op);
+                }
+            }
+            SiteRecord::Commit { txn, actions } => {
+                for &(item, delta) in actions {
+                    frags.apply_delta(item, delta);
+                    frags.bump_ts(item, *txn);
+                }
+            }
+            SiteRecord::Applied { .. } => {}
         }
     }
 }
@@ -1127,8 +1252,16 @@ impl Node for SiteNode {
     }
 
     fn on_crash(&mut self) {
+        self.crash_pending = false;
         // The unforced log tail and every piece of volatile state die here.
-        self.log.crash();
+        // The nemesis victim's crashes may additionally tear the in-flight
+        // log write (a half-written tail frame the recovery scan repairs).
+        let torn_mode = if self.id == self.cfg.inject.victim {
+            self.cfg.inject.torn
+        } else {
+            TornWrite::None
+        };
+        self.log.crash_torn(torn_mode);
         self.vm.crash_reset();
         self.locks.clear();
         for (_, t) in std::mem::take(&mut self.active) {

@@ -1,0 +1,243 @@
+//! The seeded fault-schedule generator.
+//!
+//! One generator, two RNG streams:
+//!
+//! * the **legacy stream** (`seed ^ 0xFA17`) drives partition episodes and
+//!   crash/recover pairs with *exactly* the draw sequence of the original
+//!   T5 `random_faults` — `chance(p)` consumes one draw whatever `p` is,
+//!   so the probabilities are tunable without perturbing the stream. With
+//!   [`Intensity::legacy`] the output is byte-identical to the old code;
+//! * the **extension stream** (`seed ^ 0xC4A05`) drives everything the
+//!   nemesis adds (chaos bursts, crashpoints, torn writes), so turning
+//!   those on never disturbs a legacy trajectory.
+
+use crate::schedule::{FaultEvent, FaultSchedule};
+use dvp_core::policy::Crashpoint;
+use dvp_simnet::network::{LinkConfig, NetworkConfig};
+use dvp_simnet::rng::SimRng;
+use dvp_simnet::time::SimDuration;
+use dvp_storage::TornWrite;
+
+/// How hard the nemesis pushes. All probabilities are per-campaign.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Intensity {
+    /// Per-site probability of joining a partition episode's cut.
+    pub partition_p: f64,
+    /// Per-site probability of a crash/recover pair.
+    pub crash_p: f64,
+    /// Number of chaos bursts (loss/dup/jitter windows).
+    pub chaos_windows: u32,
+    /// Extra loss inside a chaos window.
+    pub chaos_loss: f64,
+    /// Extra duplication inside a chaos window.
+    pub chaos_dup: f64,
+    /// Max extra delivery jitter inside a chaos window (ms).
+    pub chaos_jitter_ms: u64,
+    /// Probability of arming one protocol crashpoint.
+    pub crashpoint_p: f64,
+    /// Probability of making one site's crashes tear the log write.
+    pub torn_p: f64,
+}
+
+impl Intensity {
+    /// The original T5 fault environment, nothing more: partitions at
+    /// 0.4, crashes at 0.3, none of the nemesis extensions.
+    pub fn legacy() -> Self {
+        Intensity {
+            partition_p: 0.4,
+            crash_p: 0.3,
+            chaos_windows: 0,
+            chaos_loss: 0.0,
+            chaos_dup: 0.0,
+            chaos_jitter_ms: 0,
+            crashpoint_p: 0.0,
+            torn_p: 0.0,
+        }
+    }
+
+    /// The default campaign mix: legacy partitions/crashes plus chaos
+    /// bursts, an occasional crashpoint, and occasional torn writes.
+    pub fn standard() -> Self {
+        Intensity {
+            chaos_windows: 2,
+            chaos_loss: 0.2,
+            chaos_dup: 0.1,
+            chaos_jitter_ms: 6,
+            crashpoint_p: 0.5,
+            torn_p: 0.5,
+            ..Intensity::legacy()
+        }
+    }
+
+    /// Scale every probability/count by `f` (clamped to sane ranges).
+    pub fn scaled(self, f: f64) -> Self {
+        Intensity {
+            partition_p: (self.partition_p * f).clamp(0.0, 0.9),
+            crash_p: (self.crash_p * f).clamp(0.0, 0.9),
+            chaos_windows: ((self.chaos_windows as f64 * f).round()) as u32,
+            chaos_loss: (self.chaos_loss * f).clamp(0.0, 0.8),
+            chaos_dup: (self.chaos_dup * f).clamp(0.0, 0.8),
+            chaos_jitter_ms: self.chaos_jitter_ms,
+            crashpoint_p: (self.crashpoint_p * f).clamp(0.0, 1.0),
+            torn_p: (self.torn_p * f).clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Default for Intensity {
+    fn default() -> Self {
+        Intensity::standard()
+    }
+}
+
+/// The lossy, duplicating base network of the T5 experiment.
+pub fn legacy_environment() -> NetworkConfig {
+    NetworkConfig {
+        default_link: LinkConfig {
+            delay_min: SimDuration::millis(1),
+            delay_max: SimDuration::millis(8),
+            loss: 0.15,
+            duplicate: 0.10,
+        },
+        ..Default::default()
+    }
+}
+
+/// Generate the fault schedule for `(seed, n, horizon_ms)` at the given
+/// intensity.
+pub fn generate(seed: u64, n: usize, horizon_ms: u64, intensity: &Intensity) -> FaultSchedule {
+    let mut events = Vec::new();
+
+    // --- legacy stream: partitions then crash/recover pairs -------------
+    let mut rng = SimRng::new(seed ^ 0xFA17);
+    let episodes = rng.uniform(1, 3);
+    let mut tcur = rng.uniform(10, horizon_ms / 4);
+    for _ in 0..episodes {
+        let cut: Vec<usize> = (0..n)
+            .filter(|_| rng.chance(intensity.partition_p))
+            .collect();
+        if !cut.is_empty() && cut.len() < n {
+            let heal = tcur + rng.uniform(50, horizon_ms / 3);
+            events.push(FaultEvent::Isolate {
+                at_ms: tcur,
+                sites: cut,
+            });
+            events.push(FaultEvent::Heal { at_ms: heal });
+            tcur = heal + rng.uniform(10, horizon_ms / 4);
+        } else {
+            tcur += rng.uniform(10, horizon_ms / 4);
+        }
+    }
+    for site in 0..n {
+        if rng.chance(intensity.crash_p) {
+            let c = rng.uniform(10, horizon_ms / 2);
+            let r = c + rng.uniform(20, horizon_ms / 2);
+            events.push(FaultEvent::Crash { at_ms: c, site });
+            events.push(FaultEvent::Recover { at_ms: r, site });
+        }
+    }
+
+    // --- extension stream: chaos, crashpoints, torn writes ---------------
+    let mut xrng = SimRng::new(seed ^ 0xC4A05);
+    for _ in 0..intensity.chaos_windows {
+        let from = xrng.uniform(10, horizon_ms.saturating_sub(100).max(11));
+        let until = from + xrng.uniform(30, (horizon_ms / 4).max(31));
+        events.push(FaultEvent::Chaos {
+            from_ms: from,
+            until_ms: until,
+            loss: intensity.chaos_loss,
+            dup: intensity.chaos_dup,
+            jitter_ms: intensity.chaos_jitter_ms,
+        });
+    }
+    if intensity.crashpoint_p > 0.0 && xrng.chance(intensity.crashpoint_p) {
+        let site = xrng.index(n);
+        let point = match xrng.index(3) {
+            0 => Crashpoint::AfterAppendBeforeForce,
+            1 => Crashpoint::AfterForceBeforeSend,
+            _ => Crashpoint::MidCheckpoint,
+        };
+        let on_hit = xrng.uniform(1, 4) as u32;
+        events.push(FaultEvent::ArmCrashpoint {
+            site,
+            point,
+            on_hit,
+        });
+        // A crashed-at-a-crashpoint site needs a way back up.
+        let r = xrng.uniform(
+            horizon_ms / 4,
+            horizon_ms.saturating_sub(50).max(horizon_ms / 4 + 1),
+        );
+        events.push(FaultEvent::Recover { at_ms: r, site });
+    }
+    if intensity.torn_p > 0.0 && xrng.chance(intensity.torn_p) {
+        let site = xrng.index(n);
+        let mode = if xrng.chance(0.5) {
+            TornWrite::Truncated
+        } else {
+            TornWrite::Garbage
+        };
+        events.push(FaultEvent::TornWrites { site, mode });
+    }
+
+    FaultSchedule::new(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = generate(42, 6, 1500, &Intensity::standard());
+        let b = generate(42, 6, 1500, &Intensity::standard());
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn legacy_profile_emits_no_extensions() {
+        for seed in 0..20u64 {
+            let s = generate(seed, 6, 1500, &Intensity::legacy());
+            assert!(s.events.iter().all(|e| matches!(
+                e,
+                FaultEvent::Crash { .. }
+                    | FaultEvent::Recover { .. }
+                    | FaultEvent::Isolate { .. }
+                    | FaultEvent::Heal { .. }
+            )));
+        }
+    }
+
+    #[test]
+    fn extensions_do_not_perturb_the_legacy_stream() {
+        // The legacy-profile prefix of a standard-intensity schedule must
+        // equal the pure legacy schedule: extensions draw from their own
+        // RNG stream.
+        for seed in 0..20u64 {
+            let pure = generate(seed, 6, 1500, &Intensity::legacy());
+            let full = generate(seed, 6, 1500, &Intensity::standard());
+            assert_eq!(pure.events, full.events[..pure.events.len()], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn standard_profile_reaches_every_fault_kind() {
+        let mut kinds = [false; 7];
+        for seed in 0..60u64 {
+            for e in generate(seed, 6, 1500, &Intensity::standard()).events {
+                let k = match e {
+                    FaultEvent::Crash { .. } => 0,
+                    FaultEvent::Recover { .. } => 1,
+                    FaultEvent::Isolate { .. } => 2,
+                    FaultEvent::Heal { .. } => 3,
+                    FaultEvent::Chaos { .. } => 4,
+                    FaultEvent::ArmCrashpoint { .. } => 5,
+                    FaultEvent::TornWrites { .. } => 6,
+                };
+                kinds[k] = true;
+            }
+        }
+        assert!(kinds.iter().all(|&k| k), "coverage: {kinds:?}");
+    }
+}

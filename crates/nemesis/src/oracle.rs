@@ -1,0 +1,227 @@
+//! Invariant oracles: what must hold at every pause point of a campaign.
+//!
+//! Four families, each rooted in a paper claim:
+//!
+//! * **Conservation** (§3): `N = ΣNᵢ + N_M` — delegated to
+//!   `dvp_core::audit::Auditor`.
+//! * **Vm channel sanity** (§4.2): per directed channel, value is never
+//!   lost or duplicated — the receiver's accept cursor never runs ahead of
+//!   what the sender created, the sender never believes an ack the
+//!   receiver did not issue, and the sender's outstanding window is
+//!   exactly `(acked, created]`.
+//! * **Read exactness / serializability subject to redistribution**
+//!   (§5/§6): every committed full-value read equals the serial running
+//!   total — delegated to `Auditor::check_reads`.
+//! * **Rebuild equivalence** (§7): a site reconstructed *purely* from its
+//!   checkpoint slot and stable log matches the live site — recovery is a
+//!   pure function of stable storage. Volatile lag is tolerated only in
+//!   the directions unforced records allow (lazy ack notes).
+
+use dvp_core::metrics::ClusterMetrics;
+use dvp_core::Cluster;
+use std::fmt;
+
+/// An oracle violation (the campaign's failure verdict).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which oracle tripped.
+    pub oracle: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+fn violation(oracle: &'static str, detail: String) -> Violation {
+    Violation { oracle, detail }
+}
+
+/// Per-channel Vm no-loss/no-duplication checks over every directed pair.
+pub fn check_vm_channels(cl: &Cluster) -> Result<(), Violation> {
+    let sites = cl.sim.nodes();
+    for sender in sites {
+        let s = sender.id();
+        for (r, receiver) in sites.iter().enumerate() {
+            if r == s {
+                continue;
+            }
+            let created = sender.vm_endpoint().last_created(r);
+            let acked = sender.vm_endpoint().acked_out(r);
+            let accepted = receiver.vm_endpoint().ack_for(s);
+            if accepted > created {
+                return Err(violation(
+                    "vm-channel",
+                    format!(
+                        "{s}->{r}: receiver accepted seq {accepted} but sender only created {created} (duplicated/invented value)"
+                    ),
+                ));
+            }
+            if acked > accepted {
+                return Err(violation(
+                    "vm-channel",
+                    format!(
+                        "{s}->{r}: sender believes acks through {acked} but receiver only accepted {accepted} (lost value)"
+                    ),
+                ));
+            }
+            let outgoing = sender.vm_endpoint().outgoing_toward(r);
+            for (seq, _) in &outgoing {
+                if *seq <= acked || *seq > created {
+                    return Err(violation(
+                        "vm-channel",
+                        format!(
+                            "{s}->{r}: outstanding seq {seq} outside the window ({acked}, {created}]"
+                        ),
+                    ));
+                }
+            }
+            let expect = (created - acked) as usize;
+            if outgoing.len() != expect {
+                return Err(violation(
+                    "vm-channel",
+                    format!(
+                        "{s}->{r}: {} outstanding Vms but the window ({acked}, {created}] holds {expect}",
+                        outgoing.len()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rebuild equivalence: each site reconstructed from stable storage alone
+/// must match the live site, up to the lag unforced records permit.
+pub fn check_rebuild(cl: &Cluster) -> Result<(), Violation> {
+    for site in cl.sim.nodes() {
+        let id = site.id();
+        let (frags, vm) = site.rebuilt_durable_state();
+        // Fragment values: every mutation is forced before it is applied,
+        // so live and rebuilt values must agree exactly. (Timestamps are
+        // excluded: `bump_ts` at lock time is deliberately unlogged.)
+        for item in 0..site.fragments().len() {
+            let item = dvp_core::ItemId(item as u32);
+            let live = site.fragments().get(item);
+            let rebuilt = frags.get(item);
+            if live != rebuilt {
+                return Err(violation(
+                    "rebuild",
+                    format!("site {id}, {item:?}: live value {live} != rebuilt {rebuilt}"),
+                ));
+            }
+        }
+        // Vm channels: creations and acceptances are forced at the instant
+        // they happen, so cursors must match exactly. Ack observations are
+        // noted lazily (unforced), so the rebuilt view may lag behind:
+        // rebuilt acked ≤ live acked, rebuilt outstanding ⊇ live
+        // outstanding.
+        let mut peers = site.vm_endpoint().peers();
+        for p in vm.peers() {
+            if !peers.contains(&p) {
+                peers.push(p);
+            }
+        }
+        for peer in peers {
+            let (lc_live, lc_re) = (site.vm_endpoint().last_created(peer), vm.last_created(peer));
+            if lc_live != lc_re {
+                return Err(violation(
+                    "rebuild",
+                    format!("site {id}->({peer}): live last_created {lc_live} != rebuilt {lc_re}"),
+                ));
+            }
+            let (acc_live, acc_re) = (site.vm_endpoint().ack_for(peer), vm.ack_for(peer));
+            if acc_live != acc_re {
+                return Err(violation(
+                    "rebuild",
+                    format!("site {id}<-({peer}): live accepted {acc_live} != rebuilt {acc_re}"),
+                ));
+            }
+            let (ack_live, ack_re) = (site.vm_endpoint().acked_out(peer), vm.acked_out(peer));
+            if ack_re > ack_live {
+                return Err(violation(
+                    "rebuild",
+                    format!("site {id}->({peer}): rebuilt acked {ack_re} ahead of live {ack_live}"),
+                ));
+            }
+            let live_out: Vec<u64> = site
+                .vm_endpoint()
+                .outgoing_toward(peer)
+                .into_iter()
+                .map(|(s, _)| s)
+                .collect();
+            let re_out: Vec<u64> = vm
+                .outgoing_toward(peer)
+                .into_iter()
+                .map(|(s, _)| s)
+                .collect();
+            for s in &live_out {
+                if !re_out.contains(s) {
+                    return Err(violation(
+                        "rebuild",
+                        format!(
+                            "site {id}->({peer}): live outstanding seq {s} missing from rebuilt state"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run the full oracle suite. `metrics` should be freshly harvested from
+/// `cl` (it carries the committed-read journal the exactness check
+/// replays).
+pub fn check_all(cl: &Cluster, metrics: &ClusterMetrics) -> Result<(), Violation> {
+    cl.auditor()
+        .check_conservation()
+        .map_err(|e| violation("conservation", e.to_string()))?;
+    check_vm_channels(cl)?;
+    cl.auditor()
+        .check_reads(metrics)
+        .map_err(|e| violation("read-exactness", e.to_string()))?;
+    check_rebuild(cl)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvp_core::item::{Catalog, Split};
+    use dvp_core::{ClusterConfig, TxnSpec};
+    use dvp_simnet::time::{SimDuration, SimTime};
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::millis(n)
+    }
+
+    #[test]
+    fn healthy_cluster_passes_every_oracle() {
+        let mut catalog = Catalog::new();
+        let flight = catalog.add("A", 100, Split::Even);
+        let cfg = ClusterConfig::new(4, catalog)
+            .at(0, ms(1), TxnSpec::reserve(flight, 40))
+            .at(1, ms(40), TxnSpec::read(flight));
+        let mut cl = dvp_core::Cluster::build(cfg);
+        for t in [5u64, 20, 60, 200] {
+            cl.run_until(ms(t));
+            let m = cl.metrics();
+            check_all(&cl, &m).unwrap();
+        }
+        cl.run_to_quiescence();
+        let m = cl.metrics();
+        check_all(&cl, &m).unwrap();
+        assert!(m.committed() >= 1);
+    }
+
+    #[test]
+    fn violation_displays_its_oracle() {
+        let v = violation("vm-channel", "boom".into());
+        assert!(v.to_string().contains("vm-channel"));
+        assert!(v.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Delta-debugging schedule minimization and the replay format.
+//!
+//! When a campaign fails, rerunning with ever-smaller subsequences of the
+//! fault schedule (classic `ddmin`, plus a final one-event-removal pass)
+//! yields a **1-minimal** repro: removing any single remaining event makes
+//! the failure disappear. Because [`FaultSchedule`]s are removal-closed
+//! (see [`crate::schedule`]), every candidate subsequence is a valid
+//! schedule and the predicate is total.
+//!
+//! The shrinker is deterministic — same failing schedule and predicate ⇒
+//! same minimal schedule — so a [`Replay`] line (seed + kept event
+//! indices + digest) reproduces the exact minimized run anywhere.
+
+use crate::schedule::FaultSchedule;
+use std::fmt;
+
+/// Minimize the index set `0..len` under `fails` (which must be `true`
+/// for the full set). Returns ascending indices of a 1-minimal failing
+/// subsequence.
+pub fn ddmin<F>(len: usize, fails: F) -> Vec<usize>
+where
+    F: Fn(&[usize]) -> bool,
+{
+    let mut current: Vec<usize> = (0..len).collect();
+    if current.is_empty() {
+        return current;
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        // Try each complement (drop one chunk at a time).
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<usize> = current[..start]
+                .iter()
+                .chain(current[end..].iter())
+                .copied()
+                .collect();
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    // Final pass: enforce 1-minimality (drop single events to fixpoint).
+    loop {
+        let mut reduced = false;
+        for drop in 0..current.len() {
+            let candidate: Vec<usize> = current
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, &v)| v)
+                .collect();
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+    current
+}
+
+/// A one-line reproduction handle for a (possibly shrunk) failing
+/// campaign: the generator seed, the kept event indices of the generated
+/// schedule, and the shrunk schedule's digest as a checksum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Replay {
+    /// Campaign/generator seed.
+    pub seed: u64,
+    /// Protocol configuration name (as the campaign binary labels them).
+    pub config: String,
+    /// Kept event indices into the *generated* schedule.
+    pub keep: Vec<usize>,
+    /// Digest of the kept (shrunk) schedule.
+    pub digest: u32,
+}
+
+impl Replay {
+    /// Build a replay handle for `schedule.subset(&keep)`.
+    pub fn new(seed: u64, config: &str, schedule: &FaultSchedule, keep: Vec<usize>) -> Self {
+        let digest = schedule.subset(&keep).digest();
+        Replay {
+            seed,
+            config: config.to_string(),
+            keep,
+            digest,
+        }
+    }
+
+    /// Parse the `keep=...` payload of a replay line.
+    pub fn parse_keep(s: &str) -> Option<Vec<usize>> {
+        if s.is_empty() {
+            return Some(Vec::new());
+        }
+        s.split(',').map(|t| t.trim().parse().ok()).collect()
+    }
+}
+
+impl fmt::Display for Replay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let keep: Vec<String> = self.keep.iter().map(|i| i.to_string()).collect();
+        write!(
+            f,
+            "fault_campaign --replay seed={} config={} keep={} digest={:08x}",
+            self.seed,
+            self.config,
+            keep.join(","),
+            self.digest
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FaultEvent;
+
+    #[test]
+    fn ddmin_finds_a_single_culprit() {
+        // Failure iff index 7 is present.
+        let kept = ddmin(20, |c| c.contains(&7));
+        assert_eq!(kept, vec![7]);
+    }
+
+    #[test]
+    fn ddmin_finds_a_conjunction() {
+        // Failure needs BOTH 3 and 11.
+        let kept = ddmin(16, |c| c.contains(&3) && c.contains(&11));
+        assert_eq!(kept, vec![3, 11]);
+    }
+
+    #[test]
+    fn ddmin_is_one_minimal_and_deterministic() {
+        // Failure: at least 3 even indices present.
+        let fails = |c: &[usize]| c.iter().filter(|&&i| i % 2 == 0).count() >= 3;
+        let a = ddmin(12, fails);
+        let b = ddmin(12, fails);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        for drop in 0..a.len() {
+            let cand: Vec<usize> = a
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, &v)| v)
+                .collect();
+            assert!(!fails(&cand), "not 1-minimal: {a:?} minus {drop}");
+        }
+    }
+
+    #[test]
+    fn replay_roundtrips_keep_list() {
+        let sched = FaultSchedule::new(vec![
+            FaultEvent::Crash { at_ms: 5, site: 0 },
+            FaultEvent::Heal { at_ms: 9 },
+            FaultEvent::Recover { at_ms: 20, site: 0 },
+        ]);
+        let r = Replay::new(3, "conc1-baseline", &sched, vec![0, 2]);
+        let line = r.to_string();
+        assert!(line.contains("seed=3"));
+        assert!(line.contains("keep=0,2"));
+        assert_eq!(Replay::parse_keep("0,2"), Some(vec![0, 2]));
+        assert_eq!(Replay::parse_keep(""), Some(vec![]));
+        assert_eq!(Replay::parse_keep("x"), None);
+    }
+}

@@ -56,6 +56,33 @@ impl LinkConfig {
     }
 }
 
+/// A time-bounded burst of extra network misbehaviour (nemesis chaos).
+///
+/// While `now ∈ [from, until)` the window's `loss`/`duplicate` rates are
+/// *added* to the link's own (clamped to 1.0 by the sampler) and every
+/// delivered message is delayed by an extra uniformly-sampled jitter in
+/// `[0, jitter]` — which also reorders messages relative to quiet traffic
+/// and shifts timing against the sites' timers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosWindow {
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Additional loss probability during the window.
+    pub loss: f64,
+    /// Additional duplication probability during the window.
+    pub duplicate: f64,
+    /// Maximum extra delivery delay (uniform in `[0, jitter]`).
+    pub jitter: SimDuration,
+}
+
+impl ChaosWindow {
+    fn active(&self, now: SimTime) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
 /// Whole-network configuration.
 #[derive(Clone, Debug, Default)]
 pub struct NetworkConfig {
@@ -69,6 +96,10 @@ pub struct NetworkConfig {
     /// deterministic global tie-breaking, giving message-order synchronicity
     /// and totally-ordered broadcast (the Conc2 assumptions).
     pub synchronous_ordered: bool,
+    /// Nemesis chaos bursts. Empty (the default) costs one `is_empty()`
+    /// check per routed message. Ignored in `synchronous_ordered` mode,
+    /// whose reliability is a protocol assumption, not a tunable.
+    pub chaos: Vec<ChaosWindow>,
 }
 
 impl NetworkConfig {
@@ -107,6 +138,12 @@ impl NetworkConfig {
     /// Override one directed link.
     pub fn with_link(mut self, from: NodeId, to: NodeId, cfg: LinkConfig) -> Self {
         self.link_overrides.insert((from, to), cfg);
+        self
+    }
+
+    /// Add a chaos burst window.
+    pub fn with_chaos(mut self, w: ChaosWindow) -> Self {
+        self.chaos.push(w);
         self
     }
 
@@ -192,14 +229,31 @@ impl NetworkModel {
             // sequence numbers, identically everywhere).
             return Fate::Deliver(Arrivals::single(now + link.delay_min));
         }
-        if rng.chance(link.loss) {
+        // Chaos bursts stack on top of the link's own misbehaviour. The
+        // empty-vec check keeps the quiet path free of any extra work.
+        let (mut loss, mut dup, mut jitter) = (link.loss, link.duplicate, SimDuration::ZERO);
+        if !self.cfg.chaos.is_empty() {
+            for w in &self.cfg.chaos {
+                if w.active(now) {
+                    loss += w.loss;
+                    dup += w.duplicate;
+                    jitter = jitter + w.jitter;
+                }
+            }
+        }
+        if rng.chance(loss) {
             return Fate::Lost;
         }
+        let extra = if jitter > SimDuration::ZERO {
+            SimDuration::micros(rng.uniform(0, jitter.as_micros()))
+        } else {
+            SimDuration::ZERO
+        };
         let d1 = rng.uniform(link.delay_min.as_micros(), link.delay_max.as_micros());
-        let mut arrivals = Arrivals::single(now + SimDuration::micros(d1));
-        if rng.chance(link.duplicate) {
+        let mut arrivals = Arrivals::single(now + SimDuration::micros(d1) + extra);
+        if rng.chance(dup) {
             let d2 = rng.uniform(link.delay_min.as_micros(), link.delay_max.as_micros() * 2);
-            arrivals.dup = Some(now + SimDuration::micros(d2));
+            arrivals.dup = Some(now + SimDuration::micros(d2) + extra);
         }
         Fate::Deliver(arrivals)
     }

@@ -26,6 +26,7 @@ pub(crate) enum Action<M> {
     Send { to: NodeId, msg: M },
     SetTimer { id: TimerId, at: SimTime, tag: u64 },
     CancelTimer { id: TimerId },
+    CrashSelf,
     Halt,
 }
 
@@ -111,6 +112,19 @@ impl<'a, M> Context<'a, M> {
     /// experiment drivers that detect their stop condition inside a node).
     pub fn halt_simulation(&mut self) {
         self.actions.push(Action::Halt);
+    }
+
+    /// Crash this node at the current instant (fault injection /
+    /// crashpoints).
+    ///
+    /// Effects requested *before* this call in the same callback still
+    /// happen — they model work completed before the failure. Everything
+    /// after it is discarded by the kernel: the node is marked crashed,
+    /// its epoch is bumped (lazily invalidating pending timers), and
+    /// [`Node::on_crash`] runs, exactly as for an externally scheduled
+    /// crash event.
+    pub fn crash_self(&mut self) {
+        self.actions.push(Action::CrashSelf);
     }
 }
 

@@ -53,8 +53,10 @@ impl PartitionSchedule {
     /// At time `at`, split the sites into the given groups.
     ///
     /// Sites not mentioned in any group are isolated (each becomes a
-    /// singleton group). Panics if `at` is earlier than the last transition
-    /// or if a group mentions an out-of-range site.
+    /// singleton group). Panics if `at` is earlier than the last transition,
+    /// if a group mentions an out-of-range site, or if a site appears in
+    /// two different groups (which would otherwise silently last-win).
+    /// Empty groups are allowed and mean nothing.
     pub fn split_at(mut self, at: SimTime, groups: &[&[NodeId]]) -> Self {
         self.check_monotone(at);
         // Default: every site isolated in its own group.
@@ -62,6 +64,11 @@ impl PartitionSchedule {
         for (gid, members) in groups.iter().enumerate() {
             for &m in *members {
                 assert!(m < self.n, "site {m} out of range (n={})", self.n);
+                let assigned = g[m];
+                assert!(
+                    assigned == u32::MAX - m as u32 || assigned == gid as u32,
+                    "site {m} appears in more than one group"
+                );
                 g[m] = gid as u32;
             }
         }
@@ -106,13 +113,20 @@ impl PartitionSchedule {
     }
 
     /// Can a message sent from `a` reach `b` at time `t`?
+    ///
+    /// Sites outside the schedule's range are never connected to anything
+    /// but themselves (previously two out-of-range sites compared equal as
+    /// `None == None` and counted as connected).
     pub fn connected(&self, a: NodeId, b: NodeId, t: SimTime) -> bool {
         if a == b {
             return true;
         }
+        if a >= self.n || b >= self.n {
+            return false;
+        }
         match self.active(t) {
             None => true,
-            Some(groups) => groups.get(a) == groups.get(b),
+            Some(groups) => groups[a] == groups[b],
         }
     }
 
@@ -219,6 +233,28 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn split_checks_site_range() {
         let _ = PartitionSchedule::fully_connected(2).split_at(t(0), &[&[0, 7]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one group")]
+    fn split_rejects_overlapping_groups() {
+        let _ = PartitionSchedule::fully_connected(3).split_at(t(0), &[&[0, 1], &[1, 2]]);
+    }
+
+    #[test]
+    fn out_of_range_sites_are_not_connected() {
+        let s = PartitionSchedule::fully_connected(2);
+        assert!(s.connected(7, 7, t(1)), "self-loop still holds");
+        assert!(!s.connected(7, 8, t(1)));
+        assert!(!s.connected(0, 7, t(1)));
+        assert!(!s.connected(7, 0, t(1)));
+    }
+
+    #[test]
+    fn empty_groups_are_allowed() {
+        let s = PartitionSchedule::fully_connected(3).split_at(t(0), &[&[], &[0, 1, 2]]);
+        assert!(s.connected(0, 2, t(1)));
+        assert!(!s.is_partitioned(t(1)));
     }
 
     #[test]

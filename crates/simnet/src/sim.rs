@@ -348,7 +348,11 @@ impl<N: Node> Simulation<N> {
         ctx.actions = std::mem::take(&mut self.scratch);
         f(&mut self.nodes[id], &mut ctx);
         let mut actions = ctx.actions;
+        let mut crashed_self = false;
         for a in actions.drain(..) {
+            if crashed_self {
+                continue; // effects requested after the crashpoint never happen
+            }
             match a {
                 Action::Send { to, msg } => self.transmit(id, to, msg),
                 Action::SetTimer { id: tid, at, tag } => {
@@ -373,6 +377,22 @@ impl<N: Node> Simulation<N> {
                 }
                 Action::Halt => {
                     self.halted = true;
+                }
+                Action::CrashSelf => {
+                    // A crashpoint inside the callback: everything buffered
+                    // before this action already took effect (work completed
+                    // before the failure); everything after it is discarded.
+                    // Semantics otherwise match an EventKind::Crash.
+                    if !self.crashed[id] {
+                        self.crashed[id] = true;
+                        self.epoch[id] += 1;
+                        self.trace.record(TraceEvent::Crashed {
+                            at: self.now,
+                            node: id,
+                        });
+                        self.nodes[id].on_crash();
+                    }
+                    crashed_self = true;
                 }
             }
         }
@@ -739,6 +759,54 @@ mod tests {
         let mut sim = Simulation::new(vec![H], NetworkConfig::reliable(), 10);
         sim.run_to_quiescence();
         assert!(sim.halted());
+    }
+
+    #[test]
+    fn crash_self_discards_later_actions_and_crashes_in_place() {
+        // Node 0 sends one message, crashes itself, then "sends" another
+        // and arms a timer — the pre-crash send must go out, the rest must
+        // vanish, and on_crash must run at the crashpoint instant.
+        #[derive(Default)]
+        struct C {
+            crashes: u32,
+            recoveries: u32,
+            heard: u32,
+            fired: bool,
+        }
+        impl Node for C {
+            type Msg = u8;
+            fn on_message(&mut self, _from: NodeId, _msg: u8, _ctx: &mut Context<'_, u8>) {
+                self.heard += 1;
+            }
+            fn on_external(&mut self, _tag: u64, ctx: &mut Context<'_, u8>) {
+                ctx.send(1, 1);
+                ctx.crash_self();
+                ctx.send(1, 2);
+                ctx.set_timer(SimDuration::millis(1), 0);
+            }
+            fn on_timer(&mut self, _id: TimerId, _tag: u64, _ctx: &mut Context<'_, u8>) {
+                self.fired = true;
+            }
+            fn on_crash(&mut self) {
+                self.crashes += 1;
+            }
+            fn on_recover(&mut self, _ctx: &mut Context<'_, u8>) {
+                self.recoveries += 1;
+            }
+        }
+        let mut sim = Simulation::new(
+            vec![C::default(), C::default()],
+            NetworkConfig::reliable(),
+            13,
+        );
+        sim.schedule_external(SimTime(1_000), 0, 0);
+        sim.schedule_recover(SimTime(50_000), 0);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(0).crashes, 1);
+        assert_eq!(sim.node(0).recoveries, 1);
+        assert_eq!(sim.node(1).heard, 1, "only the pre-crash send goes out");
+        assert!(!sim.node(0).fired, "post-crash timer must be discarded");
+        assert_eq!(sim.stats().sent, 1);
     }
 
     #[test]

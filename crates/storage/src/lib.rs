@@ -33,5 +33,5 @@ pub mod lsn;
 
 pub use checkpoint::{CheckpointMeta, CheckpointSlot};
 pub use codec::{DecodeError, Record, RecordReader, RecordWriter};
-pub use log::{LogStats, StableLog};
+pub use log::{LogStats, RecoveredLog, StableLog, TornTail, TornWrite};
 pub use lsn::Lsn;

@@ -8,13 +8,21 @@
 //!   the stable byte image) — the paper's "written into the log" /
 //!   "recorded on stable storage" steps are `append` + `force`;
 //! * [`crash`](StableLog::crash) discards the unforced tail, modelling a
-//!   site failure;
+//!   site failure; [`crash_torn`](StableLog::crash_torn) additionally
+//!   leaves a *torn write* in the image — the partially-completed frame a
+//!   power failure mid-`force` would leave behind;
 //! * [`recover`](StableLog::recover) re-decodes the stable byte image,
-//!   verifying every frame, and returns the durable records for redo.
+//!   verifying every frame, and returns the durable records for redo;
+//!   [`recover_lenient`](StableLog::recover_lenient) is the WAL-style
+//!   variant that truncates at the first bad tail frame and reports it.
+//!
+//! Each frame's payload carries the record's LSN ahead of the record
+//! bytes, so a recovery scan can position every record against a
+//! checkpoint's `redo_from` without trusting volatile state.
 
-use crate::codec::{decode_frame, encode_frame, DecodeError, Record};
+use crate::codec::{crc32, DecodeError, Record, RecordReader, RecordWriter};
 use crate::lsn::Lsn;
-use bytes::BytesMut;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Counters describing log activity (used by the mechanism benchmarks and
 /// by experiments that report "log forces per transaction").
@@ -30,6 +38,82 @@ pub struct LogStats {
     pub stable_bytes: u64,
     /// Records discarded by crashes.
     pub lost_in_crash: u64,
+    /// Torn writes injected by [`StableLog::crash_torn`].
+    pub torn_writes: u64,
+}
+
+/// How a crash tears the in-progress write (fault injection).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TornWrite {
+    /// Clean crash: the unforced tail simply vanishes.
+    #[default]
+    None,
+    /// The first unforced record's frame is half-written: the image ends
+    /// with a truncated frame (recovery sees `DecodeError::Truncated`).
+    Truncated,
+    /// The first unforced record's frame is fully present but a payload
+    /// byte is mangled (recovery sees `DecodeError::Corrupt`).
+    Garbage,
+}
+
+/// What a lenient recovery scan dropped from the end of the image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TornTail {
+    /// Bytes discarded (from the first bad frame to the end of the image).
+    pub bytes_dropped: u64,
+    /// The decode failure that ended the scan.
+    pub error: DecodeError,
+}
+
+/// Result of a lenient recovery scan.
+#[derive(Clone, Debug)]
+pub struct RecoveredLog<R> {
+    /// Well-formed entries, oldest first.
+    pub entries: Vec<(Lsn, R)>,
+    /// Length of the clean image prefix (everything past it is torn).
+    pub clean_bytes: usize,
+    /// The torn tail, if the scan hit a bad frame.
+    pub torn: Option<TornTail>,
+}
+
+/// Encode `(lsn, rec)` as one frame: `len | crc | lsn ++ record payload`.
+fn encode_entry<R: Record>(lsn: Lsn, rec: &R, out: &mut BytesMut) {
+    let mut payload = BytesMut::new();
+    {
+        let mut w = RecordWriter::wrap(&mut payload);
+        w.u64(lsn.0);
+        rec.encode(&mut w);
+    }
+    out.put_u32(payload.len() as u32);
+    out.put_u32(crc32(&payload));
+    out.put_slice(&payload);
+}
+
+/// Decode one `(lsn, rec)` frame from the front of `buf`.
+fn decode_entry<R: Record>(buf: &mut Bytes) -> Result<(Lsn, R), DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = buf.get_u32() as usize;
+    let crc = buf.get_u32();
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let mut payload = buf.split_to(len);
+    let actual = crc32(&payload);
+    if actual != crc {
+        return Err(DecodeError::Corrupt {
+            expected: crc,
+            actual,
+        });
+    }
+    let mut r = RecordReader::wrap(&mut payload);
+    let lsn = Lsn(r.u64()?);
+    let rec = R::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(DecodeError::Invalid("trailing bytes in payload"));
+    }
+    Ok((lsn, rec))
 }
 
 /// An append-only, force-on-demand, crash-surviving log of `R` records.
@@ -97,7 +181,7 @@ impl<R: Record> StableLog<R> {
     pub fn force(&mut self) {
         self.stats.forces += 1;
         for (lsn, rec) in self.tail.drain(..) {
-            encode_frame(&rec, &mut self.stable_image);
+            encode_entry(lsn, &rec, &mut self.stable_image);
             self.stable.push((lsn, rec));
             self.stats.records_forced += 1;
         }
@@ -119,6 +203,45 @@ impl<R: Record> StableLog<R> {
         self.tail.clear();
     }
 
+    /// Crash while a `force` was in flight: the first unforced record's
+    /// frame is partially written into the image per `mode` before the
+    /// tail is dropped. Returns whether a tear was actually injected (a
+    /// clean mode or an empty tail tears nothing).
+    ///
+    /// Only the *unforced* write can tear — completed forces are durable
+    /// by definition — so recovery state after repair always equals a
+    /// clean crash's.
+    pub fn crash_torn(&mut self, mode: TornWrite) -> bool {
+        let torn = match (mode, self.tail.first()) {
+            (TornWrite::None, _) | (_, None) => false,
+            (mode, Some((lsn, rec))) => {
+                let mut frame = BytesMut::new();
+                encode_entry(*lsn, rec, &mut frame);
+                match mode {
+                    TornWrite::Truncated => {
+                        // The write stopped mid-frame: keep only a prefix
+                        // (always ≥ the 8-byte header's worth, < full).
+                        let cut = (frame.len() / 2).max(4);
+                        self.stable_image.extend_from_slice(&frame[..cut]);
+                    }
+                    TornWrite::Garbage => {
+                        // The full frame landed but a payload byte is wrong.
+                        let mut raw = frame.to_vec();
+                        let last = raw.len() - 1;
+                        raw[last] ^= 0xA5;
+                        self.stable_image.extend_from_slice(&raw);
+                    }
+                    TornWrite::None => unreachable!(),
+                }
+                self.stats.torn_writes += 1;
+                true
+            }
+        };
+        self.stats.stable_bytes = self.stable_image.len() as u64;
+        self.crash();
+        torn
+    }
+
     /// Recovery scan: decode the durable byte image from the start,
     /// verifying every frame, and return the records in append order.
     ///
@@ -126,12 +249,69 @@ impl<R: Record> StableLog<R> {
     /// recovery path exercises the codec (a torn/corrupt image surfaces
     /// here).
     pub fn recover(&self) -> Result<Vec<R>, DecodeError> {
-        let mut bytes = bytes::Bytes::copy_from_slice(&self.stable_image);
+        Ok(self
+            .recover_entries()?
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect())
+    }
+
+    /// Strict recovery scan that also yields each record's LSN (needed to
+    /// position records against a checkpoint's `redo_from`).
+    pub fn recover_entries(&self) -> Result<Vec<(Lsn, R)>, DecodeError> {
+        let mut bytes = Bytes::copy_from_slice(&self.stable_image);
         let mut out = Vec::with_capacity(self.stable.len());
         while !bytes.is_empty() {
-            out.push(decode_frame::<R>(&mut bytes)?);
+            out.push(decode_entry::<R>(&mut bytes)?);
         }
         Ok(out)
+    }
+
+    /// WAL-style recovery scan: decode frames until the first bad one,
+    /// treat everything from there to the end of the image as a torn tail,
+    /// and report what was dropped instead of failing.
+    ///
+    /// In this simulation torn bytes only ever come from
+    /// [`crash_torn`](Self::crash_torn) tearing the unforced write, so the
+    /// dropped suffix is exactly what a clean crash would have lost anyway.
+    pub fn recover_lenient(&self) -> RecoveredLog<R> {
+        let mut bytes = Bytes::copy_from_slice(&self.stable_image);
+        let total = bytes.remaining();
+        let mut entries = Vec::with_capacity(self.stable.len());
+        let mut clean_bytes = 0usize;
+        while bytes.remaining() > 0 {
+            match decode_entry::<R>(&mut bytes) {
+                Ok(e) => {
+                    clean_bytes = total - bytes.remaining();
+                    entries.push(e);
+                }
+                Err(error) => {
+                    return RecoveredLog {
+                        entries,
+                        clean_bytes,
+                        torn: Some(TornTail {
+                            bytes_dropped: (total - clean_bytes) as u64,
+                            error,
+                        }),
+                    };
+                }
+            }
+        }
+        RecoveredLog {
+            entries,
+            clean_bytes,
+            torn: None,
+        }
+    }
+
+    /// Discard a torn tail from the image (recovery's repair step, so the
+    /// next scan starts clean). Returns the bytes dropped.
+    pub fn repair_torn_tail(&mut self) -> u64 {
+        let clean = self.recover_lenient().clean_bytes;
+        let dropped = (self.stable_image.len() - clean) as u64;
+        self.stable_image.truncate(clean);
+        self.stats.stable_bytes = self.stable_image.len() as u64;
+        dropped
     }
 
     /// Durable records with their LSNs, oldest first (no decode; the cache).
@@ -176,8 +356,8 @@ impl<R: Record> StableLog<R> {
     pub fn truncate_before(&mut self, upto: Lsn) {
         self.stable.retain(|(l, _)| *l >= upto);
         let mut img = BytesMut::new();
-        for (_, r) in &self.stable {
-            encode_frame(r, &mut img);
+        for (l, r) in &self.stable {
+            encode_entry(*l, r, &mut img);
         }
         self.stable_image = img;
         self.stats.stable_bytes = self.stable_image.len() as u64;
@@ -292,5 +472,98 @@ mod tests {
     fn empty_log_recovers_empty() {
         let log = StableLog::<R>::new();
         assert!(log.recover().unwrap().is_empty());
+    }
+
+    #[test]
+    fn recover_entries_carries_lsns_through_bytes() {
+        let mut log = StableLog::<R>::new();
+        log.append_force(R(10));
+        log.append(R(11)); // lost below — lsn 1 skipped
+        log.crash();
+        log.append_force(R(12));
+        let got = log.recover_entries().unwrap();
+        assert_eq!(got, vec![(Lsn(0), R(10)), (Lsn(2), R(12))]);
+    }
+
+    #[test]
+    fn truncate_preserves_lsns_in_image() {
+        let mut log = StableLog::<R>::new();
+        for i in 0..6 {
+            log.append_force(R(i));
+        }
+        log.truncate_before(Lsn(4));
+        let got = log.recover_entries().unwrap();
+        assert_eq!(got, vec![(Lsn(4), R(4)), (Lsn(5), R(5))]);
+    }
+
+    #[test]
+    fn torn_truncated_tail_is_detected_and_repaired() {
+        let mut log = StableLog::<R>::new();
+        log.append_force(R(1));
+        log.append(R(2)); // the in-flight write that tears
+        log.append(R(3));
+        assert!(log.crash_torn(TornWrite::Truncated));
+        // Strict recovery refuses the image...
+        assert_eq!(log.recover().unwrap_err(), DecodeError::Truncated);
+        // ...lenient recovery keeps the clean prefix and reports the tear.
+        let scan = log.recover_lenient();
+        assert_eq!(scan.entries, vec![(Lsn(0), R(1))]);
+        let torn = scan.torn.expect("tear must be reported");
+        assert!(torn.bytes_dropped > 0);
+        assert_eq!(torn.error, DecodeError::Truncated);
+        // Repair truncates the image; strict recovery works again.
+        assert_eq!(log.repair_torn_tail(), torn.bytes_dropped);
+        assert_eq!(log.recover().unwrap(), vec![R(1)]);
+        assert_eq!(log.stats().torn_writes, 1);
+        assert_eq!(log.stats().lost_in_crash, 2);
+    }
+
+    #[test]
+    fn torn_garbage_tail_fails_crc_and_is_dropped() {
+        let mut log = StableLog::<R>::new();
+        log.append_force(R(7));
+        log.append(R(8));
+        assert!(log.crash_torn(TornWrite::Garbage));
+        assert!(matches!(
+            log.recover().unwrap_err(),
+            DecodeError::Corrupt { .. }
+        ));
+        let scan = log.recover_lenient();
+        assert_eq!(scan.entries, vec![(Lsn(0), R(7))]);
+        assert!(matches!(
+            scan.torn.unwrap().error,
+            DecodeError::Corrupt { .. }
+        ));
+        log.repair_torn_tail();
+        assert_eq!(log.recover().unwrap(), vec![R(7)]);
+    }
+
+    #[test]
+    fn torn_crash_with_empty_tail_is_a_clean_crash() {
+        let mut log = StableLog::<R>::new();
+        log.append_force(R(1));
+        assert!(!log.crash_torn(TornWrite::Truncated));
+        assert_eq!(log.recover().unwrap(), vec![R(1)]);
+        assert_eq!(log.stats().torn_writes, 0);
+    }
+
+    #[test]
+    fn torn_none_mode_never_tears() {
+        let mut log = StableLog::<R>::new();
+        log.append(R(1));
+        assert!(!log.crash_torn(TornWrite::None));
+        assert!(log.recover().unwrap().is_empty());
+    }
+
+    #[test]
+    fn lenient_scan_of_clean_log_reports_nothing() {
+        let mut log = StableLog::<R>::new();
+        log.append_force(R(1));
+        log.append_force(R(2));
+        let scan = log.recover_lenient();
+        assert_eq!(scan.entries.len(), 2);
+        assert!(scan.torn.is_none());
+        assert_eq!(scan.clean_bytes as u64, log.stats().stable_bytes);
+        assert_eq!(log.repair_torn_tail(), 0, "repair on clean log is a no-op");
     }
 }

@@ -314,6 +314,12 @@ impl VmEndpoint {
         self.chans.get(&peer).map_or(0, |c| c.acked_out)
     }
 
+    /// Highest sequence number ever created toward `peer` (channel-oracle
+    /// input: together with `acked_out` it bounds the live window).
+    pub fn last_created(&self, peer: SiteId) -> Seq {
+        self.chans.get(&peer).map_or(0, |c| c.last_created)
+    }
+
     // ---- checkpointing -----------------------------------------------------
 
     /// Snapshot all durable channel state (for host checkpoints). The

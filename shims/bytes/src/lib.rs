@@ -216,6 +216,11 @@ impl BytesMut {
     pub fn extend_from_slice(&mut self, s: &[u8]) {
         self.buf.extend_from_slice(s);
     }
+
+    /// Shorten the buffer to `len` bytes; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
 }
 
 impl Deref for BytesMut {

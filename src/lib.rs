@@ -65,8 +65,9 @@ pub use dvp_workloads as workloads;
 pub mod prelude {
     pub use dvp_core::item::{Catalog, ItemDef, Split};
     pub use dvp_core::{
-        AbortReason, Cluster, ClusterConfig, ConcMode, Fanout, FaultPlan, ItemId, Op, Qty,
-        RefillPolicy, SiteConfig, TxnOutcome, TxnSpec,
+        AbortReason, Cluster, ClusterConfig, ConcMode, Crashpoint, Fanout, FaultPlan, InjectConfig,
+        ItemId, Op, Qty, RefillPolicy, SiteConfig, TxnOutcome, TxnSpec,
     };
     pub use dvp_simnet::prelude::*;
+    pub use dvp_storage::TornWrite;
 }

@@ -95,3 +95,156 @@ fn repeated_crashes_through_checkpoints() {
     // The log of the frequently-checkpointing hot site stays small.
     assert!(cl.sim.node(0).log().stable_len() <= 10);
 }
+
+// ---- torn-write and crashpoint recovery (nemesis injection) ------------
+
+/// Run the standard 4-site workload with injection `inject` on top of a
+/// crash/recover of `victim`, then return (committed, fragment images).
+fn run_injected(
+    seed: u64,
+    checkpoint_every: Option<usize>,
+    inject: InjectConfig,
+    victim: usize,
+    crash_ms: u64,
+) -> (u64, Vec<Vec<u64>>) {
+    let w = AirlineWorkload {
+        n_sites: 4,
+        flights: 2,
+        seats_per_flight: 2_000,
+        txns: 60,
+        site_skew: 1.0,
+        mix: (0.7, 0.2, 0.05, 0.05),
+        ..Default::default()
+    }
+    .generate(seed);
+    let mut cfg = ClusterConfig::new(4, w.catalog.clone());
+    cfg.scripts = w.scripts.clone();
+    cfg.seed = seed;
+    cfg.site.checkpoint_every = checkpoint_every;
+    cfg.site.inject = inject;
+    cfg.faults = FaultPlan::none()
+        .crash(ms(crash_ms), victim)
+        .recover(ms(crash_ms + 40), victim);
+    let mut cl = Cluster::build(cfg);
+    cl.run_until(ms(60_000));
+    cl.auditor().check_conservation().unwrap();
+    let frags: Vec<Vec<u64>> = (0..4)
+        .map(|s| cl.sim.node(s).fragments().snapshot())
+        .collect();
+    (cl.metrics().committed(), frags)
+}
+
+/// A crash that tears the unforced log tail recovers to the same state
+/// as a clean crash: the torn frame never committed, so dropping it is
+/// semantically invisible.
+#[test]
+fn torn_tail_recovery_is_equivalent_to_clean_crash() {
+    for seed in [7u64, 19, 42] {
+        for mode in [TornWrite::Truncated, TornWrite::Garbage] {
+            let clean = run_injected(seed, None, InjectConfig::default(), 1, 120);
+            let torn = run_injected(seed, None, InjectConfig::torn_at(1, mode), 1, 120);
+            assert_eq!(clean, torn, "seed {seed}, {mode:?}");
+        }
+    }
+}
+
+/// Torn tails compose with checkpoints: restoring a checkpoint image and
+/// redoing a log whose tail tore must equal the checkpoint-free run.
+#[test]
+fn torn_tail_through_checkpoint_matches_plain_recovery() {
+    for seed in [3u64, 11] {
+        let plain = run_injected(
+            seed,
+            None,
+            InjectConfig::torn_at(1, TornWrite::Garbage),
+            1,
+            120,
+        );
+        let ckpt = run_injected(
+            seed,
+            Some(8),
+            InjectConfig::torn_at(1, TornWrite::Garbage),
+            1,
+            120,
+        );
+        assert_eq!(plain.0, ckpt.0, "commit counts must match (seed {seed})");
+        assert_eq!(
+            &plain.1, &ckpt.1,
+            "final fragments must match (seed {seed})"
+        );
+    }
+}
+
+/// A crash injected *between* checkpoint installation and log truncation
+/// must not double-apply the snapshotted prefix on recovery: the LSN
+/// skip in redo keeps recovery exact.
+#[test]
+fn mid_checkpoint_crash_recovers_exactly() {
+    let w = AirlineWorkload {
+        n_sites: 4,
+        flights: 2,
+        seats_per_flight: 2_000,
+        txns: 60,
+        site_skew: 1.0,
+        mix: (0.8, 0.2, 0.0, 0.0),
+        ..Default::default()
+    }
+    .generate(5);
+    let run = |inject: InjectConfig| {
+        let mut cfg = ClusterConfig::new(4, w.catalog.clone());
+        cfg.scripts = w.scripts.clone();
+        cfg.seed = 5;
+        cfg.site.checkpoint_every = Some(6);
+        cfg.site.inject = inject;
+        // The crashpoint crashes the victim from inside the protocol;
+        // this recovery brings it back.
+        cfg.faults = FaultPlan::none().recover(ms(250), 1);
+        let mut cl = Cluster::build(cfg);
+        cl.run_until(ms(60_000));
+        cl.auditor().check_conservation().unwrap();
+        let m = cl.metrics();
+        (m.crashpoint_trips(), m.sites[1].recoveries)
+    };
+    let (trips, recoveries) = run(InjectConfig::crashpoint_at(1, Crashpoint::MidCheckpoint));
+    assert_eq!(trips, 1, "the mid-checkpoint crashpoint must fire");
+    assert_eq!(recoveries, 1, "the victim must recover through it");
+}
+
+/// All three crashpoints fire at most once (one-shot semantics) and the
+/// cluster stays conservative through each.
+#[test]
+fn every_crashpoint_fires_once_and_recovery_holds() {
+    for point in [
+        Crashpoint::AfterAppendBeforeForce,
+        Crashpoint::AfterForceBeforeSend,
+        Crashpoint::MidCheckpoint,
+    ] {
+        // Tight quotas (15 seats/site) + skewed demand exhaust the hot
+        // site fast, so solicitations and donations actually flow —
+        // otherwise AfterForceBeforeSend would never be reachable.
+        let w = AirlineWorkload {
+            n_sites: 4,
+            flights: 2,
+            seats_per_flight: 60,
+            txns: 80,
+            site_skew: 1.5,
+            mix: (0.8, 0.2, 0.0, 0.0),
+            ..Default::default()
+        }
+        .generate(21);
+        // Site 0 is the hot (soliciting) site under skew; site 1 both
+        // commits and donates, so every crashpoint is reachable there.
+        let mut cfg = ClusterConfig::new(4, w.catalog.clone());
+        cfg.scripts = w.scripts.clone();
+        cfg.seed = 21;
+        cfg.site.checkpoint_every = Some(6);
+        cfg.site.inject = InjectConfig::crashpoint_at(1, point);
+        cfg.faults = FaultPlan::none().recover(ms(300), 1);
+        let mut cl = Cluster::build(cfg);
+        cl.run_until(ms(60_000));
+        cl.auditor().check_conservation().unwrap();
+        let m = cl.metrics();
+        assert_eq!(m.crashpoint_trips(), 1, "{point:?} must fire exactly once");
+        assert_eq!(m.sites[1].recoveries, 1, "{point:?}: victim recovers");
+    }
+}

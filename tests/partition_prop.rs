@@ -1,0 +1,194 @@
+//! Property tests for the partition-schedule algebra.
+//!
+//! `connected` must be an equivalence relation at every instant
+//! (reflexive, symmetric, transitive), `heal_at` must restore full
+//! connectivity from its instant onward, and `split_at` must treat
+//! unlisted sites as isolated and empty groups as meaningless — for
+//! *any* sequence of time-ordered transitions, not just the handful the
+//! unit tests pin.
+
+use dvp::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn t(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::millis(ms)
+}
+
+/// One randomly generated transition.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Split by a per-site group id (same id ⇒ same group); sites mapped
+    /// to `None` are left unlisted (⇒ isolated).
+    Split(Vec<Option<u8>>),
+    Heal,
+}
+
+/// Build a schedule for `n` sites from `steps`, spacing transitions
+/// 10 ms apart (monotone by construction). Returns the schedule plus the
+/// transition instants.
+fn build(n: usize, steps: &[Step]) -> (PartitionSchedule, Vec<u64>) {
+    let mut s = PartitionSchedule::fully_connected(n);
+    let mut times = Vec::new();
+    for (k, step) in steps.iter().enumerate() {
+        let at = 10 * (k as u64 + 1);
+        times.push(at);
+        match step {
+            Step::Heal => s = s.heal_at(t(at)),
+            Step::Split(ids) => {
+                // Group sites by id; unlisted (None) sites stay out.
+                let mut groups: Vec<Vec<usize>> = Vec::new();
+                let mut seen: Vec<u8> = Vec::new();
+                for (site, id) in ids.iter().take(n).enumerate() {
+                    if let Some(id) = id {
+                        match seen.iter().position(|&x| x == *id) {
+                            Some(g) => groups[g].push(site),
+                            None => {
+                                seen.push(*id);
+                                groups.push(vec![site]);
+                            }
+                        }
+                    }
+                }
+                let refs: Vec<&[usize]> = groups.iter().map(|g| &g[..]).collect();
+                s = s.split_at(t(at), &refs);
+            }
+        }
+    }
+    (s, times)
+}
+
+/// `None` (unlisted ⇒ isolated) or a group id in `0..3`.
+fn maybe_id() -> impl Strategy<Value = Option<u8>> {
+    (0u8..4).prop_map(|x| if x == 0 { None } else { Some(x - 1) })
+}
+
+fn step_strategy(n: usize) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        Just(Step::Heal),
+        vec(maybe_id(), n..(n + 1)).prop_map(Step::Split),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `connected` is an equivalence relation at every probed instant —
+    /// including instants before, at, between, and after transitions.
+    #[test]
+    fn connected_is_an_equivalence_relation(
+        n in 2usize..6,
+        raw in vec(step_strategy(5), 0..6),
+        probe in 0u64..80,
+    ) {
+        let (s, _) = build(n, &raw);
+        let at = t(probe);
+        for a in 0..n {
+            prop_assert!(s.connected(a, a, at), "reflexive: {a}");
+            for b in 0..n {
+                prop_assert_eq!(
+                    s.connected(a, b, at),
+                    s.connected(b, a, at),
+                    "symmetric: {} {}", a, b
+                );
+                for c in 0..n {
+                    if s.connected(a, b, at) && s.connected(b, c, at) {
+                        prop_assert!(
+                            s.connected(a, c, at),
+                            "transitive: {} {} {}", a, b, c
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// After a heal (and before any later split), everything in range is
+    /// mutually connected and `is_partitioned` is false.
+    #[test]
+    fn heal_restores_full_connectivity(
+        n in 2usize..6,
+        raw in vec(step_strategy(5), 0..5),
+    ) {
+        let mut steps = raw;
+        steps.push(Step::Heal);
+        let (s, times) = build(n, &steps);
+        let at = t(*times.last().unwrap());
+        prop_assert!(!s.is_partitioned(at));
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert!(s.connected(a, b, at), "healed: {} {}", a, b);
+            }
+        }
+    }
+
+    /// In a split, unlisted sites are isolated from everyone (including
+    /// each other), listed sites reach exactly their co-group members,
+    /// and out-of-range sites reach nothing but themselves.
+    #[test]
+    fn split_semantics(
+        n in 2usize..6,
+        ids in vec(maybe_id(), 5..6),
+    ) {
+        let (s, times) = build(n, &[Step::Split(ids.clone())]);
+        let at = t(times[0]);
+        for a in 0..n {
+            for b in 0..n {
+                let expect = a == b
+                    || matches!((&ids[a], &ids[b]), (Some(x), Some(y)) if x == y);
+                prop_assert_eq!(
+                    s.connected(a, b, at), expect,
+                    "sites {} {} ids {:?} {:?}", a, b, ids[a], ids[b]
+                );
+            }
+        }
+        // Out-of-range: only the self-loop.
+        prop_assert!(s.connected(n + 1, n + 1, at));
+        prop_assert!(!s.connected(0, n + 1, at));
+        prop_assert!(!s.connected(n + 1, 0, at));
+        // is_partitioned agrees with the existence of a split pair.
+        let any_split = (0..n).any(|a| (0..n).any(|b| !s.connected(a, b, at)));
+        prop_assert_eq!(s.is_partitioned(at), any_split);
+    }
+
+    /// `group_of` is consistent with `connected`, and groups are either
+    /// identical or disjoint (they partition the site set).
+    #[test]
+    fn groups_partition_the_site_set(
+        n in 2usize..6,
+        raw in vec(step_strategy(5), 0..6),
+        probe in 0u64..80,
+    ) {
+        let (s, _) = build(n, &raw);
+        let at = t(probe);
+        for a in 0..n {
+            let ga = s.group_of(a, at);
+            prop_assert!(ga.contains(&a));
+            for b in 0..n {
+                let gb = s.group_of(b, at);
+                if s.connected(a, b, at) {
+                    prop_assert_eq!(&ga, &gb, "connected sites share a group");
+                } else {
+                    prop_assert!(
+                        ga.iter().all(|x| !gb.contains(x)),
+                        "disconnected sites' groups must be disjoint"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Empty groups in `split_at` change nothing: splitting with all sites
+/// in one group plus any number of empty groups stays fully connected.
+#[test]
+fn empty_groups_are_inert() {
+    let all: Vec<usize> = (0..4).collect();
+    let s = PartitionSchedule::fully_connected(4).split_at(t(10), &[&[], &all, &[]]);
+    for a in 0..4 {
+        for b in 0..4 {
+            assert!(s.connected(a, b, t(10)));
+        }
+    }
+    assert!(!s.is_partitioned(t(10)));
+}
