@@ -4,6 +4,7 @@
 //! YES and lost its coordinator holds locks for an **unbounded** time.
 //! [`TradMetrics`] measures those windows directly.
 
+use dvp_obs::{Hist, PhaseHists};
 use dvp_simnet::time::SimTime;
 use std::collections::BTreeMap;
 
@@ -20,6 +21,18 @@ pub enum TradAbort {
     Crashed,
 }
 
+impl TradAbort {
+    /// Static tag for trace events.
+    pub fn tag(self) -> &'static str {
+        match self {
+            TradAbort::Timeout => "timeout",
+            TradAbort::Insufficient => "insufficient",
+            TradAbort::VoteNo => "vote_no",
+            TradAbort::Crashed => "crashed",
+        }
+    }
+}
+
 /// Counters for one traditional site.
 #[derive(Clone, Debug, Default)]
 pub struct TradMetrics {
@@ -27,16 +40,19 @@ pub struct TradMetrics {
     pub committed: u64,
     /// Coordinator-side aborts by reason.
     pub aborted: BTreeMap<TradAbort, u64>,
-    /// Commit latencies (µs).
-    pub commit_latency_us: Vec<u64>,
-    /// Abort-decision latencies (µs).
-    pub abort_latency_us: Vec<u64>,
+    /// Commit-latency histogram (µs).
+    pub commit_latency: Hist,
+    /// Abort-decision latency histogram (µs).
+    pub abort_latency: Hist,
+    /// Per-phase latency breakdown: `decide` (commit decision),
+    /// `abort`, `in_doubt` (completed blocking windows).
+    pub phases: PhaseHists,
     /// Messages sent by the engine (locks, votes, decisions, queries).
     pub messages_sent: u64,
     /// Participant entered the in-doubt (prepared, no decision) state.
     pub in_doubt_entered: u64,
     /// Completed in-doubt windows, in µs (lock-hold time while blocked).
-    pub in_doubt_us: Vec<u64>,
+    pub in_doubt: Hist,
     /// In-doubt windows still open (blocked at harvest time): start
     /// instants, so the harness can compute open-ended hold times.
     pub in_doubt_open_since: Vec<SimTime>,
@@ -53,7 +69,21 @@ impl TradMetrics {
     /// Record an abort decision.
     pub fn record_abort(&mut self, reason: TradAbort, latency_us: u64) {
         *self.aborted.entry(reason).or_insert(0) += 1;
-        self.abort_latency_us.push(latency_us);
+        self.abort_latency.record(latency_us);
+        self.phases.record("abort", latency_us);
+    }
+
+    /// Record a commit decision.
+    pub fn record_commit(&mut self, latency_us: u64) {
+        self.committed += 1;
+        self.commit_latency.record(latency_us);
+        self.phases.record("decide", latency_us);
+    }
+
+    /// Record a completed in-doubt window.
+    pub fn record_in_doubt(&mut self, window_us: u64) {
+        self.in_doubt.record(window_us);
+        self.phases.record("in_doubt", window_us);
     }
 
     /// Total aborts.
@@ -96,13 +126,37 @@ impl TradClusterMetrics {
         self.sites.iter().map(|s| s.in_doubt_open_since.len()).sum()
     }
 
+    /// Merged decision-latency histogram (commits and aborts). Only
+    /// *decided* transactions contribute — open in-doubt windows are
+    /// reported separately via [`Self::still_blocked`] and
+    /// [`Self::max_blocking_us`].
+    pub fn decision_latency(&self) -> Hist {
+        let mut h = Hist::new();
+        for s in &self.sites {
+            h.merge(&s.commit_latency);
+            h.merge(&s.abort_latency);
+        }
+        h
+    }
+
+    /// Merged per-phase latency breakdown across sites.
+    pub fn phases(&self) -> PhaseHists {
+        let mut p = PhaseHists::new();
+        for s in &self.sites {
+            p.merge(&s.phases);
+        }
+        p
+    }
+
     /// Longest completed in-doubt window (µs); 0 if none.
     pub fn max_in_doubt_us(&self) -> u64 {
-        self.sites
-            .iter()
-            .flat_map(|s| s.in_doubt_us.iter().copied())
-            .max()
-            .unwrap_or(0)
+        let mut max = 0;
+        for s in &self.sites {
+            if s.in_doubt.count() > 0 {
+                max = max.max(s.in_doubt.max());
+            }
+        }
+        max
     }
 
     /// Longest in-doubt window including still-open ones, measured
@@ -145,7 +199,7 @@ mod tests {
     #[test]
     fn blocking_includes_open_windows() {
         let mut a = TradMetrics::default();
-        a.in_doubt_us.push(500);
+        a.record_in_doubt(500);
         let mut b = TradMetrics::default();
         b.in_doubt_open_since.push(SimTime(1_000));
         let c = TradClusterMetrics { sites: vec![a, b] };

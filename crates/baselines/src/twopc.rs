@@ -28,6 +28,7 @@ use dvp_core::item::Catalog;
 use dvp_core::ops::Op;
 use dvp_core::txn::TxnSpec;
 use dvp_core::ItemId;
+use dvp_obs::{EventKind, Obs};
 use dvp_simnet::network::NetworkConfig;
 use dvp_simnet::node::{Context, Node, TimerId};
 use dvp_simnet::sim::Simulation;
@@ -250,6 +251,8 @@ pub struct TradNode {
     /// Final per-transaction outcome this site acted on (audit state for
     /// the divergence check; kept across crashes like metrics).
     resolutions: BTreeMap<Ts, bool>,
+    /// Structured trace handle (disabled by default).
+    obs: Obs,
 }
 
 impl TradNode {
@@ -286,7 +289,14 @@ impl TradNode {
             queues: BTreeMap::new(),
             metrics: TradMetrics::default(),
             resolutions: BTreeMap::new(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach a trace handle (shared into the stable log).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.log.set_obs(obs.clone(), self.id as u32);
+        self.obs = obs;
     }
 
     /// Outcomes this site acted on: `(txn, committed)` (divergence audit).
@@ -327,6 +337,10 @@ impl TradNode {
         let ts = self.clock.tick_at(ctx.now().micros());
         let timer = ctx.set_timer(self.cfg.txn_timeout, TAG_COORD_TIMEOUT | ts.0);
         let items = spec.access_set();
+        self.obs.emit_with(self.id as u32, || EventKind::TxnStart {
+            txn: ts.0,
+            ops: items.len() as u32,
+        });
         let mut awaiting: BTreeMap<ItemId, BTreeSet<NodeId>> = BTreeMap::new();
         let mut participants: BTreeSet<NodeId> = BTreeSet::new();
         for &item in &items {
@@ -449,8 +463,12 @@ impl TradNode {
                 self.send(ctx, site, TradBody::ReleaseLocks { txn: ts });
             }
             let latency = ctx.now().since(started).as_micros();
-            self.metrics.committed += 1;
-            self.metrics.commit_latency_us.push(latency);
+            self.metrics.record_commit(latency);
+            self.obs.emit_with(self.id as u32, || EventKind::TxnCommit {
+                txn: ts.0,
+                latency_us: latency,
+                fast_path: true,
+            });
             return;
         }
         // Pure readers are released now; writers enter the vote.
@@ -536,8 +554,12 @@ impl TradNode {
         ctx.set_timer(self.cfg.retry_every, TAG_DECISION_RETRY | ts.0);
         // Commit is decided now; report it now.
         let latency = ctx.now().since(started).as_micros();
-        self.metrics.committed += 1;
-        self.metrics.commit_latency_us.push(latency);
+        self.metrics.record_commit(latency);
+        self.obs.emit_with(self.id as u32, || EventKind::TxnCommit {
+            txn: ts.0,
+            latency_us: latency,
+            fast_path: false,
+        });
         self.coord.get_mut(&ts).expect("coord").reported = true;
     }
 
@@ -618,8 +640,7 @@ impl TradNode {
         self.resolutions.insert(ts, commit);
         if let Some(since) = p.in_doubt_since {
             self.metrics
-                .in_doubt_us
-                .push(ctx.now().since(since).as_micros());
+                .record_in_doubt(ctx.now().since(since).as_micros());
         }
         for item in p.items {
             self.release_lock(ts, item, ctx);
@@ -653,6 +674,11 @@ impl TradNode {
         }
         let latency = ctx.now().since(c.started).as_micros();
         self.metrics.record_abort(reason, latency);
+        self.obs.emit_with(self.id as u32, || EventKind::TxnAbort {
+            txn: ts.0,
+            reason: reason.tag(),
+            latency_us: latency,
+        });
     }
 
     fn on_decision_ack(&mut self, from: NodeId, ts: Ts) {
@@ -802,8 +828,7 @@ impl TradNode {
         }
         if let Some(since) = p.in_doubt_since {
             self.metrics
-                .in_doubt_us
-                .push(ctx.now().since(since).as_micros());
+                .record_in_doubt(ctx.now().since(since).as_micros());
         }
         for item in p.items {
             self.release_lock(ts, item, ctx);
@@ -1015,7 +1040,9 @@ impl Node for TradNode {
 
     fn on_recover(&mut self, ctx: &mut Context<'_, TradMsg>) {
         self.metrics.recoveries += 1;
+        self.obs.emit(self.id as u32, EventKind::RecoveryBegin);
         let records = self.log.recover().expect("stable image must decode");
+        let replayed = records.len() as u64;
         let mut prepared: BTreeMap<Ts, (u64, Vec<VersionedWrite>)> = BTreeMap::new();
         let mut resolved: BTreeMap<Ts, bool> = BTreeMap::new();
         for rec in records {
@@ -1087,6 +1114,12 @@ impl Node for TradNode {
         if blocked {
             self.metrics.recoveries_blocked += 1;
         }
+        let queries = self.metrics.recovery_remote_messages;
+        self.obs
+            .emit_with(self.id as u32, || EventKind::RecoveryEnd {
+                replayed,
+                remote_msgs: queries,
+            });
     }
 }
 
@@ -1113,6 +1146,8 @@ pub struct TradClusterConfig {
     pub scripts: Vec<Vec<(SimTime, TxnSpec)>>,
     /// RNG seed.
     pub seed: u64,
+    /// Structured trace handle shared by the kernel and every site.
+    pub obs: Obs,
 }
 
 impl TradClusterConfig {
@@ -1127,6 +1162,7 @@ impl TradClusterConfig {
             recoveries: Vec::new(),
             scripts: vec![Vec::new(); n],
             seed: 0,
+            obs: Obs::disabled(),
         }
     }
 
@@ -1158,10 +1194,13 @@ impl TradCluster {
                     .iter()
                     .map(|(_, spec)| spec.clone())
                     .collect();
-                TradNode::new(s, n, cfg.trad, totals.clone(), script)
+                let mut node = TradNode::new(s, n, cfg.trad, totals.clone(), script);
+                node.set_obs(cfg.obs.clone());
+                node
             })
             .collect();
         let mut sim = Simulation::new(nodes, cfg.net, cfg.seed);
+        sim.set_obs(cfg.obs);
         for (s, script) in cfg.scripts.iter().enumerate() {
             for (idx, (when, _)) in script.iter().enumerate() {
                 sim.schedule_external(*when, s, idx as u64);

@@ -6,19 +6,29 @@
 //! ablation table.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dvp_bench::run_dvp;
-use dvp_core::{Fanout, FaultPlan, RefillPolicy, SiteConfig};
+use dvp_bench::{RunReport, Scenario};
+use dvp_core::{Fanout, RefillPolicy, SiteConfig};
 use dvp_simnet::network::NetworkConfig;
 use dvp_simnet::time::{SimDuration, SimTime};
 use dvp_vmsg::VmConfig;
-use dvp_workloads::AirlineWorkload;
+use dvp_workloads::{AirlineWorkload, Workload};
 
 fn until() -> SimTime {
     SimTime::ZERO + SimDuration::secs(10)
 }
 
+fn dvp(w: &Workload, site: SiteConfig, net: NetworkConfig) -> RunReport {
+    // Seed 1 matches the runs recorded in EXPERIMENTS.md's ablation table.
+    Scenario::dvp(w)
+        .site(site)
+        .net(net)
+        .until(until())
+        .seed(1)
+        .run()
+}
+
 /// Hub-skewed airline workload that must solicit.
-fn hub_workload() -> dvp_workloads::Workload {
+fn hub_workload() -> Workload {
     AirlineWorkload {
         n_sites: 4,
         flights: 2,
@@ -45,29 +55,13 @@ fn ablate_refill(c: &mut Criterion) {
             refill: policy,
             ..Default::default()
         };
-        let r = run_dvp(
-            &w,
-            site,
-            NetworkConfig::reliable(),
-            FaultPlan::none(),
-            until(),
-            1,
-        );
+        let r = dvp(&w, site, NetworkConfig::reliable());
         eprintln!(
             "[ablation refill={name}] commits={} aborts={} requests={} donations={}",
             r.committed, r.aborted, r.requests, r.donations
         );
         g.bench_function(name, |b| {
-            b.iter(|| {
-                run_dvp(
-                    &w,
-                    site,
-                    NetworkConfig::reliable(),
-                    FaultPlan::none(),
-                    until(),
-                    1,
-                )
-            })
+            b.iter(|| dvp(&w, site, NetworkConfig::reliable()))
         });
     }
     g.finish();
@@ -81,29 +75,13 @@ fn ablate_fanout(c: &mut Criterion) {
             fanout,
             ..Default::default()
         };
-        let r = run_dvp(
-            &w,
-            site,
-            NetworkConfig::reliable(),
-            FaultPlan::none(),
-            until(),
-            1,
-        );
+        let r = dvp(&w, site, NetworkConfig::reliable());
         eprintln!(
             "[ablation fanout={name}] commits={} aborts={} requests={} messages={}",
             r.committed, r.aborted, r.requests, r.messages
         );
         g.bench_function(name, |b| {
-            b.iter(|| {
-                run_dvp(
-                    &w,
-                    site,
-                    NetworkConfig::reliable(),
-                    FaultPlan::none(),
-                    until(),
-                    1,
-                )
-            })
+            b.iter(|| dvp(&w, site, NetworkConfig::reliable()))
         });
     }
     g.finish();
@@ -121,14 +99,12 @@ fn ablate_acks_and_window(c: &mut Criterion) {
             },
             ..Default::default()
         };
-        let r = run_dvp(&w, site, lossy.clone(), FaultPlan::none(), until(), 1);
+        let r = dvp(&w, site, lossy.clone());
         eprintln!(
             "[ablation acks={name}] commits={} messages={}",
             r.committed, r.messages
         );
-        g.bench_function(name, |b| {
-            b.iter(|| run_dvp(&w, site, lossy.clone(), FaultPlan::none(), until(), 1))
-        });
+        g.bench_function(name, |b| b.iter(|| dvp(&w, site, lossy.clone())));
     }
     for window in [1usize, 16, 64] {
         let site = SiteConfig {
@@ -138,13 +114,13 @@ fn ablate_acks_and_window(c: &mut Criterion) {
             },
             ..Default::default()
         };
-        let r = run_dvp(&w, site, lossy.clone(), FaultPlan::none(), until(), 1);
+        let r = dvp(&w, site, lossy.clone());
         eprintln!(
             "[ablation window={window}] commits={} messages={}",
             r.committed, r.messages
         );
         g.bench_function(format!("window_{window}"), |b| {
-            b.iter(|| run_dvp(&w, site, lossy.clone(), FaultPlan::none(), until(), 1))
+            b.iter(|| dvp(&w, site, lossy.clone()))
         });
     }
     g.finish();
@@ -156,13 +132,13 @@ fn ablate_timeout(c: &mut Criterion) {
     let lossy = NetworkConfig::lossy(0.3);
     for ms in [10u64, 50, 200] {
         let site = SiteConfig::default().with_timeout(SimDuration::millis(ms));
-        let r = run_dvp(&w, site, lossy.clone(), FaultPlan::none(), until(), 1);
+        let r = dvp(&w, site, lossy.clone());
         eprintln!(
             "[ablation timeout={ms}ms] commits={} aborts={} p95={}us max={}us",
             r.committed, r.aborted, r.p95_us, r.max_us
         );
         g.bench_function(format!("timeout_{ms}ms"), |b| {
-            b.iter(|| run_dvp(&w, site, lossy.clone(), FaultPlan::none(), until(), 1))
+            b.iter(|| dvp(&w, site, lossy.clone()))
         });
     }
     g.finish();

@@ -4,11 +4,10 @@
 //! experiment stack stays runnable under `cargo bench`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dvp_baselines::TradConfig;
-use dvp_bench::{run_dvp, run_trad};
+use dvp_bench::Scenario;
 use dvp_core::item::{Catalog, Split};
+use dvp_core::TxnSpec;
 use dvp_core::{Cluster, ClusterConfig};
-use dvp_core::{FaultPlan, SiteConfig, TxnSpec};
 use dvp_simnet::network::NetworkConfig;
 use dvp_simnet::partition::PartitionSchedule;
 use dvp_simnet::time::{SimDuration, SimTime};
@@ -31,42 +30,20 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     let w = airline(100);
     g.bench_function("dvp_airline_100txn", |b| {
-        b.iter(|| {
-            run_dvp(
-                &w,
-                SiteConfig::default(),
-                NetworkConfig::reliable(),
-                FaultPlan::none(),
-                until(),
-                1,
-            )
-        })
+        b.iter(|| Scenario::dvp(&w).until(until()).seed(1).run())
     });
     g.bench_function("trad_airline_100txn", |b| {
-        b.iter(|| {
-            run_trad(
-                &w,
-                TradConfig::default(),
-                NetworkConfig::reliable(),
-                vec![],
-                vec![],
-                until(),
-                1,
-            )
-        })
+        b.iter(|| Scenario::trad(&w).until(until()).seed(1).run())
     });
     let sched =
         PartitionSchedule::fully_connected(4).split_at(SimTime(50_000), &[&[0, 1], &[2, 3]]);
     g.bench_function("dvp_airline_100txn_partitioned", |b| {
         b.iter(|| {
-            run_dvp(
-                &w,
-                SiteConfig::default(),
-                NetworkConfig::reliable().with_partitions(sched.clone()),
-                FaultPlan::none(),
-                until(),
-                1,
-            )
+            Scenario::dvp(&w)
+                .net(NetworkConfig::reliable().with_partitions(sched.clone()))
+                .until(until())
+                .seed(1)
+                .run()
         })
     });
     g.finish();

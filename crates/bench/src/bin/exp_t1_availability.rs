@@ -1,5 +1,32 @@
 //! Regenerates experiment T1 (availability under partition).
+//!
+//! Besides the headline table this binary prints the DvP per-phase
+//! latency breakdown for the representative scenario, and — when
+//! `DVP_TRACE=<path>` is set — writes that scenario's structured JSONL
+//! event trace there (deterministic: same seed ⇒ byte-identical file).
+
+use dvp_bench::table::phase_table;
+
 fn main() {
     let scale = dvp_bench::Scale::from_env();
     print!("{}", dvp_bench::exp_t1_availability::run(scale).render());
+
+    let report = dvp_bench::exp_t1_availability::traced_representative();
+    println!(
+        "{}",
+        phase_table(
+            format!(
+                "{} per-phase latency (seed {})",
+                report.scenario, report.seed
+            ),
+            &report.phases,
+        )
+        .render()
+    );
+    if let Some(path) = dvp_bench::trace_path() {
+        match std::fs::write(&path, report.trace_jsonl()) {
+            Ok(()) => println!("trace: {} events -> {path}", report.events.len()),
+            Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+        }
+    }
 }

@@ -18,7 +18,8 @@
 //! * `--replay seed=S config=NAME keep=I,J,... [digest=X]` — rerun one
 //!   (possibly shrunk) campaign and print its verdict.
 
-use dvp_bench::{sweep, Scale, Table};
+use dvp_bench::table::phase_table;
+use dvp_bench::{sweep, BenchEnv, Table};
 use dvp_core::{ConcMode, SiteConfig};
 use dvp_nemesis::{
     ddmin, generate, legacy_environment, run_campaign, CampaignConfig, CampaignResult,
@@ -87,7 +88,13 @@ fn configs() -> Vec<ProtoConfig> {
     ]
 }
 
-fn campaign_config(pc: &ProtoConfig, seed: u64, n: usize, horizon_ms: u64) -> CampaignConfig {
+fn campaign_config(
+    pc: &ProtoConfig,
+    seed: u64,
+    n: usize,
+    horizon_ms: u64,
+    trace: bool,
+) -> CampaignConfig {
     let w = AirlineWorkload {
         n_sites: n,
         flights: 3,
@@ -106,22 +113,12 @@ fn campaign_config(pc: &ProtoConfig, seed: u64, n: usize, horizon_ms: u64) -> Ca
         base_net: pc.net.clone(),
         catalog: w.catalog,
         scripts: w.scripts,
+        trace,
     }
 }
 
-fn intensity() -> Intensity {
-    let factor: f64 = std::env::var("DVP_NEMESIS_INTENSITY")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0);
-    Intensity::standard().scaled(factor)
-}
-
-fn seeds_per_config(scale: Scale) -> u64 {
-    std::env::var("DVP_NEMESIS_SEEDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| scale.pick(50, 100))
+fn intensity(env: &BenchEnv) -> Intensity {
+    Intensity::standard().scaled(env.nemesis_intensity)
 }
 
 const N_SITES: usize = 6;
@@ -135,7 +132,7 @@ fn shrink_and_report(
     schedule: &FaultSchedule,
     result: &CampaignResult,
 ) {
-    let cfg = campaign_config(pc, seed, N_SITES, HORIZON_MS);
+    let cfg = campaign_config(pc, seed, N_SITES, HORIZON_MS, false);
     eprintln!(
         "VIOLATION  config={} seed={seed}: {}",
         pc.name,
@@ -159,9 +156,9 @@ fn shrink_and_report(
 }
 
 fn run_matrix() -> bool {
-    let scale = Scale::from_env();
-    let seeds = seeds_per_config(scale);
-    let intensity = intensity();
+    let env = BenchEnv::from_env();
+    let seeds = env.nemesis_seeds();
+    let intensity = intensity(&env);
     let all = configs();
 
     let mut t = Table::new(
@@ -185,14 +182,23 @@ fn run_matrix() -> bool {
     );
 
     let mut failed = false;
+    let mut breakdowns: Vec<Table> = Vec::new();
     for pc in &all {
         let results: Vec<(u64, FaultSchedule, CampaignResult)> =
             sweep((0..seeds).collect(), |&seed| {
                 let schedule = generate(seed, N_SITES, HORIZON_MS, &intensity);
-                let cfg = campaign_config(pc, seed, N_SITES, HORIZON_MS);
+                let cfg = campaign_config(pc, seed, N_SITES, HORIZON_MS, false);
                 let r = run_campaign(&cfg, &schedule);
                 (seed, schedule, r)
             });
+        let mut phases = dvp_obs::PhaseHists::new();
+        for (_, _, r) in &results {
+            phases.merge(&r.phases);
+        }
+        breakdowns.push(phase_table(
+            format!("{} per-phase latency ({seeds} campaigns)", pc.name),
+            &phases,
+        ));
         let violations = results.iter().filter(|(_, _, r)| !r.passed()).count();
         let sum = |f: fn(&CampaignResult) -> u64| results.iter().map(|(_, _, r)| f(r)).sum::<u64>();
         t.row(vec![
@@ -214,6 +220,9 @@ fn run_matrix() -> bool {
         }
     }
     println!("{}", t.render());
+    for b in &breakdowns {
+        println!("{}", b.render());
+    }
     !failed
 }
 
@@ -248,7 +257,8 @@ fn run_replay(args: &[String]) -> bool {
             return false;
         }
     };
-    let schedule = generate(seed, N_SITES, HORIZON_MS, &intensity()).subset(&keep);
+    let env = BenchEnv::from_env();
+    let schedule = generate(seed, N_SITES, HORIZON_MS, &intensity(&env)).subset(&keep);
     if let Some(d) = digest {
         if schedule.digest() != d {
             eprintln!(
@@ -262,7 +272,22 @@ fn run_replay(args: &[String]) -> bool {
     for ev in &schedule.events {
         println!("  {ev:?}");
     }
-    let r = run_campaign(&campaign_config(pc, seed, N_SITES, HORIZON_MS), &schedule);
+    let r = run_campaign(
+        &campaign_config(pc, seed, N_SITES, HORIZON_MS, true),
+        &schedule,
+    );
+    let label = format!("fault_campaign/{}", pc.name);
+    let jsonl = dvp_obs::to_jsonl(&label, seed, &r.events);
+    let path = dvp_bench::trace_path()
+        .unwrap_or_else(|| format!("target/fault_campaign-{}-seed{seed}.jsonl", pc.name));
+    match write_trace(&path, &jsonl) {
+        Ok(()) => println!("trace: {} events -> {path}", r.events.len()),
+        Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+    }
+    println!(
+        "{}",
+        phase_table(format!("{} replay per-phase latency", pc.name), &r.phases).render()
+    );
     match &r.violation {
         Some(v) => {
             println!("REPRODUCED: {v}");
@@ -273,6 +298,15 @@ fn run_replay(args: &[String]) -> bool {
             true
         }
     }
+}
+
+fn write_trace(path: &str, jsonl: &str) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, jsonl)
 }
 
 fn main() {

@@ -10,12 +10,11 @@
 //! Sweep: Zipf θ over sites × refill policy. Metrics: abort fraction and
 //! remote requests per commit.
 
-use crate::summary::run_dvp;
+use crate::scenario::Scenario;
 use crate::sweep::sweep;
 use crate::table::{f2, pct, Table};
 use crate::Scale;
-use dvp_core::{FaultPlan, RefillPolicy, SiteConfig};
-use dvp_simnet::network::NetworkConfig;
+use dvp_core::{RefillPolicy, SiteConfig};
 use dvp_simnet::time::{SimDuration, SimTime};
 use dvp_workloads::AirlineWorkload;
 
@@ -64,14 +63,7 @@ pub fn run(scale: Scale) -> Table {
             refill: policy,
             ..Default::default()
         };
-        let r = run_dvp(
-            &w,
-            site,
-            NetworkConfig::reliable(),
-            FaultPlan::none(),
-            until,
-            3,
-        );
+        let r = Scenario::dvp(&w).site(site).until(until).seed(3).run();
         let per_commit = |x: u64| {
             if r.committed == 0 {
                 0.0

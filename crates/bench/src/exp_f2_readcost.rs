@@ -61,15 +61,11 @@ fn trad_read(n: usize, placement: Placement) -> (u64, u64) {
     cl.sim.run_to_quiescence();
     let m = cl.metrics();
     assert_eq!(m.committed(), 1);
-    let mut lat: Vec<u64> = m
-        .sites
-        .iter()
-        .flat_map(|s| s.commit_latency_us.iter().copied())
-        .collect();
-    (
-        cl.sim.stats().sent,
-        dvp_core::metrics::percentile(&mut lat, 100.0),
-    )
+    let mut lat = dvp_obs::Hist::new();
+    for s in &m.sites {
+        lat.merge(&s.commit_latency);
+    }
+    (cl.sim.stats().sent, lat.max())
 }
 
 /// Run F2 and return the table.

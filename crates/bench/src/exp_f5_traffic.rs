@@ -11,13 +11,12 @@
 //! requests; concentrating everything away from the demand maximises
 //! them; shipping `All` on first contact amortises later requests.
 
-use crate::summary::run_dvp;
+use crate::scenario::Scenario;
 use crate::sweep::sweep;
 use crate::table::{f2, pct, Table};
 use crate::Scale;
 use dvp_core::item::Split;
-use dvp_core::{FaultPlan, RefillPolicy, SiteConfig};
-use dvp_simnet::network::NetworkConfig;
+use dvp_core::{RefillPolicy, SiteConfig};
 use dvp_simnet::time::{SimDuration, SimTime};
 use dvp_workloads::AirlineWorkload;
 
@@ -73,14 +72,7 @@ pub fn run(scale: Scale) -> Table {
             refill: *policy,
             ..Default::default()
         };
-        let r = run_dvp(
-            &w,
-            site,
-            NetworkConfig::reliable(),
-            FaultPlan::none(),
-            until,
-            4,
-        );
+        let r = Scenario::dvp(&w).site(site).until(until).seed(4).run();
         let per_commit = |x: u64| {
             if r.committed == 0 {
                 0.0

@@ -9,12 +9,11 @@
 //! → fully shattered), with the same airline workload on all three
 //! systems. Metric: commit ratio.
 
-use crate::summary::{run_dvp, run_trad};
+use crate::scenario::Scenario;
 use crate::sweep::sweep;
 use crate::table::{pct, Table};
 use crate::Scale;
 use dvp_baselines::{Placement, TradConfig};
-use dvp_core::{FaultPlan, SiteConfig};
 use dvp_simnet::network::NetworkConfig;
 use dvp_simnet::partition::PartitionSchedule;
 use dvp_simnet::time::{SimDuration, SimTime};
@@ -69,38 +68,25 @@ pub fn run(scale: Scale) -> Table {
     for row in sweep(SEVERITIES.to_vec(), |&severity| {
         let w = workload.generate(11);
         let net = || NetworkConfig::reliable().with_partitions(schedule(severity, n));
-        let dvp = run_dvp(
-            &w,
-            SiteConfig::default(),
-            net(),
-            FaultPlan::none(),
-            until,
-            1,
-        );
-        let quorum = run_trad(
-            &w,
-            TradConfig {
+        let dvp = Scenario::dvp(&w).net(net()).until(until).seed(1).run();
+        let quorum = Scenario::trad(&w)
+            .trad_config(TradConfig {
                 placement: Placement::ReplicatedQuorum,
                 ..Default::default()
-            },
-            net(),
-            vec![],
-            vec![],
-            until,
-            1,
-        );
-        let primary = run_trad(
-            &w,
-            TradConfig {
+            })
+            .net(net())
+            .until(until)
+            .seed(1)
+            .run();
+        let primary = Scenario::trad(&w)
+            .trad_config(TradConfig {
                 placement: Placement::PrimaryCopy,
                 ..Default::default()
-            },
-            net(),
-            vec![],
-            vec![],
-            until,
-            1,
-        );
+            })
+            .net(net())
+            .until(until)
+            .seed(1)
+            .run();
         vec![
             severity.to_string(),
             pct(dvp.commit_ratio),
@@ -111,6 +97,29 @@ pub fn run(scale: Scale) -> Table {
         t.row(row);
     }
     t
+}
+
+/// The representative traced run the T1 binary exports: the DvP engine on
+/// the quick-scale airline workload under the 6/2 split, with the event
+/// stream captured. Deterministic: same build ⇒ byte-identical trace.
+pub fn traced_representative() -> crate::RunReport {
+    let n = 8;
+    let w = AirlineWorkload {
+        n_sites: n,
+        flights: 4,
+        seats_per_flight: 10_000,
+        txns: 160,
+        mix: (0.8, 0.15, 0.0, 0.05),
+        ..Default::default()
+    }
+    .generate(11);
+    Scenario::dvp(&w)
+        .name("t1/split-6-2/dvp")
+        .net(NetworkConfig::reliable().with_partitions(schedule("split-6/2", n)))
+        .until(SimTime::ZERO + SimDuration::secs(10))
+        .seed(11)
+        .trace(true)
+        .run()
 }
 
 #[cfg(test)]

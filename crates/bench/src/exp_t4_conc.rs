@@ -10,11 +10,11 @@
 //! Sweep: product skew θ of a multi-line inventory workload, both schemes
 //! on the identical synchronous-ordered network.
 
-use crate::summary::run_dvp;
+use crate::scenario::Scenario;
 use crate::sweep::sweep;
 use crate::table::{pct, Table};
 use crate::Scale;
-use dvp_core::{ConcMode, FaultPlan, SiteConfig};
+use dvp_core::{ConcMode, SiteConfig};
 use dvp_simnet::network::NetworkConfig;
 use dvp_simnet::time::{SimDuration, SimTime};
 use dvp_workloads::InventoryWorkload;
@@ -55,8 +55,18 @@ pub fn run(scale: Scale) -> Table {
             conc: ConcMode::Conc2,
             ..Default::default()
         };
-        let r1 = run_dvp(&w, c1, net.clone(), FaultPlan::none(), until, 2);
-        let r2 = run_dvp(&w, c2, net.clone(), FaultPlan::none(), until, 2);
+        let r1 = Scenario::dvp(&w)
+            .site(c1)
+            .net(net.clone())
+            .until(until)
+            .seed(2)
+            .run();
+        let r2 = Scenario::dvp(&w)
+            .site(c2)
+            .net(net.clone())
+            .until(until)
+            .seed(2)
+            .run();
         vec![
             format!("{theta:.1}"),
             pct(r1.commit_ratio),

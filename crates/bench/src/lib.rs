@@ -22,11 +22,14 @@ pub mod exp_t2_blocking;
 pub mod exp_t3_recovery;
 pub mod exp_t4_conc;
 pub mod exp_t5_conservation;
-pub mod summary;
+pub mod scenario;
 pub mod sweep;
 pub mod table;
 
-pub use summary::{run_dvp, run_trad, RunSummary};
+mod env;
+
+pub use env::{trace_path, BenchEnv};
+pub use scenario::{EngineKind, RunReport, Scenario};
 pub use sweep::{sweep, sweep_serial};
 pub use table::Table;
 
@@ -40,12 +43,9 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Read from `DVP_SCALE` (default quick).
+    /// Read from `DVP_SCALE` (default quick) via [`BenchEnv`].
     pub fn from_env() -> Scale {
-        match std::env::var("DVP_SCALE").as_deref() {
-            Ok("full") | Ok("FULL") => Scale::Full,
-            _ => Scale::Quick,
-        }
+        BenchEnv::from_env().scale
     }
 
     /// Pick `q` under quick, `f` under full.

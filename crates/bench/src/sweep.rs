@@ -16,14 +16,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Worker thread count: `DVP_SWEEP_THREADS`, defaulting to the machine's
-/// available parallelism. Values below 1 are clamped to 1 (serial).
+/// available parallelism. Values below 1 are clamped to 1 (serial). Parsed
+/// through [`crate::BenchEnv`], re-read on every call.
 pub fn threads() -> usize {
-    match std::env::var("DVP_SWEEP_THREADS") {
-        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
-        Err(_) => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-    }
+    crate::BenchEnv::from_env().sweep_threads
 }
 
 /// Evaluate `eval` over every cell, in parallel, returning results in

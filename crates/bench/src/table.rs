@@ -115,6 +115,22 @@ pub fn f2(x: f64) -> String {
     format!("{x:.2}")
 }
 
+/// Render a per-phase latency breakdown as a table: one row per phase, in
+/// first-recorded order, with count / p50 / p95 / max columns.
+pub fn phase_table(title: impl Into<String>, phases: &dvp_obs::PhaseHists) -> Table {
+    let mut t = Table::new(title, &["phase", "count", "p50", "p95", "max"]);
+    for (name, h) in phases.iter() {
+        t.row(vec![
+            name.to_string(),
+            h.count().to_string(),
+            ms(h.percentile(50.0)),
+            ms(h.percentile(95.0)),
+            ms(h.max()),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

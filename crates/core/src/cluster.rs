@@ -12,6 +12,7 @@ use crate::metrics::ClusterMetrics;
 use crate::policy::SiteConfig;
 use crate::site::SiteNode;
 use crate::txn::TxnSpec;
+use dvp_obs::Obs;
 use dvp_simnet::network::NetworkConfig;
 use dvp_simnet::sim::Simulation;
 use dvp_simnet::time::SimTime;
@@ -64,6 +65,9 @@ pub struct ClusterConfig {
     /// RNG seed (drives network delays/loss and nothing else — the
     /// workload is part of the config, pre-generated).
     pub seed: u64,
+    /// Structured trace handle shared by the kernel and every site.
+    /// Disabled by default: the instrumented paths cost one branch.
+    pub obs: Obs,
 }
 
 impl ClusterConfig {
@@ -78,6 +82,7 @@ impl ClusterConfig {
             faults: FaultPlan::none(),
             scripts: vec![Vec::new(); n],
             seed: 0,
+            obs: Obs::disabled(),
         }
     }
 
@@ -134,11 +139,14 @@ impl Cluster {
                     .iter()
                     .map(|(_, spec)| spec.clone())
                     .collect();
-                SiteNode::new(s, n, cfg.site, site_quotas[s].clone(), script)
+                let mut node = SiteNode::new(s, n, cfg.site, site_quotas[s].clone(), script);
+                node.set_obs(cfg.obs.clone());
+                node
             })
             .collect();
 
         let mut sim = Simulation::new(nodes, cfg.net, cfg.seed);
+        sim.set_obs(cfg.obs);
         for (s, script) in cfg.scripts.iter().enumerate() {
             for (idx, (when, _)) in script.iter().enumerate() {
                 sim.schedule_external(*when, s, idx as u64);
@@ -181,6 +189,11 @@ impl Cluster {
     /// An auditor over the current state.
     pub fn auditor(&self) -> Auditor<'_> {
         Auditor::new(self.sim.nodes(), &self.catalog)
+    }
+
+    /// The trace handle the cluster was built with.
+    pub fn obs(&self) -> &Obs {
+        self.sim.obs()
     }
 }
 
@@ -281,7 +294,7 @@ mod tests {
         assert_eq!(m.aborted_for(AbortReason::Timeout), 1);
         let bound = cl.sim.node(3).config().txn_timeout.as_micros() + 1_000;
         assert!(
-            m.sites[3].abort_latency_us.iter().all(|&l| l <= bound),
+            m.sites[3].abort_latency.max() <= bound,
             "abort decision must be bounded by the timeout"
         );
         cl.auditor().check_conservation().unwrap();

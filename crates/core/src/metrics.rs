@@ -8,6 +8,7 @@
 use crate::clock::Ts;
 use crate::item::ItemId;
 use crate::Qty;
+use dvp_obs::{Hist, PhaseHists};
 use dvp_simnet::time::SimTime;
 use std::collections::BTreeMap;
 
@@ -33,6 +34,16 @@ impl AbortReason {
         AbortReason::TsConflict,
         AbortReason::Crashed,
     ];
+
+    /// Static tag for trace events.
+    pub fn tag(self) -> &'static str {
+        match self {
+            AbortReason::Timeout => "timeout",
+            AbortReason::LockConflict => "lock_conflict",
+            AbortReason::TsConflict => "ts_conflict",
+            AbortReason::Crashed => "crashed",
+        }
+    }
 }
 
 /// One committed transaction, journaled for the auditors.
@@ -55,11 +66,15 @@ pub struct SiteMetrics {
     pub committed: u64,
     /// Aborts by reason.
     pub aborted: BTreeMap<AbortReason, u64>,
-    /// Latency (µs) of each committed transaction (start → commit).
-    pub commit_latency_us: Vec<u64>,
-    /// Latency (µs) of each aborted transaction (start → abort decision).
-    /// Boundedness of these is the non-blocking property.
-    pub abort_latency_us: Vec<u64>,
+    /// Latency histogram (µs) of committed transactions (start → commit).
+    pub commit_latency: Hist,
+    /// Latency histogram (µs) of aborted transactions (start → abort
+    /// decision). Boundedness of `max` here is the non-blocking property.
+    pub abort_latency: Hist,
+    /// Per-phase latency breakdown: `fast_path` (no solicitation),
+    /// `solicit` (start → first credit), `gather` (first credit →
+    /// commit), `abort` (start → abort decision).
+    pub phases: PhaseHists,
     /// Requests sent to remote sites.
     pub requests_sent: u64,
     /// Requests honoured as donor.
@@ -96,15 +111,17 @@ impl SiteMetrics {
     /// Record an abort.
     pub fn record_abort(&mut self, reason: AbortReason, latency_us: u64) {
         *self.aborted.entry(reason).or_insert(0) += 1;
-        self.abort_latency_us.push(latency_us);
+        self.abort_latency.record(latency_us);
+        self.phases.record("abort", latency_us);
     }
 
     /// Record a commit.
     pub fn record_commit(&mut self, entry: CommitEntry, latency_us: u64, fast_path: bool) {
         self.committed += 1;
-        self.commit_latency_us.push(latency_us);
+        self.commit_latency.record(latency_us);
         if fast_path {
             self.fast_path_commits += 1;
+            self.phases.record("fast_path", latency_us);
         }
         self.commits.push(entry);
     }
@@ -160,30 +177,45 @@ impl ClusterMetrics {
         all
     }
 
+    /// Merged commit-latency histogram across sites.
+    pub fn commit_latency(&self) -> Hist {
+        let mut h = Hist::new();
+        for s in &self.sites {
+            h.merge(&s.commit_latency);
+        }
+        h
+    }
+
+    /// Merged decision-latency histogram (commits and aborts) — the
+    /// bounded-decision metric of experiment T2.
+    pub fn decision_latency(&self) -> Hist {
+        let mut h = Hist::new();
+        for s in &self.sites {
+            h.merge(&s.commit_latency);
+            h.merge(&s.abort_latency);
+        }
+        h
+    }
+
+    /// Merged per-phase latency breakdown across sites.
+    pub fn phases(&self) -> PhaseHists {
+        let mut p = PhaseHists::new();
+        for s in &self.sites {
+            p.merge(&s.phases);
+        }
+        p
+    }
+
     /// Percentile (0..=100) of committed-transaction latency in µs.
     pub fn commit_latency_percentile(&self, p: f64) -> u64 {
-        let mut all: Vec<u64> = self
-            .sites
-            .iter()
-            .flat_map(|s| s.commit_latency_us.iter().copied())
-            .collect();
-        percentile(&mut all, p)
+        self.commit_latency().percentile(p)
     }
 
     /// Percentile of decision latency over *all* decisions (commit or
-    /// abort) — the bounded-decision metric of experiment T2.
+    /// abort). p0/p100 are exact; interior percentiles are quantised to
+    /// their histogram bucket.
     pub fn decision_latency_percentile(&self, p: f64) -> u64 {
-        let mut all: Vec<u64> = self
-            .sites
-            .iter()
-            .flat_map(|s| {
-                s.commit_latency_us
-                    .iter()
-                    .chain(s.abort_latency_us.iter())
-                    .copied()
-            })
-            .collect();
-        percentile(&mut all, p)
+        self.decision_latency().percentile(p)
     }
 
     /// Sum of requests sent.

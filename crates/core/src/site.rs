@@ -37,6 +37,7 @@ use crate::record::SiteRecord;
 use crate::transfer::{Transfer, TransferKind};
 use crate::txn::TxnSpec;
 use crate::Qty;
+use dvp_obs::{EventKind, Obs};
 use dvp_simnet::node::{Context, Node, TimerId};
 use dvp_simnet::time::{SimDuration, SimTime};
 use dvp_simnet::NodeId;
@@ -121,6 +122,8 @@ struct ActiveTxn {
     read_pending: BTreeMap<ItemId, BTreeSet<NodeId>>,
     /// Read items waiting for our *own* outstanding Vms to clear first.
     reads_blocked_on_self: BTreeSet<ItemId>,
+    /// When the first solicited credit arrived (phase breakdown).
+    first_credit_at: Option<SimTime>,
     /// Whether this transaction ever solicited (false ⇒ fast path).
     solicited: bool,
     /// Remaining solicitation retries (see `SiteConfig::solicit_retries`).
@@ -192,6 +195,10 @@ pub struct SiteNode {
     crash_pending: bool,
     /// Experiment instrumentation (omniscient: survives crashes).
     metrics: SiteMetrics,
+    /// Structured trace handle (disabled by default; survives crashes).
+    obs: Obs,
+    /// Records redone by the last recovery scan (trace reporting).
+    last_replayed: u64,
 }
 
 impl SiteNode {
@@ -241,7 +248,17 @@ impl SiteNode {
             crashpoint_tripped: false,
             crash_pending: false,
             metrics: SiteMetrics::default(),
+            obs: Obs::disabled(),
+            last_replayed: 0,
         }
+    }
+
+    /// Attach a trace handle, shared down into the Vm endpoint and the
+    /// stable log so every layer stamps events on the same clock.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.vm.set_obs(obs.clone());
+        self.log.set_obs(obs.clone(), self.id as u32);
+        self.obs = obs;
     }
 
     // ---- public inspection (harness / audit) ----------------------------
@@ -387,6 +404,10 @@ impl SiteNode {
         }
         self.log.truncate_before(redo_from);
         self.metrics.checkpoints += 1;
+        self.obs
+            .emit_with(self.id as u32, || EventKind::Checkpoint {
+                redo_from: redo_from.0,
+            });
     }
 
     // ---- transaction lifecycle -------------------------------------------
@@ -399,6 +420,10 @@ impl SiteNode {
             "timestamp exceeds timer-tag space"
         );
         let items = spec.access_set();
+        self.obs.emit_with(self.id as u32, || EventKind::TxnStart {
+            txn: ts.0,
+            ops: items.len() as u32,
+        });
         let mut txn = ActiveTxn {
             spec,
             started: ctx.now(),
@@ -407,6 +432,7 @@ impl SiteNode {
             deficits: BTreeMap::new(),
             read_pending: BTreeMap::new(),
             reads_blocked_on_self: BTreeSet::new(),
+            first_credit_at: None,
             solicited: false,
             retries_left: 0,
         };
@@ -444,6 +470,10 @@ impl SiteNode {
                                 .entry(item)
                                 .or_default()
                                 .push_back(Waiter::LocalTxn(ts));
+                            self.obs.emit_with(self.id as u32, || EventKind::TxnQueued {
+                                txn: ts.0,
+                                item: item.0,
+                            });
                             pending = items[idx..].to_vec();
                             break;
                         }
@@ -470,7 +500,11 @@ impl SiteNode {
         ctx.cancel_timer(txn.timeout_timer);
         let latency = ctx.now().since(txn.started).as_micros();
         self.metrics.record_abort(reason, latency);
-        let _ = ts;
+        self.obs.emit_with(self.id as u32, || EventKind::TxnAbort {
+            txn: ts.0,
+            reason: reason.tag(),
+            latency_us: latency,
+        });
     }
 
     /// All local locks are held: enter the solicitation phase (Step 2) or
@@ -575,6 +609,13 @@ impl SiteNode {
                             },
                         );
                         self.metrics.requests_sent += 1;
+                        self.obs
+                            .emit_with(self.id as u32, || EventKind::TxnSolicit {
+                                txn: ts.0,
+                                item: item.0,
+                                to: to as u32,
+                                qty: need as i64,
+                            });
                     }
                 }
                 Fanout::One => {
@@ -590,6 +631,13 @@ impl SiteNode {
                         },
                     );
                     self.metrics.requests_sent += 1;
+                    self.obs
+                        .emit_with(self.id as u32, || EventKind::TxnSolicit {
+                            txn: ts.0,
+                            item: item.0,
+                            to: to as u32,
+                            qty: need as i64,
+                        });
                 }
             }
         }
@@ -607,6 +655,13 @@ impl SiteNode {
                     },
                 );
                 self.metrics.requests_sent += 1;
+                self.obs
+                    .emit_with(self.id as u32, || EventKind::TxnSolicit {
+                        txn: ts.0,
+                        item: item.0,
+                        to: to as u32,
+                        qty: 0,
+                    });
             }
         }
     }
@@ -715,6 +770,23 @@ impl SiteNode {
             latency,
             !t.solicited,
         );
+        if t.solicited {
+            // Phase split: solicit = start → first credit arriving,
+            // gather = first credit → commit (zero when a single credit
+            // completed the transaction in the same instant).
+            let fc = t.first_credit_at.unwrap_or_else(|| ctx.now());
+            self.metrics
+                .phases
+                .record("solicit", fc.since(t.started).as_micros());
+            self.metrics
+                .phases
+                .record("gather", ctx.now().since(fc).as_micros());
+        }
+        self.obs.emit_with(self.id as u32, || EventKind::TxnCommit {
+            txn: ts.0,
+            latency_us: latency,
+            fast_path: !t.solicited,
+        });
     }
 
     fn abort_txn(&mut self, ts: Ts, reason: AbortReason, ctx: &mut Context<'_, ProtoMsg>) {
@@ -730,6 +802,11 @@ impl SiteNode {
         }
         let latency = ctx.now().since(t.started).as_micros();
         self.metrics.record_abort(reason, latency);
+        self.obs.emit_with(self.id as u32, || EventKind::TxnAbort {
+            txn: ts.0,
+            reason: reason.tag(),
+            latency_us: latency,
+        });
         // Value already absorbed stays: the aborted transaction degenerates
         // to an Rds transaction (Section 6).
     }
@@ -816,6 +893,11 @@ impl SiteNode {
                 ConcMode::Conc1 => {
                     // "site s_j can simply decide not to honor the request"
                     self.metrics.requests_ignored += 1;
+                    self.obs
+                        .emit_with(self.id as u32, || EventKind::TxnDecline {
+                            txn: txn.0,
+                            item: item.0,
+                        });
                 }
                 ConcMode::Conc2 => {
                     self.lock_queue
@@ -850,6 +932,11 @@ impl SiteNode {
         if self.cfg.conc == ConcMode::Conc1 && txn <= self.frags.ts(item) {
             // Conc1: the soliciting transaction is too old for this value.
             self.metrics.requests_ignored += 1;
+            self.obs
+                .emit_with(self.id as u32, || EventKind::TxnDecline {
+                    txn: txn.0,
+                    item: item.0,
+                });
             return;
         }
         let have = self.frags.get(item);
@@ -860,6 +947,11 @@ impl SiteNode {
                 // Cannot certify quiescence: our own Vms for this item are
                 // still in flight. Ignore; the read will abort or retry.
                 self.metrics.requests_ignored += 1;
+                self.obs
+                    .emit_with(self.id as u32, || EventKind::TxnDecline {
+                        txn: txn.0,
+                        item: item.0,
+                    });
                 return;
             }
             (have, TransferKind::ReadGrant)
@@ -867,6 +959,11 @@ impl SiteNode {
             let amount = self.cfg.refill.amount(need, have);
             if amount == 0 {
                 self.metrics.requests_ignored += 1;
+                self.obs
+                    .emit_with(self.id as u32, || EventKind::TxnDecline {
+                        txn: txn.0,
+                        item: item.0,
+                    });
                 return;
             }
             (amount, TransferKind::Refill)
@@ -904,6 +1001,12 @@ impl SiteNode {
         *self.outstanding_out.entry(item).or_insert(0) += 1;
         self.vm_item.insert((from, seq), item);
         self.metrics.donations += 1;
+        self.obs.emit_with(self.id as u32, || EventKind::TxnDonate {
+            txn: txn.0,
+            item: item.0,
+            to: from as u32,
+            qty: amount as i64,
+        });
 
         if read {
             // Pin the drained item until the reader has surely decided.
@@ -1023,15 +1126,25 @@ impl SiteNode {
         self.frags.credit(transfer.item, transfer.amount);
         self.frags.bump_ts(transfer.item, transfer.for_txn);
         self.metrics.absorbed += 1;
+        self.obs.emit_with(self.id as u32, || EventKind::TxnAbsorb {
+            txn: transfer.for_txn.0,
+            item: transfer.item.0,
+            from: transfer.donor as u32,
+            qty: transfer.amount as i64,
+        });
     }
 
     /// Track an absorbed transfer against the waiting transaction's needs.
     fn credit_to_txn(&mut self, holder: Ts, transfer: &Transfer, ctx: &mut Context<'_, ProtoMsg>) {
         let ready = {
+            let now = ctx.now();
             let t = match self.active.get_mut(&holder) {
                 Some(t) => t,
                 None => return,
             };
+            if t.first_credit_at.is_none() {
+                t.first_credit_at = Some(now);
+            }
             if let Some(d) = t.deficits.get_mut(&transfer.item) {
                 *d = d.saturating_sub(transfer.amount);
             }
@@ -1071,12 +1184,13 @@ impl SiteNode {
             self.log.repair_torn_tail();
         }
         if !self.cfg.unsafe_skip_recovery_redo {
-            redo_entries(
-                &mut self.frags,
-                &mut self.vm,
-                &recovered.entries,
-                self.checkpoint.redo_from(),
-            );
+            let redo_from = self.checkpoint.redo_from();
+            self.last_replayed = recovered
+                .entries
+                .iter()
+                .filter(|(lsn, _)| *lsn >= redo_from)
+                .count() as u64;
+            redo_entries(&mut self.frags, &mut self.vm, &recovered.entries, redo_from);
         }
         // Rebuild the per-item outstanding index from the endpoint.
         for peer in self.vm.peers() {
@@ -1291,6 +1405,12 @@ impl Node for SiteNode {
         // State was already rebuilt from the stable log at crash time
         // (see on_crash); restarting is just resuming normal processing.
         self.metrics.recoveries += 1;
+        self.obs.emit(self.id as u32, EventKind::RecoveryBegin);
+        self.obs
+            .emit_with(self.id as u32, || EventKind::RecoveryEnd {
+                replayed: self.last_replayed,
+                remote_msgs: 0,
+            });
         // recovery_remote_messages stays 0: nothing consulted a peer.
         // Outstanding Vms resume in the normal course of processing.
         if self.vm.has_outstanding() {

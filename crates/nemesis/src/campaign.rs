@@ -7,6 +7,7 @@ use crate::schedule::FaultSchedule;
 use dvp_core::item::Catalog;
 use dvp_core::txn::TxnSpec;
 use dvp_core::{Cluster, ClusterConfig, SiteConfig};
+use dvp_obs::{Event, Obs, PhaseHists};
 use dvp_simnet::network::NetworkConfig;
 use dvp_simnet::time::{SimDuration, SimTime};
 
@@ -32,6 +33,8 @@ pub struct CampaignConfig {
     pub catalog: Catalog,
     /// Workload scripts, one per site.
     pub scripts: Vec<Vec<(SimTime, TxnSpec)>>,
+    /// Capture the structured `dvp-obs` event stream into the result.
+    pub trace: bool,
 }
 
 /// The outcome of one campaign. Deterministic: same config + schedule ⇒
@@ -56,6 +59,10 @@ pub struct CampaignResult {
     pub lost: u64,
     /// Extra copies from duplication (link + chaos).
     pub duplicated: u64,
+    /// Per-phase latency breakdown harvested from the cluster.
+    pub phases: PhaseHists,
+    /// Structured event stream; empty unless the config enabled tracing.
+    pub events: Vec<Event>,
 }
 
 impl CampaignResult {
@@ -80,6 +87,7 @@ pub fn run_campaign(cfg: &CampaignConfig, schedule: &FaultSchedule) -> CampaignR
     cluster_cfg.faults = applied.faults;
     cluster_cfg.scripts = cfg.scripts.clone();
     cluster_cfg.seed = cfg.seed;
+    cluster_cfg.obs = Obs::new(cfg.trace);
     let mut cl = Cluster::build(cluster_cfg);
 
     let mut violation = None;
@@ -116,6 +124,8 @@ pub fn run_campaign(cfg: &CampaignConfig, schedule: &FaultSchedule) -> CampaignR
         dropped_crashed: s.dropped_crashed,
         lost: s.lost,
         duplicated: s.duplicated,
+        phases: m.phases(),
+        events: cl.obs().take(),
     }
 }
 
@@ -143,6 +153,7 @@ mod tests {
             base_net: legacy_environment(),
             catalog,
             scripts,
+            trace: false,
         }
     }
 

@@ -26,6 +26,7 @@ use crate::time::{SimDuration, SimTime};
 use crate::timers::{TimerEntry, TimerLane};
 use crate::trace::{Trace, TraceEvent};
 use crate::NodeId;
+use dvp_obs::{EventKind as ObsEvent, Obs};
 use std::collections::BinaryHeap;
 
 /// Default cap on processed events per `run_*` call; a protocol that
@@ -57,6 +58,11 @@ pub struct Simulation<N: Node> {
     halted: bool,
     stats: NetStats,
     trace: Trace,
+    /// Structured-observability handle: the kernel stamps it with `now`
+    /// before every dispatch so instrumented layers with no clock of
+    /// their own (vmsg, storage) record correct times. Disabled by
+    /// default — one branch per event.
+    obs: Obs,
     event_limit: u64,
 }
 
@@ -84,6 +90,7 @@ impl<N: Node> Simulation<N> {
             halted: false,
             stats: NetStats::default(),
             trace: Trace::disabled(),
+            obs: Obs::disabled(),
             event_limit: DEFAULT_EVENT_LIMIT,
         }
     }
@@ -91,6 +98,18 @@ impl<N: Node> Simulation<N> {
     /// Enable the execution trace, retaining at most `cap` events.
     pub fn enable_trace(&mut self, cap: usize) {
         self.trace = Trace::with_capacity(cap);
+    }
+
+    /// Attach a structured-observability handle (share the same handle
+    /// with the nodes so the whole cluster writes one event stream).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (disabled unless
+    /// [`set_obs`](Self::set_obs) was called).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Override the livelock guard (events per `run_*` call).
@@ -242,6 +261,7 @@ impl<N: Node> Simulation<N> {
             }
             debug_assert!(key.0 >= self.now, "time went backwards");
             self.now = key.0;
+            self.obs.set_now_us(self.now.0);
             if from_timers {
                 let t = self.timers.pop().expect("peeked");
                 self.fire_timer(t);
@@ -309,6 +329,7 @@ impl<N: Node> Simulation<N> {
                 self.epoch[node] += 1; // invalidates all outstanding timers
                 self.trace
                     .record(TraceEvent::Crashed { at: self.now, node });
+                self.obs.emit(node as u32, ObsEvent::Crash);
                 self.nodes[node].on_crash();
             }
             EventKind::Recover { node } => {
@@ -390,6 +411,7 @@ impl<N: Node> Simulation<N> {
                             at: self.now,
                             node: id,
                         });
+                        self.obs.emit(id as u32, ObsEvent::Crash);
                         self.nodes[id].on_crash();
                     }
                     crashed_self = true;

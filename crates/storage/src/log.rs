@@ -23,6 +23,7 @@
 use crate::codec::{crc32, DecodeError, Record, RecordReader, RecordWriter};
 use crate::lsn::Lsn;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dvp_obs::{EventKind, Obs};
 
 /// Counters describing log activity (used by the mechanism benchmarks and
 /// by experiments that report "log forces per transaction").
@@ -146,6 +147,10 @@ pub struct StableLog<R> {
     tail: Vec<(Lsn, R)>,
     next: Lsn,
     stats: LogStats,
+    /// Structured-observability handle plus the owning site's id
+    /// (disabled/0 by default; see [`StableLog::set_obs`]).
+    obs: Obs,
+    obs_site: u32,
 }
 
 impl<R: Record> Default for StableLog<R> {
@@ -163,7 +168,16 @@ impl<R: Record> StableLog<R> {
             tail: Vec::new(),
             next: Lsn::FIRST,
             stats: LogStats::default(),
+            obs: Obs::disabled(),
+            obs_site: 0,
         }
+    }
+
+    /// Attach a structured-observability handle; `site` labels the
+    /// emitted events (a log has no identity of its own).
+    pub fn set_obs(&mut self, obs: Obs, site: u32) {
+        self.obs = obs;
+        self.obs_site = site;
     }
 
     /// Append `record` to the volatile tail; returns its LSN.
@@ -186,6 +200,9 @@ impl<R: Record> StableLog<R> {
             self.stats.records_forced += 1;
         }
         self.stats.stable_bytes = self.stable_image.len() as u64;
+        self.obs.emit_with(self.obs_site, || EventKind::LogForce {
+            stable_len: self.stable.len() as u64,
+        });
     }
 
     /// `append` + `force` in one call — the common "write one record and

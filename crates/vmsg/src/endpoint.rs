@@ -6,6 +6,7 @@ use crate::logop::VmLogOp;
 use crate::stats::VmStats;
 use crate::SiteId;
 use bytes::Bytes;
+use dvp_obs::{EventKind, Obs};
 use std::collections::BTreeMap;
 
 /// Tuning knobs for the Vm protocol.
@@ -90,6 +91,9 @@ pub struct VmEndpoint {
     /// Vms whose lifecycle completed since the last drain (peer, seq).
     completed: Vec<(SiteId, Seq)>,
     stats: VmStats,
+    /// Structured-observability handle (disabled by default; the host
+    /// shares the cluster-wide handle via [`VmEndpoint::set_obs`]).
+    obs: Obs,
 }
 
 impl VmEndpoint {
@@ -102,7 +106,14 @@ impl VmEndpoint {
             outbox: Vec::new(),
             completed: Vec::new(),
             stats: VmStats::default(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach a structured-observability handle (Vm channel events are
+    /// emitted through it; timestamps come from the simulation kernel).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// This endpoint's site id.
@@ -144,6 +155,11 @@ impl VmEndpoint {
                 },
             ));
             self.stats.data_frames_sent += 1;
+            self.obs.emit_with(self.me as u32, || EventKind::VmSend {
+                to: to as u32,
+                vseq: seq,
+                retransmit: false,
+            });
         }
         VmLogOp::Created { to, seq, payload }
     }
@@ -175,6 +191,11 @@ impl VmEndpoint {
             Frame::Data { seq, payload, .. } => match self.chan(from).classify(seq) {
                 Classify::Duplicate => {
                     self.stats.duplicates_discarded += 1;
+                    self.obs.emit_with(self.me as u32, || EventKind::VmAccept {
+                        from: from as u32,
+                        vseq: seq,
+                        receipt: "duplicate",
+                    });
                     // Refresh the ack so the sender can stop resending.
                     if self.cfg.eager_acks {
                         self.queue_ack(from);
@@ -183,9 +204,21 @@ impl VmEndpoint {
                 }
                 Classify::OutOfOrder => {
                     self.stats.out_of_order_discarded += 1;
+                    self.obs.emit_with(self.me as u32, || EventKind::VmAccept {
+                        from: from as u32,
+                        vseq: seq,
+                        receipt: "out_of_order",
+                    });
                     Receipt::OutOfOrder
                 }
-                Classify::Next => Receipt::Fresh { seq, payload },
+                Classify::Next => {
+                    self.obs.emit_with(self.me as u32, || EventKind::VmAccept {
+                        from: from as u32,
+                        vseq: seq,
+                        receipt: "fresh",
+                    });
+                    Receipt::Fresh { seq, payload }
+                }
             },
         }
     }
@@ -214,6 +247,10 @@ impl VmEndpoint {
         let ack = self.chan(peer).accepted_in;
         self.outbox.push((peer, Frame::Ack { ack }));
         self.stats.ack_frames_sent += 1;
+        self.obs.emit_with(self.me as u32, || EventKind::VmAck {
+            to: peer as u32,
+            upto: ack,
+        });
     }
 
     // ---- retransmission ----------------------------------------------------
@@ -242,6 +279,20 @@ impl VmEndpoint {
         }
         self.stats.retransmissions += to_send.len() as u64;
         self.stats.data_frames_sent += to_send.len() as u64;
+        if self.obs.is_enabled() {
+            for (peer, f) in &to_send {
+                if let Frame::Data { seq, .. } = f {
+                    self.obs.emit(
+                        self.me as u32,
+                        EventKind::VmSend {
+                            to: *peer as u32,
+                            vseq: *seq,
+                            retransmit: true,
+                        },
+                    );
+                }
+            }
+        }
         self.outbox.extend(to_send);
     }
 

@@ -28,10 +28,10 @@ fn main() {
         .isolate_at(ms(10), &[2])
         .heal_at(ms(300));
 
-    let mut cfg = ClusterConfig::new(4, catalog);
-    cfg.net = NetworkConfig::reliable().with_partitions(schedule);
-    cfg.faults = FaultPlan::none().crash(ms(350), 3).recover(ms(500), 3);
-    let cfg = cfg
+    let scenario = Scenario::dvp_sites(4, catalog)
+        .name("banking-transfers")
+        .net(NetworkConfig::reliable().with_partitions(schedule))
+        .faults(FaultPlan::none().crash(ms(350), 3).recover(ms(500), 3))
         // While branch 2 is cut off: a deposit there STILL commits.
         .at(2, ms(50), TxnSpec::release(alice, 700))
         // A local-quota withdrawal at the isolated branch also commits.
@@ -45,7 +45,9 @@ fn main() {
         // After healing and recovery: an exact balance read for Alice.
         .at(0, ms(700), TxnSpec::read(alice));
 
-    let mut cluster = Cluster::build(cfg);
+    // White-box build: this example audits conservation at pause points
+    // and inspects per-branch fragments below.
+    let mut cluster = scenario.build_dvp();
     for t in [100u64, 250, 400, 600, 2_000] {
         cluster.run_until(ms(t));
         cluster

@@ -27,9 +27,8 @@ fn part1_distributed() {
     .generate(5);
     let sku0 = workload.catalog.items()[0].id;
 
-    let mut cfg = ClusterConfig::new(4, workload.catalog.clone());
-    cfg.scripts = workload.scripts.clone();
-    let mut cluster = Cluster::build(cfg);
+    // White-box build: the stock tally below needs per-site fragments.
+    let mut cluster = Scenario::dvp(&workload).build_dvp();
     cluster.run_until(SimTime::ZERO + SimDuration::secs(30));
     cluster
         .auditor()

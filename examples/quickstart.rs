@@ -22,7 +22,8 @@ fn main() {
 
     // The Section 3 script: W sells 3, 4, 5 seats; X sells its whole
     // quota; then a party of 5 arrives at X with nothing left locally.
-    let cfg = ClusterConfig::new(4, catalog)
+    let scenario = Scenario::dvp_sites(4, catalog)
+        .name("quickstart")
         .at(W, ms(1), TxnSpec::reserve(flight_a, 3))
         .at(W, ms(2), TxnSpec::reserve(flight_a, 4))
         .at(W, ms(3), TxnSpec::reserve(flight_a, 5))
@@ -30,7 +31,8 @@ fn main() {
         .at(X, ms(40), TxnSpec::reserve(flight_a, 5)) // must solicit
         .at(W, ms(200), TxnSpec::read(flight_a)); // exact seat count
 
-    let mut cluster = Cluster::build(cfg);
+    // White-box build: this example inspects per-site fragments below.
+    let mut cluster = scenario.build_dvp();
     cluster.run_to_quiescence();
 
     let metrics = cluster.metrics();

@@ -29,6 +29,8 @@
 //! | [`core`](mod@core) | DvP itself: domains/operators, fragments, transactions, Conc1/Conc2, recovery |
 //! | [`baselines`] | strict-2PL + 2PC engine (quorum / primary copy), Escrow method |
 //! | [`workloads`] | airline / banking / inventory generators |
+//! | [`obs`] | structured observability: typed events, histograms, JSONL traces |
+//! | [`bench`] | the experiment harness: [`Scenario`](bench::Scenario) runs, tables, sweeps |
 //!
 //! ## Quickstart
 //!
@@ -55,7 +57,9 @@
 #![warn(missing_docs)]
 
 pub use dvp_baselines as baselines;
+pub use dvp_bench as bench;
 pub use dvp_core as core;
+pub use dvp_obs as obs;
 pub use dvp_simnet as simnet;
 pub use dvp_storage as storage;
 pub use dvp_vmsg as vmsg;
@@ -63,6 +67,7 @@ pub use dvp_workloads as workloads;
 
 /// Everything needed to build and run a DvP cluster.
 pub mod prelude {
+    pub use dvp_bench::{EngineKind, RunReport, Scenario};
     pub use dvp_core::item::{Catalog, ItemDef, Split};
     pub use dvp_core::{
         AbortReason, Cluster, ClusterConfig, ConcMode, Crashpoint, Fanout, FaultPlan, InjectConfig,

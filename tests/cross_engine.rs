@@ -1,9 +1,10 @@
 //! Cross-engine integration: the DvP engine and the traditional 2PC
 //! baseline consume identical workloads; on a healthy network both must
 //! process them correctly, and their relative behaviour must match the
-//! paper's comparative claims.
+//! paper's comparative claims. Runs are described with the [`Scenario`]
+//! builder; tests needing node access use its white-box escape hatches.
 
-use dvp::baselines::{Placement, TradCluster, TradClusterConfig, TradConfig};
+use dvp::baselines::{Placement, TradConfig};
 use dvp::prelude::*;
 use dvp::workloads::{AirlineWorkload, BankingWorkload};
 
@@ -21,35 +22,30 @@ fn healthy_network_both_engines_clear_the_workload() {
     }
     .generate(3);
 
-    let mut cfg = ClusterConfig::new(4, w.catalog.clone());
-    cfg.scripts = w.scripts.clone();
-    let mut dvp = Cluster::build(cfg);
-    dvp.run_until(horizon());
-    dvp.auditor().check_conservation().unwrap();
-    let dm = dvp.metrics();
+    let d = Scenario::dvp(&w).until(horizon()).run();
 
-    let mut cfg = TradClusterConfig::new(4, w.catalog.clone());
-    cfg.scripts = w.scripts.clone();
-    let mut trad = TradCluster::build(cfg);
+    // White-box on the baseline side: replica convergence needs the
+    // built cluster, not just the report.
+    let mut trad = Scenario::trad(&w).build_trad();
     trad.run_until(horizon());
     trad.check_replica_convergence().unwrap();
     let tm = trad.metrics();
 
-    assert_eq!(dm.committed() + dm.aborted(), 80, "DvP decides everything");
-    assert!(dm.commit_ratio() > 0.95);
+    assert_eq!(d.committed + d.aborted, 80, "DvP decides everything");
+    assert!(d.commit_ratio > 0.95);
     // The baseline loses a slice to distributed-lock timeouts even on a
     // healthy network (each transaction locks a 3-site quorum); DvP's
     // single-site execution is exactly what avoids that.
     assert!(tm.commit_ratio() > 0.6);
-    assert!(dm.commit_ratio() > tm.commit_ratio());
+    assert!(d.commit_ratio > tm.commit_ratio());
     assert_eq!(tm.still_blocked(), 0);
 
     // With ample quotas DvP's all-Incr/-covered-Decr mix is mostly local;
     // 2PC pays quorum coordination for every transaction.
     assert!(
-        dvp.sim.stats().sent < trad.sim.stats().sent,
+        d.messages < trad.sim.stats().sent,
         "DvP must use fewer messages on a local-heavy mix: {} vs {}",
-        dvp.sim.stats().sent,
+        d.messages,
         trad.sim.stats().sent
     );
 }
@@ -72,22 +68,22 @@ fn both_engines_agree_on_final_totals_when_everything_commits() {
         (3, 600, TxnSpec::reserve(b, 30)),
     ];
 
-    let mut cfg = ClusterConfig::new(4, catalog.clone());
+    let mut dvp_scn = Scenario::dvp_sites(4, catalog.clone());
     for (s, t, spec) in &script {
-        cfg = cfg.at(*s, ms(*t), spec.clone());
+        dvp_scn = dvp_scn.at(*s, ms(*t), spec.clone());
     }
-    let mut dvp = Cluster::build(cfg);
+    let mut dvp = dvp_scn.build_dvp();
     dvp.run_until(horizon());
     let dm = dvp.metrics();
     assert_eq!(dm.committed(), 4);
     let dvp_a: u64 = (0..4).map(|s| dvp.sim.node(s).fragments().get(a)).sum();
     let dvp_b: u64 = (0..4).map(|s| dvp.sim.node(s).fragments().get(b)).sum();
 
-    let mut cfg = TradClusterConfig::new(4, catalog);
+    let mut trad_scn = Scenario::trad_sites(4, catalog);
     for (s, t, spec) in &script {
-        cfg = cfg.at(*s, ms(*t), spec.clone());
+        trad_scn = trad_scn.at(*s, ms(*t), spec.clone());
     }
-    let mut trad = TradCluster::build(cfg);
+    let mut trad = trad_scn.build_trad();
     trad.run_until(horizon());
     assert_eq!(trad.metrics().committed(), 4);
     trad.check_replica_convergence().unwrap();
@@ -124,26 +120,24 @@ fn deposits_commit_at_isolated_branch_only_under_dvp() {
         SimTime::ZERO + SimDuration::millis(n)
     }
 
-    let mut cfg = ClusterConfig::new(4, w.catalog.clone());
-    cfg.net = NetworkConfig::reliable().with_partitions(sched.clone());
-    let cfg = cfg.at(3, ms(1), TxnSpec::release(acct, 500));
-    let mut dvp = Cluster::build(cfg);
-    dvp.run_to_quiescence();
-    assert_eq!(dvp.metrics().committed(), 1, "DvP deposit commits locally");
+    let d = Scenario::dvp(&w)
+        .net(NetworkConfig::reliable().with_partitions(sched.clone()))
+        .at(3, ms(1), TxnSpec::release(acct, 500))
+        .run();
+    assert_eq!(d.committed, 1, "DvP deposit commits locally");
 
     for placement in [Placement::ReplicatedQuorum, Placement::PrimaryCopy] {
-        let mut cfg = TradClusterConfig::new(4, w.catalog.clone());
-        cfg.net = NetworkConfig::reliable().with_partitions(sched.clone());
-        cfg.trad = TradConfig {
-            placement,
-            ..Default::default()
-        };
-        let cfg = cfg.at(3, ms(1), TxnSpec::release(acct, 500));
-        let mut trad = TradCluster::build(cfg);
-        trad.run_until(horizon());
+        let t = Scenario::trad(&w)
+            .trad_config(TradConfig {
+                placement,
+                ..Default::default()
+            })
+            .net(NetworkConfig::reliable().with_partitions(sched.clone()))
+            .at(3, ms(1), TxnSpec::release(acct, 500))
+            .until(horizon())
+            .run();
         assert_eq!(
-            trad.metrics().committed(),
-            0,
+            t.committed, 0,
             "{placement:?}: the isolated branch cannot reach its replicas"
         );
     }

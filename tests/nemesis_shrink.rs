@@ -55,6 +55,7 @@ fn broken_campaign(seed: u64) -> CampaignConfig {
         base_net: quiet_net(),
         catalog: w.catalog,
         scripts: w.scripts,
+        trace: false,
     }
 }
 

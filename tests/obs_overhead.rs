@@ -1,0 +1,112 @@
+//! A/B check that the observability layer is zero-cost when disabled:
+//! the kernel_baseline ping-pong scenario, run with the obs handle
+//! absent (the default) and with it attached, must land within
+//! run-to-run noise of each other. Same interleaved-pairs methodology
+//! as the PR 2 crashpoint-hook check.
+//!
+//! This is a wall-clock test, so it is deliberately forgiving: medians
+//! over interleaved pairs, a generous tolerance, and a retry before
+//! declaring failure — it should only trip on a systematic per-event
+//! cost, not scheduler jitter.
+
+use dvp::obs::Obs;
+use dvp_simnet::network::NetworkConfig;
+use dvp_simnet::node::{Context, Node};
+use dvp_simnet::sim::Simulation;
+use dvp_simnet::NodeId;
+use std::time::Instant;
+
+const ROUNDS: u64 = 60_000;
+
+/// Windowed ping-pong from `kernel_baseline`: node 0 keeps a window of
+/// pings in flight and refills on every pong. Pure enqueue/dequeue/
+/// dispatch/transmit — the hottest kernel path, zero obs events emitted.
+#[derive(Default)]
+struct Bouncer {
+    remaining: u64,
+    window: u32,
+}
+
+#[derive(Clone, Debug)]
+enum BMsg {
+    Ping,
+    Pong,
+}
+
+impl Node for Bouncer {
+    type Msg = BMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, BMsg>) {
+        for _ in 0..self.window.min(self.remaining as u32) {
+            self.remaining -= 1;
+            ctx.send(1, BMsg::Ping);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: BMsg, ctx: &mut Context<'_, BMsg>) {
+        match msg {
+            BMsg::Ping => ctx.send(from, BMsg::Pong),
+            BMsg::Pong => {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    ctx.send(1, BMsg::Ping);
+                }
+            }
+        }
+    }
+}
+
+fn ping_pong(obs: Obs) -> f64 {
+    let nodes = vec![
+        Bouncer {
+            remaining: ROUNDS,
+            window: 32,
+        },
+        Bouncer::default(),
+    ];
+    let mut sim = Simulation::new(nodes, NetworkConfig::reliable(), 1);
+    sim.set_obs(obs);
+    let t = Instant::now();
+    let events = sim.run_to_quiescence();
+    events as f64 / t.elapsed().as_secs_f64()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// One interleaved A/B session: alternate disabled/attached runs so a
+/// mid-session frequency or load shift hits both arms equally.
+fn ab_ratio() -> f64 {
+    // Warm-up: fault in code and touch the allocator on both paths.
+    ping_pong(Obs::disabled());
+    ping_pong(Obs::new(false));
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    for i in 0..7 {
+        if i % 2 == 0 {
+            a.push(ping_pong(Obs::disabled()));
+            b.push(ping_pong(Obs::new(false)));
+        } else {
+            b.push(ping_pong(Obs::new(false)));
+            a.push(ping_pong(Obs::disabled()));
+        }
+    }
+    median(b) / median(a)
+}
+
+#[test]
+fn obs_disabled_is_within_run_to_run_noise_of_kernel_baseline() {
+    // The attached-but-disabled handle costs one branch per dispatch; a
+    // real per-event cost would show up as a systematic ratio shift far
+    // beyond scheduler noise. Accept the first session within 25%, retry
+    // twice for a machine having a moment.
+    let mut last = 0.0;
+    for _ in 0..3 {
+        last = ab_ratio();
+        if (0.75..=1.33).contains(&last) {
+            return;
+        }
+    }
+    panic!("attached/disabled throughput ratio {last:.3} outside noise band after 3 sessions");
+}

@@ -1,5 +1,7 @@
 //! Recovery integration tests (paper Section 7): independence, redo
-//! correctness, and the all-sites-down extreme.
+//! correctness, and the all-sites-down extreme. Scenarios are described
+//! with the [`Scenario`] builder and built white-box (`build_dvp`) where
+//! a test must inspect fragments or replay the stable log by hand.
 
 use dvp::prelude::*;
 use proptest::prelude::*;
@@ -19,11 +21,11 @@ fn recovered_site_equals_its_log() {
     // Drive donations into site 2, crash it, recover it; its fragment
     // must equal what a fresh replay of its stable log computes.
     let (catalog, flight) = seats(100);
-    let mut cfg = ClusterConfig::new(4, catalog)
+    let mut cl = Scenario::dvp_sites(4, catalog)
         .at(2, ms(1), TxnSpec::reserve(flight, 40)) // solicits into site 2
-        .at(2, ms(100), TxnSpec::release(flight, 7));
-    cfg.faults = FaultPlan::none().crash(ms(150), 2).recover(ms(200), 2);
-    let mut cl = Cluster::build(cfg);
+        .at(2, ms(100), TxnSpec::release(flight, 7))
+        .faults(FaultPlan::none().crash(ms(150), 2).recover(ms(200), 2))
+        .build_dvp();
     cl.run_to_quiescence();
 
     let node = cl.sim.node(2);
@@ -51,17 +53,17 @@ fn all_sites_crash_then_one_recovers_and_works() {
     // The paper's extreme: "even if all sites fail and subsequently one
     // site recovers ... it can begin doing some useful work".
     let (catalog, flight) = seats(100);
-    let mut cfg = ClusterConfig::new(4, catalog)
-        .at(0, ms(1), TxnSpec::reserve(flight, 5))
-        // After its lone recovery, site 1 sells from its local quota.
-        .at(1, ms(500), TxnSpec::reserve(flight, 10));
     let mut faults = FaultPlan::none();
     for s in 0..4 {
         faults = faults.crash(ms(100), s);
     }
     faults = faults.recover(ms(400), 1);
-    cfg.faults = faults;
-    let mut cl = Cluster::build(cfg);
+    let mut cl = Scenario::dvp_sites(4, catalog)
+        .at(0, ms(1), TxnSpec::reserve(flight, 5))
+        // After its lone recovery, site 1 sells from its local quota.
+        .at(1, ms(500), TxnSpec::reserve(flight, 10))
+        .faults(faults)
+        .build_dvp();
     cl.run_to_quiescence();
 
     let m = cl.metrics();
@@ -77,18 +79,22 @@ fn vm_in_flight_across_receiver_crash_is_not_lost_or_doubled() {
     // Site 0 donates to site 3; site 3 crashes in the delivery window;
     // retransmission after recovery must deliver exactly once.
     let (catalog, flight) = seats(100);
-    let mut cfg = ClusterConfig::new(4, catalog)
-        // Site 3 needs 40 (quota 25): donation Vms target site 3.
-        .at(3, ms(1), TxnSpec::reserve(flight, 40));
     // Pin the hop delay so the schedule is airtight: solicitations land at
     // ms 4, donation Vms are in flight ms 4..7 — the ms-5 crash provably
     // catches them mid-air, and the reservation cannot have committed yet
     // (commit needs the donations back at site 3, earliest ms 7).
-    cfg.net.default_link = LinkConfig::reliable_fixed(SimDuration::millis(3));
-    // The reservation itself aborts with its site, but the *value* must
-    // survive: senders retransmit until the recovered site accepts.
-    cfg.faults = FaultPlan::none().crash(ms(5), 3).recover(ms(60), 3);
-    let mut cl = Cluster::build(cfg);
+    let net = NetworkConfig {
+        default_link: LinkConfig::reliable_fixed(SimDuration::millis(3)),
+        ..NetworkConfig::reliable()
+    };
+    let mut cl = Scenario::dvp_sites(4, catalog)
+        // Site 3 needs 40 (quota 25): donation Vms target site 3.
+        .at(3, ms(1), TxnSpec::reserve(flight, 40))
+        .net(net)
+        // The reservation itself aborts with its site, but the *value* must
+        // survive: senders retransmit until the recovered site accepts.
+        .faults(FaultPlan::none().crash(ms(5), 3).recover(ms(60), 3))
+        .build_dvp();
     cl.run_to_quiescence();
     cl.auditor().check_conservation().unwrap();
     let total: u64 = (0..4).map(|s| cl.sim.node(s).fragments().get(flight)).sum();
@@ -109,16 +115,16 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let (catalog, flight) = seats(200);
-        let mut cfg = ClusterConfig::new(4, catalog)
+        let mut cl = Scenario::dvp_sites(4, catalog)
             .at(0, ms(1), TxnSpec::reserve(flight, 70))
             .at(1, ms(20), TxnSpec::reserve(flight, 60))
             .at(2, ms(40), TxnSpec::release(flight, 10))
-            .at(3, ms(60), TxnSpec::reserve(flight, 55));
-        cfg.seed = seed;
-        cfg.faults = FaultPlan::none()
-            .crash(ms(crash_ms), crash_site)
-            .recover(ms(crash_ms + down_ms), crash_site);
-        let mut cl = Cluster::build(cfg);
+            .at(3, ms(60), TxnSpec::reserve(flight, 55))
+            .seed(seed)
+            .faults(FaultPlan::none()
+                .crash(ms(crash_ms), crash_site)
+                .recover(ms(crash_ms + down_ms), crash_site))
+            .build_dvp();
         cl.run_to_quiescence();
         cl.auditor().check_conservation()
             .map_err(|e| TestCaseError::fail(e.to_string()))?;
