@@ -166,6 +166,12 @@ pub struct TradConfig {
     pub unprepared_timeout: SimDuration,
     /// Interval for decision retries and in-doubt decision queries.
     pub retry_every: SimDuration,
+    /// Group commit: defer log forces to the end of each event dispatch
+    /// (one coalesced force per dispatch, still ahead of any outbound
+    /// message actually transmitting — the kernel only puts messages on
+    /// the wire after the dispatch returns). Mirrors the DvP engine's
+    /// knob so cross-engine forces/txn comparisons stay fair.
+    pub group_commit: bool,
 }
 
 impl Default for TradConfig {
@@ -176,6 +182,7 @@ impl Default for TradConfig {
             txn_timeout: SimDuration::millis(50),
             unprepared_timeout: SimDuration::millis(150),
             retry_every: SimDuration::millis(20),
+            group_commit: true,
         }
     }
 }
@@ -312,6 +319,11 @@ impl TradNode {
         m
     }
 
+    /// The stable log (bench/audit inspection — forces per transaction).
+    pub fn log(&self) -> &StableLog<TradRecord> {
+        &self.log
+    }
+
     /// Replica value of an item (test/audit access).
     pub fn replica(&self, item: ItemId) -> (u64, u64) {
         (self.values[item.0 as usize], self.versions[item.0 as usize])
@@ -329,6 +341,24 @@ impl TradNode {
         self.metrics.messages_sent += 1;
         let lamport = self.clock.counter();
         ctx.send(to, TradMsg { lamport, body });
+    }
+
+    /// Group-commit flush boundary: one force hardens every record this
+    /// dispatch appended. Runs at the end of each `Node` callback — before
+    /// the kernel transmits any message the dispatch queued, so votes and
+    /// decisions still only leave with their records durable.
+    fn flush_log(&mut self) {
+        if self.cfg.group_commit {
+            self.log.force_if_dirty();
+        }
+    }
+
+    /// Per-record force under the classic discipline; a no-op when group
+    /// commit defers to the flush boundary instead.
+    fn force_record(&mut self) {
+        if !self.cfg.group_commit {
+            self.log.force();
+        }
     }
 
     // ---- coordinator side -------------------------------------------------
@@ -532,7 +562,7 @@ impl TradNode {
             txn: ts,
             commit: true,
         });
-        self.log.force();
+        self.force_record();
         self.decisions.insert(ts, true);
         let (writers, started) = {
             let c = self.coord.get_mut(&ts).expect("coord txn");
@@ -636,7 +666,7 @@ impl TradNode {
             }
         }
         self.log.append(TradRecord::Resolved { txn: ts, commit });
-        self.log.force();
+        self.force_record();
         self.resolutions.insert(ts, commit);
         if let Some(since) = p.in_doubt_since {
             self.metrics
@@ -782,7 +812,7 @@ impl TradNode {
             coordinator: from as u64,
             writes: writes.clone(),
         });
-        self.log.force();
+        self.force_record();
         {
             let p = self.part.get_mut(&ts).expect("checked above");
             p.prepared_writes = Some(writes);
@@ -822,7 +852,7 @@ impl TradNode {
             }
         }
         self.log.append(TradRecord::Resolved { txn: ts, commit });
-        self.log.force();
+        self.force_record();
         if p.prepared_writes.is_some() {
             self.resolutions.insert(ts, commit);
         }
@@ -917,12 +947,14 @@ impl Node for TradNode {
             TradBody::DecisionQuery { txn } => self.on_query(from, txn, ctx),
             TradBody::ReleaseLocks { txn } => self.on_release(txn, ctx),
         }
+        self.flush_log();
     }
 
     fn on_external(&mut self, tag: u64, ctx: &mut Context<'_, TradMsg>) {
         if let Some(spec) = self.script.get(tag as usize).cloned() {
             self.begin_txn(spec, ctx);
         }
+        self.flush_log();
     }
 
     fn on_timer(&mut self, _id: TimerId, tag: u64, ctx: &mut Context<'_, TradMsg>) {
@@ -1022,6 +1054,7 @@ impl Node for TradNode {
             }
             _ => debug_assert!(false, "unknown timer tag"),
         }
+        self.flush_log();
     }
 
     fn on_crash(&mut self) {
@@ -1120,6 +1153,7 @@ impl Node for TradNode {
                 replayed,
                 remote_msgs: queries,
             });
+        self.flush_log();
     }
 }
 
@@ -1228,6 +1262,16 @@ impl TradCluster {
         TradClusterMetrics {
             sites: self.sim.nodes().iter().map(|s| s.metrics()).collect(),
         }
+    }
+
+    /// Cluster-wide stable-log counters (forces, appends, batch sizes) —
+    /// the engine benchmarks report `forces / committed` from these.
+    pub fn log_stats(&self) -> dvp_storage::LogStats {
+        let mut total = dvp_storage::LogStats::default();
+        for site in self.sim.nodes() {
+            total.merge(&site.log().stats());
+        }
+        total
     }
 
     /// Did every site that acted on a transaction act on the **same**

@@ -1,0 +1,197 @@
+//! Engine throughput baseline: closed-loop DvP and 2PC runs over the
+//! banking and airline workloads, written to `BENCH_engine.json` (path
+//! overridable as argv[1]).
+//!
+//! Where `kernel_baseline` measures the simulation kernel, this measures
+//! the *transaction engines* end to end: every scripted transaction is
+//! generated up front and the cluster runs until the workload drains
+//! (quiescence, with a generous deadline backstop for the baseline's
+//! retry loops). Each scenario reports:
+//!
+//! * `txns_per_sec` — decided transactions per wall-clock second, the
+//!   engine-path throughput number to compare across changes;
+//! * `forces_per_txn` — stable-log force operations per decided
+//!   transaction. Group commit (the default) coalesces every force a
+//!   dispatch owes into one, so this is the headline number the
+//!   optimisation moves; `forces_elided` and `max_force_batch` show how.
+//! * `frames_per_txn` — network messages per decided transaction (the
+//!   paper's message-traffic metric, §9).
+//!
+//! Scale via `DVP_SCALE=quick|full` or `--quick`; compare runs at
+//! identical scales only.
+
+use dvp_bench::{Scale, Scenario};
+use dvp_simnet::time::{SimDuration, SimTime};
+use dvp_storage::LogStats;
+use dvp_workloads::{AirlineWorkload, BankingWorkload, Workload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One scenario's harvested numbers.
+struct Row {
+    name: &'static str,
+    decided: u64,
+    committed: u64,
+    wall_secs: f64,
+    forces: u64,
+    forces_elided: u64,
+    max_force_batch: u64,
+    frames: u64,
+}
+
+impl Row {
+    fn txns_per_sec(&self) -> f64 {
+        self.decided as f64 / self.wall_secs.max(1e-9)
+    }
+    fn forces_per_txn(&self) -> f64 {
+        self.forces as f64 / self.decided.max(1) as f64
+    }
+    fn frames_per_txn(&self) -> f64 {
+        self.frames as f64 / self.decided.max(1) as f64
+    }
+}
+
+fn banking(scale: Scale) -> Workload {
+    BankingWorkload {
+        n_sites: 8,
+        accounts: 16,
+        txns: match scale {
+            Scale::Quick => 2_000,
+            Scale::Full => 20_000,
+        },
+        ..Default::default()
+    }
+    .generate(42)
+}
+
+fn airline(scale: Scale) -> Workload {
+    AirlineWorkload {
+        n_sites: 8,
+        flights: 4,
+        seats_per_flight: 100_000,
+        txns: match scale {
+            Scale::Quick => 2_000,
+            Scale::Full => 20_000,
+        },
+        ..Default::default()
+    }
+    .generate(42)
+}
+
+/// Run a DvP scenario closed-loop (to quiescence) and harvest the row.
+fn run_dvp(name: &'static str, w: &Workload) -> Row {
+    let mut cl = Scenario::dvp(w).name(name).build_dvp();
+    let t = Instant::now();
+    cl.run_to_quiescence();
+    let wall_secs = t.elapsed().as_secs_f64();
+    cl.auditor()
+        .check_conservation()
+        .expect("conservation must hold in every benchmark run");
+    let m = cl.metrics();
+    let LogStats {
+        forces,
+        forces_elided,
+        max_force_batch,
+        ..
+    } = cl.log_stats();
+    Row {
+        name,
+        decided: m.committed() + m.aborted(),
+        committed: m.committed(),
+        wall_secs,
+        forces,
+        forces_elided,
+        max_force_batch,
+        frames: cl.sim.stats().sent,
+    }
+}
+
+/// Run the 2PC baseline closed-loop. The baseline can idle in retry
+/// timers, so quiescence is backstopped by a generous deadline.
+fn run_trad(name: &'static str, w: &Workload) -> Row {
+    let mut cl = Scenario::trad(w).name(name).build_trad();
+    let deadline = SimTime::ZERO + SimDuration::secs(3_600);
+    let t = Instant::now();
+    cl.run_until(deadline);
+    let wall_secs = t.elapsed().as_secs_f64();
+    let m = cl.metrics();
+    let LogStats {
+        forces,
+        forces_elided,
+        max_force_batch,
+        ..
+    } = cl.log_stats();
+    Row {
+        name,
+        decided: m.committed() + m.aborted(),
+        committed: m.committed(),
+        wall_secs,
+        forces,
+        forces_elided,
+        max_force_batch,
+        frames: cl.sim.stats().sent,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .filter(|a| !a.starts_with("--"))
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::from_env()
+    };
+
+    let bank = banking(scale);
+    let air = airline(scale);
+    let rows = [
+        run_dvp("dvp_banking", &bank),
+        run_dvp("dvp_airline", &air),
+        run_trad("trad2pc_banking", &bank),
+        run_trad("trad2pc_airline", &air),
+    ];
+
+    let mut json = String::from("{\n  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "{:<18} {:>7} decided  {:>8.3} s  {:>10.0} txns/s  {:>6.3} forces/txn  {:>7.3} frames/txn",
+            r.name,
+            r.decided,
+            r.wall_secs,
+            r.txns_per_sec(),
+            r.forces_per_txn(),
+            r.frames_per_txn(),
+        );
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"decided\": {}, \"committed\": {}, \"wall_secs\": {:.6}, \
+             \"txns_per_sec\": {:.0}, \"forces\": {}, \"forces_per_txn\": {:.4}, \
+             \"forces_elided\": {}, \"max_force_batch\": {}, \"frames\": {}, \
+             \"frames_per_txn\": {:.4}}}",
+            r.name,
+            r.decided,
+            r.committed,
+            r.wall_secs,
+            r.txns_per_sec(),
+            r.forces,
+            r.forces_per_txn(),
+            r.forces_elided,
+            r.max_force_batch,
+            r.frames,
+            r.frames_per_txn(),
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"scale\": \"{}\"\n}}\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+}

@@ -220,6 +220,7 @@ impl Scenario {
             max_us: decisions.max(),
             max_blocked_us: 0,
             messages: cl.sim.stats().sent,
+            forces: cl.log_stats().forces,
             requests: m.requests_sent(),
             donations: m.donations(),
             still_blocked: 0,
@@ -257,6 +258,7 @@ impl Scenario {
             max_us: decisions.max(),
             max_blocked_us: m.max_blocking_us(cl.sim.now()),
             messages: cl.sim.stats().sent,
+            forces: cl.log_stats().forces,
             requests: 0,
             donations: 0,
             still_blocked: m.still_blocked() as u64,
@@ -298,6 +300,9 @@ pub struct RunReport {
     pub max_blocked_us: u64,
     /// Total network messages sent.
     pub messages: u64,
+    /// Cluster-wide stable-log force operations (both engines report
+    /// them; `forces / committed` is the group-commit headline metric).
+    pub forces: u64,
     /// Engine-level solicitations (DvP requests; baseline lock requests
     /// are folded into `messages`).
     pub requests: u64,

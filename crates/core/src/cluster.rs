@@ -191,6 +191,16 @@ impl Cluster {
         Auditor::new(self.sim.nodes(), &self.catalog)
     }
 
+    /// Cluster-wide stable-log counters (forces, appends, batch sizes) —
+    /// the engine benchmarks report `forces / committed` from these.
+    pub fn log_stats(&self) -> dvp_storage::LogStats {
+        let mut total = dvp_storage::LogStats::default();
+        for site in self.sim.nodes() {
+            total.merge(&site.log().stats());
+        }
+        total
+    }
+
     /// The trace handle the cluster was built with.
     pub fn obs(&self) -> &Obs {
         self.sim.obs()

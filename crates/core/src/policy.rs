@@ -191,6 +191,13 @@ pub struct SiteConfig {
     /// shrinker demo uses this to show a fault campaign minimizing to a
     /// single crash event.
     pub unsafe_skip_recovery_redo: bool,
+    /// Group commit: defer log forces to the per-dispatch flush boundary
+    /// so every record appended while handling one event is hardened by a
+    /// single `force` — still *before* any outbound frame leaves the site,
+    /// preserving the paper's force-before-send discipline (§3–4). Off
+    /// reproduces the original per-record forcing (and its per-record
+    /// `LogForce` obs stream, which the golden-trace tests pin).
+    pub group_commit: bool,
     /// Nemesis fault injection (crashpoints, torn log writes). Defaults to
     /// fully disabled.
     pub inject: InjectConfig,
@@ -212,6 +219,7 @@ impl Default for SiteConfig {
             checkpoint_every: None,
             unsafe_skip_read_drain_gate: false,
             unsafe_skip_recovery_redo: false,
+            group_commit: true,
             inject: InjectConfig::default(),
         }
     }

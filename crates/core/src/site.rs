@@ -199,6 +199,16 @@ pub struct SiteNode {
     obs: Obs,
     /// Records redone by the last recovery scan (trace reporting).
     last_replayed: u64,
+    /// Reusable flush buffers: the endpoint's queues are drained into
+    /// these (append + drain) so the steady state allocates nothing.
+    outbox_scratch: Vec<(NodeId, Frame)>,
+    completed_scratch: Vec<(NodeId, Seq)>,
+    /// Group commit: a record that per-record forcing would have forced
+    /// inline was appended during this dispatch, so the flush boundary
+    /// owes one coalesced force. Stays `false` across ack-only dispatches
+    /// — lazy `AckObserved` notes ride along with the next real force,
+    /// exactly as they did under per-record forcing.
+    needs_flush: bool,
 }
 
 impl SiteNode {
@@ -250,6 +260,9 @@ impl SiteNode {
             metrics: SiteMetrics::default(),
             obs: Obs::disabled(),
             last_replayed: 0,
+            outbox_scratch: Vec::new(),
+            completed_scratch: Vec::new(),
+            needs_flush: false,
         }
     }
 
@@ -332,18 +345,43 @@ impl SiteNode {
         ctx.send(to, ProtoMsg { lamport, body });
     }
 
+    /// A record that per-record forcing hardened inline was just appended:
+    /// force now, or (group commit) note that this dispatch's flush
+    /// boundary owes a single coalesced force.
+    fn force_record(&mut self) {
+        if self.cfg.group_commit {
+            self.needs_flush = true;
+        } else {
+            self.log.force();
+        }
+    }
+
     /// Drain the Vm outbox onto the wire, account completed Vm
     /// lifecycles, and keep the retransmit timer armed while needed.
     fn flush_vm(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
         if self.crash_pending {
             return;
         }
-        for (to, frame) in self.vm.drain_outbox() {
+        // Group commit: a single force here hardens every record appended
+        // while handling the current event — *before* any frame leaves the
+        // site, so the paper's force-before-send discipline is intact. The
+        // force runs only when the dispatch appended a record per-record
+        // forcing would have forced (`needs_flush`); ack-only dispatches
+        // stay lazy, and a clean tail elides the force entirely.
+        if self.cfg.group_commit && self.needs_flush {
+            self.log.force_if_dirty();
+            self.needs_flush = false;
+        }
+        let mut outbox = std::mem::take(&mut self.outbox_scratch);
+        self.vm.drain_outbox_into(&mut outbox);
+        for (to, frame) in outbox.drain(..) {
             self.send(ctx, to, Body::Vm(frame));
         }
-        let completed = self.vm.drain_completed();
+        self.outbox_scratch = outbox;
+        let mut completed = std::mem::take(&mut self.completed_scratch);
+        self.vm.drain_completed_into(&mut completed);
         let mut freed_items: Vec<ItemId> = Vec::new();
-        for (peer, seq) in completed {
+        for (peer, seq) in completed.drain(..) {
             if let Some(item) = self.vm_item.remove(&(peer, seq)) {
                 if let Some(c) = self.outstanding_out.get_mut(&item) {
                     *c -= 1;
@@ -360,6 +398,7 @@ impl SiteNode {
                 });
             }
         }
+        self.completed_scratch = completed;
         for item in freed_items {
             self.unblock_reads(item, ctx);
         }
@@ -733,7 +772,22 @@ impl SiteNode {
             .map(|item| (item, self.frags.get(item)))
             .collect();
 
-        // Step 5: the forced commit record IS the commit point.
+        // Step 5: the forced commit record IS the commit point. Under
+        // group commit the force is deferred to this dispatch's flush
+        // boundary — still before any frame leaves the site, and crashes
+        // only arrive between dispatches, so the commit point moves within
+        // the same indivisible instant of simulated time.
+        if self.cfg.group_commit
+            && self.cfg.inject.crashpoint == Some(Crashpoint::AfterAppendBeforeForce)
+            && self.id == self.cfg.inject.victim
+            && !self.crashpoint_tripped
+        {
+            // Pin the crashpoint's contract under group commit: records
+            // appended earlier in this dispatch harden now, so the trip
+            // below kills exactly the Commit record it names — as the
+            // per-record forcing it was specified against would have.
+            self.log.force_if_dirty();
+        }
         self.log.append(SiteRecord::Commit {
             txn: ts,
             actions: deltas.clone(),
@@ -741,10 +795,12 @@ impl SiteNode {
         if self.crashpoint(ctx, Crashpoint::AfterAppendBeforeForce) {
             // Crash with the Commit record appended but unforced: the
             // record dies with the tail, so the transaction must *not*
-            // survive recovery (it never reached its commit point).
+            // survive recovery (it never reached its commit point). Under
+            // group commit `crash_pending` makes the flush skip its force,
+            // preserving exactly this outcome.
             return;
         }
-        self.log.force();
+        self.force_record();
 
         // Step 6: install and note installation.
         for &(item, delta) in &deltas {
@@ -983,13 +1039,26 @@ impl SiteNode {
             _ => unreachable!("create returns Created"),
         };
         // The [database-actions, message-sequence] record, forced — the Vm
-        // exists from this instant.
+        // exists from this instant (under group commit: from this
+        // dispatch's flush boundary, still ahead of the frame).
         self.log.append(SiteRecord::Rds {
             txn,
             actions: vec![(item, -(amount as i64))],
             vm_ops: vec![op],
         });
-        self.log.force();
+        if self.cfg.group_commit
+            && self.cfg.inject.crashpoint == Some(Crashpoint::AfterForceBeforeSend)
+            && self.id == self.cfg.inject.victim
+            && !self.crashpoint_tripped
+        {
+            // The crashpoint names the instant *after* the force: honour
+            // its contract under group commit by forcing eagerly on the
+            // armed path. Forcing the whole tail early is always safe —
+            // only *missing* forces endanger durability.
+            self.log.force();
+        } else {
+            self.force_record();
+        }
         if self.crashpoint(ctx, Crashpoint::AfterForceBeforeSend) {
             // Crash with the Rds record forced but the Vm frame never
             // transmitted: the Vm exists durably and must still reach its
@@ -1064,7 +1133,7 @@ impl SiteNode {
                 actions: vec![(item, -(amount as i64))],
                 vm_ops: vec![op],
             });
-            self.log.force();
+            self.force_record();
             self.frags.debit(item, amount);
             *self.outstanding_out.entry(item).or_insert(0) += 1;
             self.vm_item.insert((to, seq), item);
@@ -1122,7 +1191,10 @@ impl SiteNode {
             actions: vec![(transfer.item, transfer.amount as i64)],
             vm_ops: vec![op],
         });
-        self.log.force();
+        // The acceptance must be durable before our ack frame leaves —
+        // under group commit the flush forces ahead of the outbox drain,
+        // so the (durable-accept → ack) order still holds.
+        self.force_record();
         self.frags.credit(transfer.item, transfer.amount);
         self.frags.bump_ts(transfer.item, transfer.for_txn);
         self.metrics.absorbed += 1;
@@ -1293,6 +1365,9 @@ impl Node for SiteNode {
                         ctx.cancel_timer(timer);
                     }
                     self.grant_waiters(item, ctx);
+                    // Waking waiters can commit queued transactions and
+                    // donate — flush so their records harden this dispatch.
+                    self.flush_vm(ctx);
                 }
             }
         }
@@ -1321,6 +1396,9 @@ impl Node for SiteNode {
             TAG_TIMEOUT => {
                 let ts = Ts(payload);
                 self.abort_txn(ts, AbortReason::Timeout, ctx);
+                // Released locks can wake Conc2 waiters into commits and
+                // donations — flush the dispatch like every other entry.
+                self.flush_vm(ctx);
             }
             TAG_SOLICIT_RETRY => {
                 let ts = Ts(payload);
@@ -1359,6 +1437,7 @@ impl Node for SiteNode {
                     let holder = self.locks.holder(item).expect("just matched").txn();
                     self.locks.unlock(item, holder);
                     self.grant_waiters(item, ctx);
+                    self.flush_vm(ctx);
                 }
             }
             _ => debug_assert!(false, "unknown timer tag kind"),
@@ -1367,6 +1446,8 @@ impl Node for SiteNode {
 
     fn on_crash(&mut self) {
         self.crash_pending = false;
+        // The flush debt dies with the unforced tail it tracked.
+        self.needs_flush = false;
         // The unforced log tail and every piece of volatile state die here.
         // The nemesis victim's crashes may additionally tear the in-flight
         // log write (a half-written tail frame the recovery scan repairs).

@@ -68,9 +68,9 @@ pub fn check_vm_channels(cl: &Cluster) -> Result<(), Violation> {
                     ),
                 ));
             }
-            let outgoing = sender.vm_endpoint().outgoing_toward(r);
-            for (seq, _) in &outgoing {
-                if *seq <= acked || *seq > created {
+            let mut outstanding = 0usize;
+            for (seq, _) in sender.vm_endpoint().outgoing_toward(r) {
+                if seq <= acked || seq > created {
                     return Err(violation(
                         "vm-channel",
                         format!(
@@ -78,14 +78,14 @@ pub fn check_vm_channels(cl: &Cluster) -> Result<(), Violation> {
                         ),
                     ));
                 }
+                outstanding += 1;
             }
             let expect = (created - acked) as usize;
-            if outgoing.len() != expect {
+            if outstanding != expect {
                 return Err(violation(
                     "vm-channel",
                     format!(
-                        "{s}->{r}: {} outstanding Vms but the window ({acked}, {created}] holds {expect}",
-                        outgoing.len()
+                        "{s}->{r}: {outstanding} outstanding Vms but the window ({acked}, {created}] holds {expect}"
                     ),
                 ));
             }
@@ -100,9 +100,12 @@ pub fn check_rebuild(cl: &Cluster) -> Result<(), Violation> {
     for site in cl.sim.nodes() {
         let id = site.id();
         let (frags, vm) = site.rebuilt_durable_state();
-        // Fragment values: every mutation is forced before it is applied,
-        // so live and rebuilt values must agree exactly. (Timestamps are
-        // excluded: `bump_ts` at lock time is deliberately unlogged.)
+        // Fragment values: every mutation's record is forced no later than
+        // the flush boundary of the dispatch that applied it (inline
+        // per-record forces, or one group-commit force before any frame
+        // leaves), and audits only run between dispatches — so live and
+        // rebuilt values must agree exactly. (Timestamps are excluded:
+        // `bump_ts` at lock time is deliberately unlogged.)
         for item in 0..site.fragments().len() {
             let item = dvp_core::ItemId(item as u32);
             let live = site.fragments().get(item);
@@ -150,14 +153,9 @@ pub fn check_rebuild(cl: &Cluster) -> Result<(), Violation> {
             let live_out: Vec<u64> = site
                 .vm_endpoint()
                 .outgoing_toward(peer)
-                .into_iter()
                 .map(|(s, _)| s)
                 .collect();
-            let re_out: Vec<u64> = vm
-                .outgoing_toward(peer)
-                .into_iter()
-                .map(|(s, _)| s)
-                .collect();
+            let re_out: Vec<u64> = vm.outgoing_toward(peer).map(|(s, _)| s).collect();
             for s in &live_out {
                 if !re_out.contains(s) {
                     return Err(violation(

@@ -41,6 +41,27 @@ pub struct LogStats {
     pub lost_in_crash: u64,
     /// Torn writes injected by [`StableLog::crash_torn`].
     pub torn_writes: u64,
+    /// Forces skipped by [`StableLog::force_if_dirty`] because the tail
+    /// was already empty (group commit found nothing new to harden).
+    pub forces_elided: u64,
+    /// Largest number of records hardened by a single force — the
+    /// group-commit batch high-water mark.
+    pub max_force_batch: u64,
+}
+
+impl LogStats {
+    /// Accumulate another log's counters (cluster-wide aggregation for
+    /// "forces per transaction"-style reporting).
+    pub fn merge(&mut self, o: &LogStats) {
+        self.appends += o.appends;
+        self.forces += o.forces;
+        self.records_forced += o.records_forced;
+        self.stable_bytes += o.stable_bytes;
+        self.lost_in_crash += o.lost_in_crash;
+        self.torn_writes += o.torn_writes;
+        self.forces_elided += o.forces_elided;
+        self.max_force_batch = self.max_force_batch.max(o.max_force_batch);
+    }
 }
 
 /// How a crash tears the in-progress write (fault injection).
@@ -194,6 +215,7 @@ impl<R: Record> StableLog<R> {
     /// Make every appended record durable. Idempotent.
     pub fn force(&mut self) {
         self.stats.forces += 1;
+        self.stats.max_force_batch = self.stats.max_force_batch.max(self.tail.len() as u64);
         for (lsn, rec) in self.tail.drain(..) {
             encode_entry(lsn, &rec, &mut self.stable_image);
             self.stable.push((lsn, rec));
@@ -203,6 +225,20 @@ impl<R: Record> StableLog<R> {
         self.obs.emit_with(self.obs_site, || EventKind::LogForce {
             stable_len: self.stable.len() as u64,
         });
+    }
+
+    /// Force only if the tail holds unforced records — the group-commit
+    /// flush primitive. A clean tail means every record is already
+    /// durable, so the force (and its obs event) is elided entirely;
+    /// the elision is counted in [`LogStats::forces_elided`]. Returns
+    /// whether a force actually happened.
+    pub fn force_if_dirty(&mut self) -> bool {
+        if self.tail.is_empty() {
+            self.stats.forces_elided += 1;
+            return false;
+        }
+        self.force();
+        true
     }
 
     /// `append` + `force` in one call — the common "write one record and
@@ -452,6 +488,27 @@ mod tests {
         assert_eq!(log.stable_len(), 1);
         assert_eq!(log.stats().forces, 3);
         assert_eq!(log.stats().records_forced, 1);
+    }
+
+    #[test]
+    fn force_if_dirty_elides_clean_forces_and_tracks_batches() {
+        let mut log = StableLog::<R>::new();
+        // Nothing buffered: the force is elided, not performed.
+        assert!(!log.force_if_dirty());
+        assert_eq!(log.stats().forces, 0);
+        assert_eq!(log.stats().forces_elided, 1);
+        // Three appends coalesce into one force of batch size 3.
+        log.append(R(1));
+        log.append(R(2));
+        log.append(R(3));
+        assert!(log.force_if_dirty());
+        assert_eq!(log.stable_len(), 3);
+        assert_eq!(log.stats().forces, 1);
+        assert_eq!(log.stats().records_forced, 3);
+        assert_eq!(log.stats().max_force_batch, 3);
+        // Immediately after, the tail is clean again.
+        assert!(!log.force_if_dirty());
+        assert_eq!(log.stats().forces_elided, 2);
     }
 
     #[test]

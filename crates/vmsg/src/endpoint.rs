@@ -7,7 +7,7 @@ use crate::stats::VmStats;
 use crate::SiteId;
 use bytes::Bytes;
 use dvp_obs::{EventKind, Obs};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Tuning knobs for the Vm protocol.
 #[derive(Clone, Copy, Debug)]
@@ -86,6 +86,10 @@ pub struct VmEndpoint {
     me: SiteId,
     cfg: VmConfig,
     chans: BTreeMap<SiteId, Channel>,
+    /// Peers whose channel has unacked outgoing Vms. Kept exactly in sync
+    /// with `chans` (`in_flight() > 0` ⇔ present) so `tick` and
+    /// `has_outstanding` never scan idle channels.
+    dirty: BTreeSet<SiteId>,
     /// Frames ready to put on the wire.
     outbox: Vec<(SiteId, Frame)>,
     /// Vms whose lifecycle completed since the last drain (peer, seq).
@@ -103,6 +107,7 @@ impl VmEndpoint {
             me,
             cfg,
             chans: BTreeMap::new(),
+            dirty: BTreeSet::new(),
             outbox: Vec::new(),
             completed: Vec::new(),
             stats: VmStats::default(),
@@ -141,6 +146,7 @@ impl VmEndpoint {
     pub fn create(&mut self, to: SiteId, payload: Bytes) -> VmLogOp {
         assert_ne!(to, self.me, "a site does not send Vms to itself");
         let seq = self.chan(to).create(payload.clone());
+        self.dirty.insert(to);
         self.stats.created += 1;
         let ack = self.chan(to).accepted_in;
         // Transmit immediately only if within the window.
@@ -181,6 +187,9 @@ impl VmEndpoint {
         // Any frame's ack releases our outgoing state toward `from`.
         let released = self.chan(from).on_ack(frame.ack());
         if !released.is_empty() {
+            if self.chan(from).in_flight() == 0 {
+                self.dirty.remove(&from);
+            }
             self.stats.acks_effective += 1;
             self.stats.completed += released.len() as u64;
             self.completed
@@ -258,16 +267,30 @@ impl VmEndpoint {
     /// Queue retransmissions of every unacked outgoing Vm (window-limited,
     /// lowest sequence numbers first). The host calls this on its
     /// retransmit timer.
+    ///
+    /// Only dirty channels (`in_flight() > 0`) are visited; fully-acked
+    /// peers cost nothing here, however many a long run accumulates.
     pub fn tick(&mut self) {
-        let mut to_send: Vec<(SiteId, Frame)> = Vec::new();
-        for (&peer, chan) in &self.chans {
+        let VmEndpoint {
+            me,
+            cfg,
+            chans,
+            dirty,
+            outbox,
+            stats,
+            obs,
+            ..
+        } = self;
+        stats.idle_channels_skipped += (chans.len() - dirty.len()) as u64;
+        for &peer in dirty.iter() {
+            let chan = &chans[&peer];
             let base = chan.acked_out;
             for (&seq, payload) in chan
                 .outgoing
                 .iter()
-                .take_while(|(&s, _)| s <= base + self.cfg.window as Seq)
+                .take_while(|(&s, _)| s <= base + cfg.window as Seq)
             {
-                to_send.push((
+                outbox.push((
                     peer,
                     Frame::Data {
                         seq,
@@ -275,30 +298,29 @@ impl VmEndpoint {
                         payload: payload.clone(),
                     },
                 ));
+                stats.retransmissions += 1;
+                stats.data_frames_sent += 1;
+                obs.emit_with(*me as u32, || EventKind::VmSend {
+                    to: peer as u32,
+                    vseq: seq,
+                    retransmit: true,
+                });
             }
         }
-        self.stats.retransmissions += to_send.len() as u64;
-        self.stats.data_frames_sent += to_send.len() as u64;
-        if self.obs.is_enabled() {
-            for (peer, f) in &to_send {
-                if let Frame::Data { seq, .. } = f {
-                    self.obs.emit(
-                        self.me as u32,
-                        EventKind::VmSend {
-                            to: *peer as u32,
-                            vseq: *seq,
-                            retransmit: true,
-                        },
-                    );
-                }
-            }
-        }
-        self.outbox.extend(to_send);
     }
 
     /// Take all frames queued for transmission.
     pub fn drain_outbox(&mut self) -> Vec<(SiteId, Frame)> {
         std::mem::take(&mut self.outbox)
+    }
+
+    /// Move all queued frames into `out` (appending), keeping this
+    /// endpoint's outbox buffer allocated. Hot-path hosts drain into a
+    /// reusable scratch vector instead of taking a fresh `Vec` per
+    /// dispatch ([`drain_outbox`](Self::drain_outbox) stays for the
+    /// occasional callers and doc examples).
+    pub fn drain_outbox_into(&mut self, out: &mut Vec<(SiteId, Frame)>) {
+        out.append(&mut self.outbox);
     }
 
     /// Take the `(peer, seq)` pairs whose lifecycles completed (cumulative
@@ -308,13 +330,23 @@ impl VmEndpoint {
         std::mem::take(&mut self.completed)
     }
 
+    /// Allocation-free variant of [`drain_completed`](Self::drain_completed):
+    /// append into the host's reusable scratch vector.
+    pub fn drain_completed_into(&mut self, out: &mut Vec<(SiteId, Seq)>) {
+        out.append(&mut self.completed);
+    }
+
     /// Unacked outgoing Vms toward `peer` as `(seq, payload)`, ascending.
     /// The conservation auditor uses this to value in-flight Vms.
-    pub fn outgoing_toward(&self, peer: SiteId) -> Vec<(Seq, Bytes)> {
+    ///
+    /// Lazily iterates the channel map — no `Vec` is built. The yielded
+    /// `Bytes` payloads are refcounted slices, so each "clone" is a
+    /// pointer copy plus a counter bump, never a payload copy.
+    pub fn outgoing_toward(&self, peer: SiteId) -> impl Iterator<Item = (Seq, Bytes)> + '_ {
         self.chans
             .get(&peer)
-            .map(|c| c.outgoing.iter().map(|(&s, p)| (s, p.clone())).collect())
-            .unwrap_or_default()
+            .into_iter()
+            .flat_map(|c| c.outgoing.iter().map(|(&s, p)| (s, p.clone())))
     }
 
     /// Peers this endpoint has channel state with.
@@ -323,9 +355,10 @@ impl VmEndpoint {
     }
 
     /// Whether any channel still has unacked outgoing Vms (i.e. `tick`
-    /// still has work to do).
+    /// still has work to do). O(1): the dirty set tracks exactly the
+    /// channels with in-flight Vms.
     pub fn has_outstanding(&self) -> bool {
-        self.chans.values().any(|c| c.in_flight() > 0)
+        !self.dirty.is_empty()
     }
 
     // ---- crash / recovery --------------------------------------------------
@@ -335,6 +368,7 @@ impl VmEndpoint {
     /// only real messages).
     pub fn crash_reset(&mut self) {
         self.chans.clear();
+        self.dirty.clear();
         self.outbox.clear();
         self.completed.clear();
         self.stats.crash_resets += 1;
@@ -348,6 +382,7 @@ impl VmEndpoint {
                 let c = self.chan(*to);
                 c.last_created = (*seq).max(c.last_created);
                 c.outgoing.insert(*seq, payload.clone());
+                self.dirty.insert(*to);
             }
             VmLogOp::Accepted { from, seq } => {
                 let c = self.chan(*from);
@@ -355,7 +390,11 @@ impl VmEndpoint {
                 c.accepted_in = *seq;
             }
             VmLogOp::AckObserved { to, seq } => {
-                self.chan(*to).on_ack(*seq);
+                let c = self.chan(*to);
+                c.on_ack(*seq);
+                if c.in_flight() == 0 {
+                    self.dirty.remove(to);
+                }
             }
         }
     }
@@ -376,6 +415,10 @@ impl VmEndpoint {
     /// Snapshot all durable channel state (for host checkpoints). The
     /// snapshot plus replay of later `VmLogOp`s reconstructs the
     /// endpoint exactly.
+    ///
+    /// This returns owned state by design — a checkpoint must not alias
+    /// the live endpoint — but the payload "copies" are `Bytes` refcount
+    /// bumps, so the cost is per-entry bookkeeping, not payload bytes.
     pub fn snapshot(&self) -> Vec<ChannelSnapshot> {
         self.chans
             .iter()
@@ -397,6 +440,11 @@ impl VmEndpoint {
             c.acked_out = s.acked_out;
             c.accepted_in = s.accepted_in;
             c.outgoing = s.outgoing.iter().cloned().collect();
+            if c.in_flight() > 0 {
+                self.dirty.insert(s.peer);
+            } else {
+                self.dirty.remove(&s.peer);
+            }
         }
     }
 }
@@ -572,6 +620,91 @@ mod tests {
             })
             .collect();
         assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    fn all_acked_endpoint_tick_does_no_work() {
+        let (mut s, mut r) = pair();
+        // Complete a full lifecycle on the 0→1 channel.
+        let _ = s.create(1, b("x"));
+        for receipt in flush(&mut s, &mut r) {
+            if let Receipt::Fresh { seq, .. } = receipt {
+                r.commit_accept(0, seq);
+            }
+        }
+        flush(&mut r, &mut s);
+        assert!(!s.has_outstanding());
+
+        // The channel exists but is idle: a tick must skip it, queue
+        // nothing, and count nothing as a retransmission.
+        let before = *s.stats();
+        s.tick();
+        assert!(s.drain_outbox().is_empty(), "idle tick queued frames");
+        assert_eq!(s.stats().retransmissions, before.retransmissions);
+        assert_eq!(s.stats().data_frames_sent, before.data_frames_sent);
+        assert_eq!(
+            s.stats().idle_channels_skipped,
+            before.idle_channels_skipped + 1,
+            "the idle channel must be counted as skipped"
+        );
+    }
+
+    #[test]
+    fn tick_visits_only_dirty_channels() {
+        let cfg = VmConfig::default();
+        let mut s = VmEndpoint::new(0, cfg);
+        let mut r1 = VmEndpoint::new(1, cfg);
+        // Channel 0→1 completes; channel 0→2 stays in flight.
+        let _ = s.create(1, b("done"));
+        for receipt in flush(&mut s, &mut r1) {
+            if let Receipt::Fresh { seq, .. } = receipt {
+                r1.commit_accept(0, seq);
+            }
+        }
+        flush(&mut r1, &mut s);
+        let _ = s.create(2, b("pending"));
+        s.drain_outbox(); // lose the original transmission
+
+        assert!(s.has_outstanding());
+        s.tick();
+        let frames = s.drain_outbox();
+        assert_eq!(frames.len(), 1, "only the in-flight Vm is retransmitted");
+        assert_eq!(frames[0].0, 2);
+        assert_eq!(s.stats().idle_channels_skipped, 1, "channel to 1 skipped");
+    }
+
+    #[test]
+    fn drain_into_variants_reuse_caller_buffers() {
+        let (mut s, mut r) = pair();
+        let _ = s.create(1, b("x"));
+        let mut frames = Vec::with_capacity(8);
+        s.drain_outbox_into(&mut frames);
+        assert_eq!(frames.len(), 1);
+        for (to, f) in frames.drain(..) {
+            assert_eq!(to, 1);
+            if let Receipt::Fresh { seq, .. } = r.on_frame(0, f) {
+                r.commit_accept(0, seq);
+            }
+        }
+        flush(&mut r, &mut s);
+        let mut completed = Vec::new();
+        s.drain_completed_into(&mut completed);
+        assert_eq!(completed, vec![(1, 1)]);
+        // A second drain finds both endpoint buffers empty.
+        s.drain_outbox_into(&mut frames);
+        s.drain_completed_into(&mut completed);
+        assert!(frames.is_empty());
+        assert_eq!(completed.len(), 1, "append semantics: caller clears");
+    }
+
+    #[test]
+    fn outgoing_toward_iterates_without_collecting() {
+        let mut s = VmEndpoint::new(0, VmConfig::default());
+        let _ = s.create(1, b("a"));
+        let _ = s.create(1, b("b"));
+        let seqs: Vec<Seq> = s.outgoing_toward(1).map(|(seq, _)| seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+        assert_eq!(s.outgoing_toward(7).count(), 0, "unknown peer is empty");
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub struct VmStats {
     pub out_of_order_discarded: u64,
     /// Crash resets performed.
     pub crash_resets: u64,
+    /// Channels a retransmit tick did *not* visit because they had no
+    /// in-flight Vms (idle-aware retransmission).
+    pub idle_channels_skipped: u64,
 }
 
 impl VmStats {

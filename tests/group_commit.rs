@@ -1,0 +1,73 @@
+//! Group-commit regression tests: the flush-boundary force coalescing
+//! must (a) measurably cut forces per transaction on the standard
+//! banking workload, (b) change *nothing* about the protocol — commits,
+//! aborts, and message traffic stay identical to per-record forcing —
+//! and (c) stay deterministic: the same scenario and seed reproduce the
+//! same counters run over run, for every seed tried.
+
+use dvp::prelude::*;
+use dvp::workloads::BankingWorkload;
+
+/// The standard banking workload at its default shape.
+fn banking(seed: u64) -> dvp::workloads::Workload {
+    BankingWorkload::default().generate(seed)
+}
+
+fn run(w: &dvp::workloads::Workload, group_commit: bool, seed: u64) -> RunReport {
+    Scenario::dvp(w)
+        .name(if group_commit {
+            "gc/banking-batched"
+        } else {
+            "gc/banking-per-record"
+        })
+        .site(SiteConfig {
+            group_commit,
+            ..SiteConfig::default()
+        })
+        .seed(seed)
+        .run()
+}
+
+#[test]
+fn group_commit_cuts_forces_per_txn_on_standard_banking() {
+    for seed in [1u64, 7, 42] {
+        let w = banking(seed);
+        let batched = run(&w, true, seed);
+        let classic = run(&w, false, seed);
+
+        // The protocol is untouched: same decisions, same traffic.
+        assert_eq!(batched.committed, classic.committed, "seed {seed}");
+        assert_eq!(batched.aborted, classic.aborted, "seed {seed}");
+        assert_eq!(batched.messages, classic.messages, "seed {seed}");
+        assert_eq!(batched.donations, classic.donations, "seed {seed}");
+
+        // The forces are coalesced: measurably fewer per transaction.
+        let decided = (batched.committed + batched.aborted).max(1);
+        let fpt_batched = batched.forces as f64 / decided as f64;
+        let fpt_classic = classic.forces as f64 / decided as f64;
+        assert!(
+            batched.forces < classic.forces,
+            "seed {seed}: {} batched forces not below {} per-record forces",
+            batched.forces,
+            classic.forces
+        );
+        println!(
+            "seed {seed}: forces/txn {fpt_classic:.3} -> {fpt_batched:.3} \
+             ({} -> {} forces over {decided} decided)",
+            classic.forces, batched.forces
+        );
+    }
+}
+
+#[test]
+fn group_commit_counters_are_stable_across_reruns() {
+    for seed in [1u64, 7, 42] {
+        let w = banking(seed);
+        let a = run(&w, true, seed);
+        let b = run(&w, true, seed);
+        assert_eq!(a.forces, b.forces, "seed {seed}: forces drifted");
+        assert_eq!(a.committed, b.committed, "seed {seed}");
+        assert_eq!(a.aborted, b.aborted, "seed {seed}");
+        assert_eq!(a.messages, b.messages, "seed {seed}");
+    }
+}

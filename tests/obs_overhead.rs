@@ -10,6 +10,8 @@
 //! cost, not scheduler jitter.
 
 use dvp::obs::Obs;
+use dvp::workloads::BankingWorkload;
+use dvp_core::{Cluster, ClusterConfig};
 use dvp_simnet::network::NetworkConfig;
 use dvp_simnet::node::{Context, Node};
 use dvp_simnet::sim::Simulation;
@@ -93,6 +95,59 @@ fn ab_ratio() -> f64 {
         }
     }
     median(b) / median(a)
+}
+
+/// One closed-loop engine run (the `engine_baseline` banking scenario,
+/// shrunk): full DvP transaction processing — solicitation, group-commit
+/// forces, Vm traffic — with the given obs handle. Returns events/sec.
+fn engine_banking(w: &dvp::workloads::Workload, obs: Obs) -> f64 {
+    let mut cfg = ClusterConfig::new(w.scripts.len(), w.catalog.clone());
+    cfg.scripts = w.scripts.clone();
+    cfg.obs = obs;
+    let mut cl = Cluster::build(cfg);
+    let t = Instant::now();
+    let events = cl.sim.run_to_quiescence();
+    events as f64 / t.elapsed().as_secs_f64()
+}
+
+/// Interleaved A/B session over the *engine* path (the group-commit PR
+/// reworked its hot loops, so the zero-cost claim is re-proved here, not
+/// just on the kernel ping-pong).
+fn engine_ab_ratio() -> f64 {
+    let w = BankingWorkload {
+        n_sites: 8,
+        accounts: 16,
+        txns: 1_500,
+        ..Default::default()
+    }
+    .generate(42);
+    engine_banking(&w, Obs::disabled());
+    engine_banking(&w, Obs::new(false));
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    for i in 0..7 {
+        if i % 2 == 0 {
+            a.push(engine_banking(&w, Obs::disabled()));
+            b.push(engine_banking(&w, Obs::new(false)));
+        } else {
+            b.push(engine_banking(&w, Obs::new(false)));
+            a.push(engine_banking(&w, Obs::disabled()));
+        }
+    }
+    median(b) / median(a)
+}
+
+#[test]
+fn obs_disabled_is_within_run_to_run_noise_on_engine_path() {
+    let mut last = 0.0;
+    for _ in 0..3 {
+        last = engine_ab_ratio();
+        if (0.75..=1.33).contains(&last) {
+            return;
+        }
+    }
+    panic!(
+        "attached/disabled engine throughput ratio {last:.3} outside noise band after 3 sessions"
+    );
 }
 
 #[test]

@@ -33,6 +33,53 @@ fn golden_trace_is_byte_identical_across_runs() {
     assert_eq!(a, b, "same scenario + seed must export identical bytes");
 }
 
+/// `group_commit: false` reproduces the original per-record forcing
+/// byte-for-byte: the trace must match the golden file captured before
+/// group commit existed. If this fails, the non-batched path changed
+/// observable behaviour — which it must never do.
+#[test]
+fn non_batched_trace_matches_pre_group_commit_golden() {
+    let got = soliciting_scenario()
+        .site(SiteConfig {
+            group_commit: false,
+            ..SiteConfig::default()
+        })
+        .run()
+        .trace_jsonl();
+    let golden = include_str!("golden/obs_solicit_nobatch.jsonl");
+    assert_eq!(got, golden, "non-batched trace diverged from the golden");
+}
+
+/// Group commit (the default) coalesces forces: the same scenario must
+/// emit strictly fewer `log_force` events than per-record forcing, while
+/// every protocol-level event (commits, solicits, donations, Vm traffic)
+/// stays identical.
+#[test]
+fn group_commit_reduces_forces_without_touching_protocol_events() {
+    let batched = soliciting_scenario().run().trace_jsonl();
+    let golden = include_str!("golden/obs_solicit_nobatch.jsonl");
+    let count = |s: &str, ev: &str| s.matches(ev).count();
+    assert!(
+        count(&batched, "\"ev\":\"log_force\"") < count(golden, "\"ev\":\"log_force\""),
+        "group commit must coalesce at least one force in this scenario"
+    );
+    for ev in [
+        "\"ev\":\"txn_commit\"",
+        "\"ev\":\"txn_solicit\"",
+        "\"ev\":\"txn_donate\"",
+        "\"ev\":\"txn_absorb\"",
+        "\"ev\":\"vm_send\"",
+        "\"ev\":\"vm_accept\"",
+        "\"ev\":\"vm_ack\"",
+    ] {
+        assert_eq!(
+            count(&batched, ev),
+            count(golden, ev),
+            "group commit changed the {ev} stream"
+        );
+    }
+}
+
 #[test]
 fn trace_reconstructs_cross_site_solicit_donate_commit_timeline() {
     let r = soliciting_scenario().run();
