@@ -127,6 +127,12 @@ pub enum TradBody {
         /// or unknown.
         state: u8,
     },
+    /// Link-level batch: every message this site queued for one peer
+    /// during one dispatch, coalesced into a single wire transmission
+    /// (see [`TradConfig::coalesce`]). Each inner message keeps its own
+    /// Lamport stamp; the receiver unpacks and handles them in order.
+    /// Never nested.
+    Batch(Vec<TradMsg>),
 }
 
 /// A protocol message with a Lamport counter piggyback.
@@ -172,6 +178,14 @@ pub struct TradConfig {
     /// the wire after the dispatch returns). Mirrors the DvP engine's
     /// knob so cross-engine forces/txn comparisons stay fair.
     pub group_commit: bool,
+    /// Link-level coalescing: messages queued for the same peer during
+    /// one dispatch leave as a single [`TradBody::Batch`] transmission.
+    /// Mirrors `SiteConfig::coalesce` on the DvP engine so cross-engine
+    /// wire-transmission comparisons stay fair — neither engine gets a
+    /// free batching advantage. Logical message counts
+    /// (`TradMetrics::messages_sent`, kernel `frames_sent`) are
+    /// unaffected.
+    pub coalesce: bool,
 }
 
 impl Default for TradConfig {
@@ -183,6 +197,7 @@ impl Default for TradConfig {
             unprepared_timeout: SimDuration::millis(150),
             retry_every: SimDuration::millis(20),
             group_commit: true,
+            coalesce: true,
         }
     }
 }
@@ -258,6 +273,9 @@ pub struct TradNode {
     /// Final per-transaction outcome this site acted on (audit state for
     /// the divergence check; kept across crashes like metrics).
     resolutions: BTreeMap<Ts, bool>,
+    /// Messages queued this dispatch, awaiting the wire-flush boundary
+    /// (empty between dispatches; only used when `cfg.coalesce`).
+    wire_buf: Vec<(NodeId, TradMsg)>,
     /// Structured trace handle (disabled by default).
     obs: Obs,
 }
@@ -296,6 +314,7 @@ impl TradNode {
             queues: BTreeMap::new(),
             metrics: TradMetrics::default(),
             resolutions: BTreeMap::new(),
+            wire_buf: Vec::new(),
             obs: Obs::disabled(),
         }
     }
@@ -340,7 +359,40 @@ impl TradNode {
     fn send(&mut self, ctx: &mut Context<'_, TradMsg>, to: NodeId, body: TradBody) {
         self.metrics.messages_sent += 1;
         let lamport = self.clock.counter();
-        ctx.send(to, TradMsg { lamport, body });
+        let msg = TradMsg { lamport, body };
+        if self.cfg.coalesce {
+            self.wire_buf.push((to, msg));
+        } else {
+            ctx.send(to, msg);
+        }
+    }
+
+    /// Wire-flush boundary: everything `send` buffered during this
+    /// dispatch leaves now, one transmission per destination. Runs right
+    /// after [`flush_log`](Self::flush_log) at the end of each callback,
+    /// so every batch still departs with its records durable. A peer
+    /// with a single message gets it unwrapped (identical wire shape to
+    /// the non-coalesced mode); two or more go out as one
+    /// [`TradBody::Batch`] declaring its logical frame count to the
+    /// kernel.
+    fn flush_wire(&mut self, ctx: &mut Context<'_, TradMsg>) {
+        if self.wire_buf.is_empty() {
+            return;
+        }
+        let mut groups: BTreeMap<NodeId, Vec<TradMsg>> = BTreeMap::new();
+        for (to, msg) in self.wire_buf.drain(..) {
+            groups.entry(to).or_default().push(msg);
+        }
+        let lamport = self.clock.counter();
+        for (to, mut msgs) in groups {
+            if msgs.len() == 1 {
+                ctx.send(to, msgs.pop().expect("length checked"));
+            } else {
+                let frames = msgs.len() as u64;
+                let body = TradBody::Batch(msgs);
+                ctx.send_frames(to, TradMsg { lamport, body }, frames);
+            }
+        }
     }
 
     /// Group-commit flush boundary: one force hardens every record this
@@ -919,14 +971,11 @@ impl TradNode {
             }
         }
     }
-}
 
-impl Node for TradNode {
-    type Msg = TradMsg;
-
-    fn on_message(&mut self, from: NodeId, msg: TradMsg, ctx: &mut Context<'_, TradMsg>) {
-        self.clock.observe_counter(msg.lamport);
-        match msg.body {
+    /// Dispatch one logical message body (a direct message or one member
+    /// of a [`TradBody::Batch`]).
+    fn handle_body(&mut self, from: NodeId, body: TradBody, ctx: &mut Context<'_, TradMsg>) {
+        match body {
             TradBody::LockReq { txn, item } => self.on_lock_req(from, txn, item, ctx),
             TradBody::LockGrant {
                 txn,
@@ -946,8 +995,31 @@ impl Node for TradNode {
             TradBody::DecisionAck { txn } => self.on_decision_ack(from, txn),
             TradBody::DecisionQuery { txn } => self.on_query(from, txn, ctx),
             TradBody::ReleaseLocks { txn } => self.on_release(txn, ctx),
+            TradBody::Batch(_) => debug_assert!(false, "batches are never nested"),
+        }
+    }
+}
+
+impl Node for TradNode {
+    type Msg = TradMsg;
+
+    fn on_message(&mut self, from: NodeId, msg: TradMsg, ctx: &mut Context<'_, TradMsg>) {
+        self.clock.observe_counter(msg.lamport);
+        match msg.body {
+            TradBody::Batch(msgs) => {
+                // One wire transmission, several logical messages: unpack
+                // in sender order, observing each inner Lamport stamp.
+                // Replies queued while handling them coalesce into this
+                // dispatch's own flush below.
+                for inner in msgs {
+                    self.clock.observe_counter(inner.lamport);
+                    self.handle_body(from, inner.body, ctx);
+                }
+            }
+            body => self.handle_body(from, body, ctx),
         }
         self.flush_log();
+        self.flush_wire(ctx);
     }
 
     fn on_external(&mut self, tag: u64, ctx: &mut Context<'_, TradMsg>) {
@@ -955,6 +1027,7 @@ impl Node for TradNode {
             self.begin_txn(spec, ctx);
         }
         self.flush_log();
+        self.flush_wire(ctx);
     }
 
     fn on_timer(&mut self, _id: TimerId, tag: u64, ctx: &mut Context<'_, TradMsg>) {
@@ -1055,10 +1128,12 @@ impl Node for TradNode {
             _ => debug_assert!(false, "unknown timer tag"),
         }
         self.flush_log();
+        self.flush_wire(ctx);
     }
 
     fn on_crash(&mut self) {
         self.log.crash();
+        self.wire_buf.clear();
         for (_, _c) in std::mem::take(&mut self.coord) {
             *self.metrics.aborted.entry(TradAbort::Crashed).or_insert(0) += 1;
         }
@@ -1154,6 +1229,7 @@ impl Node for TradNode {
                 remote_msgs: queries,
             });
         self.flush_log();
+        self.flush_wire(ctx);
     }
 }
 

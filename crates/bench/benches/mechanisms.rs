@@ -126,6 +126,7 @@ fn bench_vm(c: &mut Criterion) {
             VmConfig {
                 window: 64,
                 eager_acks: true,
+                ..VmConfig::default()
             },
         );
         for _ in 0..32 {

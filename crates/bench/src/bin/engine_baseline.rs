@@ -14,8 +14,11 @@
 //!   transaction. Group commit (the default) coalesces every force a
 //!   dispatch owes into one, so this is the headline number the
 //!   optimisation moves; `forces_elided` and `max_force_batch` show how.
-//! * `frames_per_txn` — network messages per decided transaction (the
-//!   paper's message-traffic metric, §9).
+//! * `frames_per_txn` — logical protocol frames per decided transaction
+//!   (the paper's message-traffic metric, §9). Under link-level
+//!   coalescing many frames share one wire transmission, so
+//!   `datagrams_per_txn` (Vm wire datagrams) and `wire_bytes_per_txn`
+//!   report what actually hits the network.
 //!
 //! Scale via `DVP_SCALE=quick|full` or `--quick`; compare runs at
 //! identical scales only.
@@ -36,7 +39,16 @@ struct Row {
     forces: u64,
     forces_elided: u64,
     max_force_batch: u64,
+    /// Logical protocol frames (a coalesced datagram counts each frame).
     frames: u64,
+    /// Wire transmissions handed to the kernel (datagrams count once).
+    messages: u64,
+    /// Vm-layer wire datagrams (0 for the baseline engine).
+    datagrams: u64,
+    /// Vm-layer bytes on the wire (0 for the baseline engine).
+    wire_bytes: u64,
+    /// Standalone-ack bytes avoided by piggybacking (0 for baseline).
+    bytes_acked_piggyback: u64,
 }
 
 impl Row {
@@ -48,6 +60,12 @@ impl Row {
     }
     fn frames_per_txn(&self) -> f64 {
         self.frames as f64 / self.decided.max(1) as f64
+    }
+    fn datagrams_per_txn(&self) -> f64 {
+        self.datagrams as f64 / self.decided.max(1) as f64
+    }
+    fn wire_bytes_per_txn(&self) -> f64 {
+        self.wire_bytes as f64 / self.decided.max(1) as f64
     }
 }
 
@@ -94,6 +112,7 @@ fn run_dvp(name: &'static str, w: &Workload) -> Row {
         max_force_batch,
         ..
     } = cl.log_stats();
+    let vm = cl.vm_stats();
     Row {
         name,
         decided: m.committed() + m.aborted(),
@@ -102,7 +121,11 @@ fn run_dvp(name: &'static str, w: &Workload) -> Row {
         forces,
         forces_elided,
         max_force_batch,
-        frames: cl.sim.stats().sent,
+        frames: cl.sim.stats().frames_sent,
+        messages: cl.sim.stats().sent,
+        datagrams: vm.datagrams_sent,
+        wire_bytes: vm.bytes_sent,
+        bytes_acked_piggyback: vm.bytes_acked_piggyback,
     }
 }
 
@@ -129,7 +152,11 @@ fn run_trad(name: &'static str, w: &Workload) -> Row {
         forces,
         forces_elided,
         max_force_batch,
-        frames: cl.sim.stats().sent,
+        frames: cl.sim.stats().frames_sent,
+        messages: cl.sim.stats().sent,
+        datagrams: 0,
+        wire_bytes: 0,
+        bytes_acked_piggyback: 0,
     }
 }
 
@@ -156,20 +183,23 @@ fn main() {
     let mut json = String::from("{\n  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
         println!(
-            "{:<18} {:>7} decided  {:>8.3} s  {:>10.0} txns/s  {:>6.3} forces/txn  {:>7.3} frames/txn",
+            "{:<18} {:>7} decided  {:>8.3} s  {:>10.0} txns/s  {:>6.3} forces/txn  {:>7.3} frames/txn  {:>6.3} dgrams/txn",
             r.name,
             r.decided,
             r.wall_secs,
             r.txns_per_sec(),
             r.forces_per_txn(),
             r.frames_per_txn(),
+            r.datagrams_per_txn(),
         );
         let _ = write!(
             json,
             "    {{\"name\": \"{}\", \"decided\": {}, \"committed\": {}, \"wall_secs\": {:.6}, \
              \"txns_per_sec\": {:.0}, \"forces\": {}, \"forces_per_txn\": {:.4}, \
              \"forces_elided\": {}, \"max_force_batch\": {}, \"frames\": {}, \
-             \"frames_per_txn\": {:.4}}}",
+             \"frames_per_txn\": {:.4}, \"messages\": {}, \"datagrams\": {}, \
+             \"datagrams_per_txn\": {:.4}, \"wire_bytes\": {}, \
+             \"wire_bytes_per_txn\": {:.4}, \"bytes_acked_piggyback\": {}}}",
             r.name,
             r.decided,
             r.committed,
@@ -181,6 +211,12 @@ fn main() {
             r.max_force_batch,
             r.frames,
             r.frames_per_txn(),
+            r.messages,
+            r.datagrams,
+            r.datagrams_per_txn(),
+            r.wire_bytes,
+            r.wire_bytes_per_txn(),
+            r.bytes_acked_piggyback,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

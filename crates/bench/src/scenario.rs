@@ -209,6 +209,7 @@ impl Scenario {
             .expect("conservation must hold in every experiment");
         let m = cl.metrics();
         let decisions = m.decision_latency();
+        let vm = cl.vm_stats();
         RunReport {
             scenario: self.name,
             seed: self.seed,
@@ -220,6 +221,10 @@ impl Scenario {
             max_us: decisions.max(),
             max_blocked_us: 0,
             messages: cl.sim.stats().sent,
+            frames: cl.sim.stats().frames_sent,
+            datagrams: vm.datagrams_sent,
+            wire_bytes: vm.bytes_sent,
+            bytes_acked_piggyback: vm.bytes_acked_piggyback,
             forces: cl.log_stats().forces,
             requests: m.requests_sent(),
             donations: m.donations(),
@@ -258,6 +263,10 @@ impl Scenario {
             max_us: decisions.max(),
             max_blocked_us: m.max_blocking_us(cl.sim.now()),
             messages: cl.sim.stats().sent,
+            frames: cl.sim.stats().frames_sent,
+            datagrams: 0,
+            wire_bytes: 0,
+            bytes_acked_piggyback: 0,
             forces: cl.log_stats().forces,
             requests: 0,
             donations: 0,
@@ -298,8 +307,23 @@ pub struct RunReport {
     /// windows measured to harvest time. Always 0 for DvP — the
     /// non-blocking claim.
     pub max_blocked_us: u64,
-    /// Total network messages sent.
+    /// Total network messages sent (wire transmissions — a coalesced
+    /// datagram counts once).
     pub messages: u64,
+    /// Logical protocol frames handed to the network (a coalesced
+    /// datagram counts its frame total; equals `messages` when nothing
+    /// batches).
+    pub frames: u64,
+    /// Vm-layer wire datagrams transmitted (0 when coalescing is off or
+    /// for the baseline engine; `datagrams / committed` is the
+    /// coalescing headline metric).
+    pub datagrams: u64,
+    /// Vm-layer bytes handed to the wire (frame encodings plus datagram
+    /// headers under coalescing).
+    pub wire_bytes: u64,
+    /// Bytes of standalone ack traffic avoided by piggybacking
+    /// cumulative acks on data datagrams.
+    pub bytes_acked_piggyback: u64,
     /// Cluster-wide stable-log force operations (both engines report
     /// them; `forces / committed` is the group-commit headline metric).
     pub forces: u64,

@@ -201,6 +201,17 @@ impl Cluster {
         total
     }
 
+    /// Cluster-wide Vm-layer counters (frames, datagrams, wire bytes,
+    /// piggybacked acks) — the coalescing benchmarks report
+    /// `datagrams / committed` and `bytes / txn` from these.
+    pub fn vm_stats(&self) -> dvp_vmsg::VmStats {
+        let mut total = dvp_vmsg::VmStats::default();
+        for site in self.sim.nodes() {
+            total.absorb(site.vm_endpoint().stats());
+        }
+        total
+    }
+
     /// The trace handle the cluster was built with.
     pub fn obs(&self) -> &Obs {
         self.sim.obs()

@@ -198,6 +198,29 @@ pub struct SiteConfig {
     /// reproduces the original per-record forcing (and its per-record
     /// `LogForce` obs stream, which the golden-trace tests pin).
     pub group_commit: bool,
+    /// Link-level coalescing: at each flush boundary every Vm frame bound
+    /// for one peer leaves as a single wire datagram (length-prefixed
+    /// frame sequence, payloads shared not copied), and standalone acks
+    /// become *delayed* acks that piggyback on the next data datagram or
+    /// flush after [`ack_delay`](Self::ack_delay). The force-before-send
+    /// discipline holds per datagram: the flush forces the log once, then
+    /// drains. Off reproduces the original one-transmission-per-frame
+    /// wire behaviour byte-for-byte (golden-trace pinned, like
+    /// [`group_commit`](Self::group_commit)).
+    pub coalesce: bool,
+    /// How long an owed standalone ack may wait for reverse data traffic
+    /// to piggyback on before the delayed-ack timer flushes it as an
+    /// ack-only datagram. Zero (the default) flushes owed acks in the
+    /// *same dispatch* that produced them — the exact instant the
+    /// per-frame wire sends its acks, so coalescing cannot shift window
+    /// advance or flip borderline transaction timeouts (acks from one
+    /// dispatch still dedup into one cumulative frame per peer, and acks
+    /// with same-dispatch reverse data still piggyback for free). A
+    /// positive delay trades that timing neutrality for more piggyback
+    /// opportunities on chatty bidirectional channels; it must stay well
+    /// below `retransmit_every` or senders retransmit already-accepted
+    /// Vms while the ack dawdles.
+    pub ack_delay: SimDuration,
     /// Nemesis fault injection (crashpoints, torn log writes). Defaults to
     /// fully disabled.
     pub inject: InjectConfig,
@@ -220,6 +243,8 @@ impl Default for SiteConfig {
             unsafe_skip_read_drain_gate: false,
             unsafe_skip_recovery_redo: false,
             group_commit: true,
+            coalesce: true,
+            ack_delay: SimDuration::ZERO,
             inject: InjectConfig::default(),
         }
     }
@@ -265,6 +290,10 @@ mod tests {
         let c = SiteConfig::default();
         assert!(c.read_lease >= c.txn_timeout.saturating_mul(2));
         assert!(c.retransmit_every < c.txn_timeout);
+        assert!(
+            c.ack_delay < c.retransmit_every,
+            "delayed acks must beat the retransmit timer"
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@ use dvp_simnet::node::{Context, Node, TimerId};
 use dvp_simnet::time::{SimDuration, SimTime};
 use dvp_simnet::NodeId;
 use dvp_storage::{CheckpointSlot, Lsn, StableLog, TornWrite};
-use dvp_vmsg::{ChannelSnapshot, Frame, Receipt, Seq, VmEndpoint, VmLogOp};
+use dvp_vmsg::{ChannelSnapshot, Frame, Receipt, Seq, VmConfig, VmEndpoint, VmLogOp, WireDatagram};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 // Timer-tag kinds (top byte).
@@ -52,6 +52,7 @@ const TAG_RETRANSMIT: u64 = 2 << TAG_KIND_SHIFT;
 const TAG_LEASE: u64 = 3 << TAG_KIND_SHIFT;
 const TAG_SOLICIT_RETRY: u64 = 4 << TAG_KIND_SHIFT;
 const TAG_REBALANCE: u64 = 5 << TAG_KIND_SHIFT;
+const TAG_DELAYED_ACK: u64 = 6 << TAG_KIND_SHIFT;
 const TAG_PAYLOAD_MASK: u64 = (1 << TAG_KIND_SHIFT) - 1;
 
 /// Body of a protocol message.
@@ -59,6 +60,13 @@ const TAG_PAYLOAD_MASK: u64 = (1 << TAG_KIND_SHIFT) - 1;
 pub enum Body {
     /// A Vm-layer frame (value transfer or ack).
     Vm(Frame),
+    /// A coalesced wire datagram: every Vm frame bound for the receiver
+    /// at one flush boundary, encoded as a single length-prefixed frame
+    /// sequence ([`SiteConfig::coalesce`]). Loss, duplication, and
+    /// reordering apply to the whole datagram — per-frame Vm semantics
+    /// are unaffected because every frame is individually retransmitted
+    /// until cumulatively acked.
+    VmDatagram(WireDatagram),
     /// A solicitation: "send me value of `item`" (Section 3/5). Requests
     /// are plain messages — never retransmitted, no unique ids needed
     /// (Section 8's optimization note) — because their loss only costs a
@@ -203,6 +211,10 @@ pub struct SiteNode {
     /// these (append + drain) so the steady state allocates nothing.
     outbox_scratch: Vec<(NodeId, Frame)>,
     completed_scratch: Vec<(NodeId, Seq)>,
+    datagram_scratch: Vec<(NodeId, WireDatagram)>,
+    /// Peers with an armed delayed-ack timer. A firing for a peer not in
+    /// this set is stale (crash cleared it) and must be ignored.
+    ack_timers: BTreeSet<NodeId>,
     /// Group commit: a record that per-record forcing would have forced
     /// inline was appended during this dispatch, so the flush boundary
     /// owes one coalesced force. Stays `false` across ack-only dispatches
@@ -241,7 +253,7 @@ impl SiteNode {
             clock: LamportClock::new(id),
             frags,
             locks: LockTable::new(),
-            vm: VmEndpoint::new(id, cfg.vm),
+            vm: VmEndpoint::new(id, Self::vm_config(&cfg)),
             log,
             checkpoint: CheckpointSlot::new(),
             script,
@@ -262,7 +274,20 @@ impl SiteNode {
             last_replayed: 0,
             outbox_scratch: Vec::new(),
             completed_scratch: Vec::new(),
+            datagram_scratch: Vec::new(),
+            ack_timers: BTreeSet::new(),
             needs_flush: false,
+        }
+    }
+
+    /// The endpoint-level Vm config: the site's `vm` knobs with the
+    /// link-level coalescing flag merged in (`SiteConfig::coalesce` is
+    /// the host-facing switch; the endpoint default keeps the layer
+    /// standalone).
+    fn vm_config(cfg: &SiteConfig) -> VmConfig {
+        VmConfig {
+            coalesce: cfg.coalesce,
+            ..cfg.vm
         }
     }
 
@@ -356,6 +381,26 @@ impl SiteNode {
         }
     }
 
+    /// Drain every queued Vm frame into per-peer wire datagrams and put
+    /// them on the wire (coalescing mode only).
+    fn send_vm_datagrams(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        let mut dgrams = std::mem::take(&mut self.datagram_scratch);
+        self.vm.drain_datagrams_into(&mut dgrams);
+        for (to, wire) in dgrams.drain(..) {
+            let frames = u64::from(wire.frame_count());
+            let lamport = self.clock.counter();
+            ctx.send_frames(
+                to,
+                ProtoMsg {
+                    lamport,
+                    body: Body::VmDatagram(wire),
+                },
+                frames,
+            );
+        }
+        self.datagram_scratch = dgrams;
+    }
+
     /// Drain the Vm outbox onto the wire, account completed Vm
     /// lifecycles, and keep the retransmit timer armed while needed.
     fn flush_vm(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
@@ -372,12 +417,42 @@ impl SiteNode {
             self.log.force_if_dirty();
             self.needs_flush = false;
         }
-        let mut outbox = std::mem::take(&mut self.outbox_scratch);
-        self.vm.drain_outbox_into(&mut outbox);
-        for (to, frame) in outbox.drain(..) {
-            self.send(ctx, to, Body::Vm(frame));
+        if self.cfg.coalesce {
+            // One wire datagram per peer per flush: every queued frame
+            // toward a peer rides a single transmission, with owed acks
+            // folded in. The force above already hardened everything the
+            // datagram carries — force-before-send at datagram granularity.
+            self.send_vm_datagrams(ctx);
+            // Acks still owed found no data to piggyback on. With a zero
+            // ack delay they leave right now, in this same dispatch, as
+            // ack-only datagrams — the exact instant the per-frame wire
+            // would have sent them, so ack timing (and with it window
+            // advance and borderline txn timeouts) cannot shift. A
+            // positive delay instead opens a window in which reverse
+            // data traffic may still piggyback the ack for free.
+            if self.cfg.ack_delay == SimDuration::ZERO {
+                let owed: Vec<_> = self.vm.owed_ack_peers().collect();
+                if !owed.is_empty() {
+                    for peer in owed {
+                        self.vm.flush_owed_ack(peer);
+                    }
+                    self.send_vm_datagrams(ctx);
+                }
+            } else {
+                for peer in self.vm.owed_ack_peers() {
+                    if self.ack_timers.insert(peer) {
+                        ctx.set_timer(self.cfg.ack_delay, TAG_DELAYED_ACK | peer as u64);
+                    }
+                }
+            }
+        } else {
+            let mut outbox = std::mem::take(&mut self.outbox_scratch);
+            self.vm.drain_outbox_into(&mut outbox);
+            for (to, frame) in outbox.drain(..) {
+                self.send(ctx, to, Body::Vm(frame));
+            }
+            self.outbox_scratch = outbox;
         }
-        self.outbox_scratch = outbox;
         let mut completed = std::mem::take(&mut self.completed_scratch);
         self.vm.drain_completed_into(&mut completed);
         let mut freed_items: Vec<ItemId> = Vec::new();
@@ -1145,6 +1220,29 @@ impl SiteNode {
     // ---- Vm arrivals (receiver side) ---------------------------------------
 
     fn handle_vm(&mut self, from: NodeId, frame: Frame, ctx: &mut Context<'_, ProtoMsg>) {
+        self.process_vm_frame(from, frame, ctx);
+        self.flush_vm(ctx);
+    }
+
+    /// Process one arriving datagram: every coalesced frame in order,
+    /// then a single flush — so all acceptances the datagram causes are
+    /// hardened by one force and answered by (at most) one datagram per
+    /// peer, exactly the amortization the batching exists for.
+    fn handle_vm_datagram(
+        &mut self,
+        from: NodeId,
+        wire: WireDatagram,
+        ctx: &mut Context<'_, ProtoMsg>,
+    ) {
+        let datagram = wire.decode();
+        self.vm.begin_datagram(datagram.id);
+        for frame in datagram.frames {
+            self.process_vm_frame(from, frame, ctx);
+        }
+        self.flush_vm(ctx);
+    }
+
+    fn process_vm_frame(&mut self, from: NodeId, frame: Frame, ctx: &mut Context<'_, ProtoMsg>) {
         let receipt = self.vm.on_frame(from, frame);
         if let Receipt::Fresh { seq, payload } = receipt {
             let transfer = match Transfer::from_bytes(&payload) {
@@ -1171,7 +1269,6 @@ impl SiteNode {
                 }
             }
         }
-        self.flush_vm(ctx);
     }
 
     /// Durably accept a transfer: `[database-actions]` + `Accepted` op.
@@ -1282,7 +1379,7 @@ impl SiteNode {
     /// storage.
     pub fn rebuilt_durable_state(&self) -> (FragmentStore, VmEndpoint) {
         let mut frags = FragmentStore::new(self.initial_quotas.len());
-        let mut vm = VmEndpoint::new(self.id, self.cfg.vm);
+        let mut vm = VmEndpoint::new(self.id, Self::vm_config(&self.cfg));
         if let Some(cp) = self.checkpoint.load() {
             frags.restore(&cp.snapshot.frag_vals, &cp.snapshot.frag_ts);
             vm.restore(&cp.snapshot.vm);
@@ -1350,6 +1447,7 @@ impl Node for SiteNode {
         self.clock.observe_counter(msg.lamport);
         match msg.body {
             Body::Vm(frame) => self.handle_vm(from, frame, ctx),
+            Body::VmDatagram(wire) => self.handle_vm_datagram(from, wire, ctx),
             Body::Request {
                 txn,
                 item,
@@ -1392,6 +1490,17 @@ impl Node for SiteNode {
                     self.vm.tick();
                 }
                 self.flush_vm(ctx);
+            }
+            TAG_DELAYED_ACK => {
+                let peer = payload as NodeId;
+                if !self.ack_timers.remove(&peer) {
+                    return; // stale timer from before a crash
+                }
+                // The ack-delay window closed without reverse data traffic
+                // to piggyback on: ship the owed ack standalone.
+                if self.vm.flush_owed_ack(peer) {
+                    self.flush_vm(ctx);
+                }
             }
             TAG_TIMEOUT => {
                 let ts = Ts(payload);
@@ -1473,6 +1582,9 @@ impl Node for SiteNode {
         self.vm_item.clear();
         self.clock.crash_reset();
         self.retransmit_armed = false;
+        // Owed acks died with the endpoint's volatile state; pre-crash
+        // delayed-ack timers become stale (the firing checks this set).
+        self.ack_timers.clear();
         // What remains of the site *is* its durable log; materialize that
         // view immediately so the site's observable state (fragments, Vm
         // cursors) equals stable storage for the whole downtime. This is

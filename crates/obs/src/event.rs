@@ -106,6 +106,10 @@ pub enum EventKind {
         vseq: u64,
         /// True for retransmissions.
         retransmit: bool,
+        /// Wire datagram the frame rides in (per-(site, peer) sequence
+        /// number; 0 when link-level coalescing is off — the field is
+        /// then omitted from the JSONL encoding).
+        datagram: u64,
     },
     /// A Vm frame arrived and was classified by the receive window.
     VmAccept {
@@ -115,6 +119,9 @@ pub enum EventKind {
         vseq: u64,
         /// Receipt class: "fresh", "duplicate", "out_of_order".
         receipt: &'static str,
+        /// Wire datagram the frame arrived in (0 = non-coalesced frame;
+        /// omitted from the JSONL encoding).
+        datagram: u64,
     },
     /// A cumulative ack left this site.
     VmAck {
@@ -122,6 +129,10 @@ pub enum EventKind {
         to: u32,
         /// Everything ≤ this vseq is acknowledged.
         upto: u64,
+        /// Wire datagram carrying the ack — the one it piggybacks on, or
+        /// the ack-only datagram flushed by the delayed-ack timer (0 =
+        /// non-coalesced standalone frame; omitted from the encoding).
+        datagram: u64,
     },
 
     // --- storage / checkpoint -------------------------------------
@@ -258,24 +269,37 @@ impl Event {
                 to,
                 vseq,
                 retransmit,
+                datagram,
             } => {
                 let _ = write!(
                     s,
                     ",\"to\":{to},\"vseq\":{vseq},\"retransmit\":{retransmit}"
                 );
+                // Only coalesced traffic has a datagram id; omitting the
+                // field otherwise keeps pre-coalescing traces bytewise.
+                if *datagram != 0 {
+                    let _ = write!(s, ",\"datagram\":{datagram}");
+                }
             }
             EventKind::VmAccept {
                 from,
                 vseq,
                 receipt,
+                datagram,
             } => {
                 let _ = write!(
                     s,
                     ",\"from\":{from},\"vseq\":{vseq},\"receipt\":\"{receipt}\""
                 );
+                if *datagram != 0 {
+                    let _ = write!(s, ",\"datagram\":{datagram}");
+                }
             }
-            EventKind::VmAck { to, upto } => {
+            EventKind::VmAck { to, upto, datagram } => {
                 let _ = write!(s, ",\"to\":{to},\"upto\":{upto}");
+                if *datagram != 0 {
+                    let _ = write!(s, ",\"datagram\":{datagram}");
+                }
             }
             EventKind::LogForce { stable_len } => {
                 let _ = write!(s, ",\"stable_len\":{stable_len}");
@@ -356,6 +380,37 @@ mod tests {
         assert!(lines[0].contains("\"seed\":5"));
         assert!(lines[0].contains("\"events\":2"));
         assert!(lines[2].ends_with("\"ev\":\"crash\"}"));
+    }
+
+    #[test]
+    fn datagram_field_is_omitted_when_zero() {
+        let bare = Event {
+            at_us: 10,
+            site: 1,
+            kind: EventKind::VmSend {
+                to: 2,
+                vseq: 5,
+                retransmit: false,
+                datagram: 0,
+            },
+        };
+        assert_eq!(
+            bare.to_json(),
+            "{\"t\":10,\"site\":1,\"ev\":\"vm_send\",\"to\":2,\"vseq\":5,\"retransmit\":false}"
+        );
+        let coalesced = Event {
+            at_us: 10,
+            site: 1,
+            kind: EventKind::VmAck {
+                to: 2,
+                upto: 5,
+                datagram: 3,
+            },
+        };
+        assert_eq!(
+            coalesced.to_json(),
+            "{\"t\":10,\"site\":1,\"ev\":\"vm_ack\",\"to\":2,\"upto\":5,\"datagram\":3}"
+        );
     }
 
     #[test]

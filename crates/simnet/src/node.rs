@@ -23,7 +23,7 @@ impl TimerId {
 /// Buffered side effect.
 #[derive(Debug)]
 pub(crate) enum Action<M> {
-    Send { to: NodeId, msg: M },
+    Send { to: NodeId, msg: M, frames: u64 },
     SetTimer { id: TimerId, at: SimTime, tag: u64 },
     CancelTimer { id: TimerId },
     CrashSelf,
@@ -73,7 +73,17 @@ impl<'a, M> Context<'a, M> {
     /// Send `msg` to `to`. Delivery (or loss) is decided by the network
     /// model; the sender learns nothing either way.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.actions.push(Action::Send { to, msg });
+        self.actions.push(Action::Send { to, msg, frames: 1 });
+    }
+
+    /// Send `msg` to `to`, declaring that it coalesces `frames` logical
+    /// protocol frames into one transmission (link-level batching). The
+    /// kernel treats it as a single wire event — one delay draw, one
+    /// loss/duplication decision — but accounts all `frames` in
+    /// [`NetStats::frames_sent`](crate::stats::NetStats::frames_sent) so
+    /// logical message traffic stays comparable across batching modes.
+    pub fn send_frames(&mut self, to: NodeId, msg: M, frames: u64) {
+        self.actions.push(Action::Send { to, msg, frames });
     }
 
     /// Send the same message to every listed destination.
@@ -184,7 +194,14 @@ mod tests {
         let t = ctx.set_timer(SimDuration::millis(5), 77);
         ctx.cancel_timer(t);
         assert_eq!(ctx.actions.len(), 3);
-        assert!(matches!(ctx.actions[0], Action::Send { to: 1, msg: 10 }));
+        assert!(matches!(
+            ctx.actions[0],
+            Action::Send {
+                to: 1,
+                msg: 10,
+                frames: 1
+            }
+        ));
         assert!(matches!(ctx.actions[1], Action::SetTimer { id, tag: 77, .. } if id == t));
         assert!(matches!(ctx.actions[2], Action::CancelTimer { id } if id == t));
     }

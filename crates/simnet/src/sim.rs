@@ -375,7 +375,7 @@ impl<N: Node> Simulation<N> {
                 continue; // effects requested after the crashpoint never happen
             }
             match a {
-                Action::Send { to, msg } => self.transmit(id, to, msg),
+                Action::Send { to, msg, frames } => self.transmit(id, to, msg, frames),
                 Action::SetTimer { id: tid, at, tag } => {
                     debug_assert!(at >= self.now, "cannot schedule into the past");
                     self.timers.schedule(TimerEntry {
@@ -421,8 +421,9 @@ impl<N: Node> Simulation<N> {
         self.scratch = actions;
     }
 
-    fn transmit(&mut self, from: NodeId, to: NodeId, msg: N::Msg) {
+    fn transmit(&mut self, from: NodeId, to: NodeId, msg: N::Msg, frames: u64) {
         self.stats.sent += 1;
+        self.stats.frames_sent += frames;
         self.trace.record(TraceEvent::Sent {
             at: self.now,
             from,

@@ -7,8 +7,13 @@
 /// Counters maintained by the simulation kernel.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
-    /// Messages handed to the network by nodes.
+    /// Messages (wire transmissions) handed to the network by nodes. A
+    /// coalesced datagram counts once however many frames it carries.
     pub sent: u64,
+    /// Logical protocol frames handed to the network: plain sends count
+    /// 1; a coalesced datagram counts its declared frame total (see
+    /// `Context::send_frames`). Equals `sent` when no node batches.
+    pub frames_sent: u64,
     /// Message deliveries performed (duplicates count individually).
     pub delivered: u64,
     /// Messages dropped by random loss.

@@ -27,6 +27,18 @@ pub struct Channel {
     /// (this is the cumulative ack we advertise). Durable via
     /// `VmLogOp::Accepted`.
     pub(crate) accepted_in: Seq,
+    /// Highest sequence number ever handed to the wire (first
+    /// transmission, not retransmits). Volatile retransmit-pacing state
+    /// used only under coalescing.
+    pub(crate) highest_sent: Seq,
+    /// Retransmit-eligibility watermark under coalescing: at a tick,
+    /// only already-sent frames with `seq <= retx_before` are
+    /// retransmitted — frames first sent *since the previous tick* get
+    /// one tick of grace, so an ack in flight (data delay + delayed-ack
+    /// window + ack delay can exceed one retransmit period) isn't raced
+    /// by a pointless retransmission. Volatile; `0` after recovery means
+    /// everything outstanding retransmits promptly.
+    pub(crate) retx_before: Seq,
 }
 
 impl Channel {

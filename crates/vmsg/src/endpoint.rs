@@ -1,6 +1,7 @@
 //! The per-site Vm endpoint.
 
 use crate::channel::{Channel, Classify, Seq};
+use crate::codec::{frame_wire_len, WireDatagram, ACK_FRAME_LEN, DATAGRAM_HEADER_LEN};
 use crate::frame::Frame;
 use crate::logop::VmLogOp;
 use crate::stats::VmStats;
@@ -21,6 +22,14 @@ pub struct VmConfig {
     /// piggyback on. Costs messages, cuts sender-state lifetime (ablation
     /// knob; the paper assumes piggybacking only).
     pub eager_acks: bool,
+    /// Link-level coalescing: instead of one wire message per frame, the
+    /// host drains [`drain_datagrams_into`](VmEndpoint::drain_datagrams_into)
+    /// — one [`WireDatagram`] per peer per flush boundary — and eager
+    /// acks become *owed* acks that fold into the next outgoing datagram
+    /// (or are flushed standalone by the host's delayed-ack timer via
+    /// [`flush_owed_ack`](VmEndpoint::flush_owed_ack)). Off by default at
+    /// this layer so the endpoint stands alone; hosts that batch opt in.
+    pub coalesce: bool,
 }
 
 impl Default for VmConfig {
@@ -28,6 +37,7 @@ impl Default for VmConfig {
         VmConfig {
             window: 16,
             eager_acks: true,
+            coalesce: false,
         }
     }
 }
@@ -94,6 +104,15 @@ pub struct VmEndpoint {
     outbox: Vec<(SiteId, Frame)>,
     /// Vms whose lifecycle completed since the last drain (peer, seq).
     completed: Vec<(SiteId, Seq)>,
+    /// Peers owed a standalone ack (coalesce mode only): the ack rides
+    /// the next data datagram that way, or a delayed-ack flush.
+    ack_owed: BTreeSet<SiteId>,
+    /// Next outgoing datagram id per peer (coalesce mode only; ids are
+    /// 1-based and per-(site, peer)).
+    next_datagram: BTreeMap<SiteId, u64>,
+    /// Id of the incoming datagram currently being processed (set by
+    /// [`begin_datagram`](Self::begin_datagram); 0 = non-coalesced frame).
+    in_datagram: u64,
     stats: VmStats,
     /// Structured-observability handle (disabled by default; the host
     /// shares the cluster-wide handle via [`VmEndpoint::set_obs`]).
@@ -110,6 +129,9 @@ impl VmEndpoint {
             dirty: BTreeSet::new(),
             outbox: Vec::new(),
             completed: Vec::new(),
+            ack_owed: BTreeSet::new(),
+            next_datagram: BTreeMap::new(),
+            in_datagram: 0,
             stats: VmStats::default(),
             obs: Obs::disabled(),
         }
@@ -152,19 +174,21 @@ impl VmEndpoint {
         // Transmit immediately only if within the window.
         let window_base = self.chan(to).acked_out;
         if seq <= window_base + self.cfg.window as Seq {
-            self.outbox.push((
-                to,
-                Frame::Data {
-                    seq,
-                    ack,
-                    payload: payload.clone(),
-                },
-            ));
+            let frame = Frame::Data {
+                seq,
+                ack,
+                payload: payload.clone(),
+            };
             self.stats.data_frames_sent += 1;
+            self.stats.bytes_sent += frame_wire_len(&frame) as u64;
+            self.outbox.push((to, frame));
+            self.chan(to).highest_sent = seq;
+            let datagram = self.pending_datagram_id(to);
             self.obs.emit_with(self.me as u32, || EventKind::VmSend {
                 to: to as u32,
                 vseq: seq,
                 retransmit: false,
+                datagram,
             });
         }
         VmLogOp::Created { to, seq, payload }
@@ -195,6 +219,7 @@ impl VmEndpoint {
             self.completed
                 .extend(released.into_iter().map(|s| (from, s)));
         }
+        let datagram = self.in_datagram;
         match frame {
             Frame::Ack { .. } => Receipt::AckOnly,
             Frame::Data { seq, payload, .. } => match self.chan(from).classify(seq) {
@@ -204,6 +229,7 @@ impl VmEndpoint {
                         from: from as u32,
                         vseq: seq,
                         receipt: "duplicate",
+                        datagram,
                     });
                     // Refresh the ack so the sender can stop resending.
                     if self.cfg.eager_acks {
@@ -217,6 +243,7 @@ impl VmEndpoint {
                         from: from as u32,
                         vseq: seq,
                         receipt: "out_of_order",
+                        datagram,
                     });
                     Receipt::OutOfOrder
                 }
@@ -225,6 +252,7 @@ impl VmEndpoint {
                         from: from as u32,
                         vseq: seq,
                         receipt: "fresh",
+                        datagram,
                     });
                     Receipt::Fresh { seq, payload }
                 }
@@ -253,12 +281,22 @@ impl VmEndpoint {
     }
 
     fn queue_ack(&mut self, peer: SiteId) {
+        if self.cfg.coalesce {
+            // Delayed-ack policy: mark the ack *owed*. It folds into the
+            // next outgoing datagram toward `peer` (data frames always
+            // carry the current cumulative ack), or the host's delayed-
+            // ack timer flushes it standalone via `flush_owed_ack`.
+            self.ack_owed.insert(peer);
+            return;
+        }
         let ack = self.chan(peer).accepted_in;
         self.outbox.push((peer, Frame::Ack { ack }));
         self.stats.ack_frames_sent += 1;
+        self.stats.bytes_sent += ACK_FRAME_LEN as u64;
         self.obs.emit_with(self.me as u32, || EventKind::VmAck {
             to: peer as u32,
             upto: ack,
+            datagram: 0,
         });
     }
 
@@ -277,35 +315,59 @@ impl VmEndpoint {
             chans,
             dirty,
             outbox,
+            next_datagram,
             stats,
             obs,
             ..
         } = self;
         stats.idle_channels_skipped += (chans.len() - dirty.len()) as u64;
         for &peer in dirty.iter() {
-            let chan = &chans[&peer];
+            let chan = chans.get_mut(&peer).expect("dirty channels exist");
             let base = chan.acked_out;
+            let ack = chan.accepted_in;
+            let datagram = if cfg.coalesce {
+                next_datagram.get(&peer).copied().unwrap_or(0) + 1
+            } else {
+                0
+            };
+            let highest_sent = chan.highest_sent;
+            let retx_before = chan.retx_before;
+            let mut max_in_window = highest_sent;
             for (&seq, payload) in chan
                 .outgoing
                 .iter()
                 .take_while(|(&s, _)| s <= base + cfg.window as Seq)
             {
-                outbox.push((
-                    peer,
-                    Frame::Data {
-                        seq,
-                        ack: chan.accepted_in,
-                        payload: payload.clone(),
-                    },
-                ));
+                max_in_window = max_in_window.max(seq);
+                // Coalescing pacing: a frame first sent since the previous
+                // tick gets one tick of grace — its ack may still be
+                // sitting in the receiver's delayed-ack window, and
+                // retransmitting into that race only burns datagrams.
+                // First transmissions (frames the window just admitted)
+                // always go out.
+                if cfg.coalesce && seq <= highest_sent && seq > retx_before {
+                    continue;
+                }
+                let frame = Frame::Data {
+                    seq,
+                    ack,
+                    payload: payload.clone(),
+                };
                 stats.retransmissions += 1;
                 stats.data_frames_sent += 1;
+                stats.bytes_sent += frame_wire_len(&frame) as u64;
+                outbox.push((peer, frame));
                 obs.emit_with(*me as u32, || EventKind::VmSend {
                     to: peer as u32,
                     vseq: seq,
                     retransmit: true,
+                    datagram,
                 });
             }
+            // Everything in the window has now been handed to the wire at
+            // least once; all of it is fair game at the next tick.
+            chan.highest_sent = max_in_window;
+            chan.retx_before = max_in_window;
         }
     }
 
@@ -321,6 +383,107 @@ impl VmEndpoint {
     /// occasional callers and doc examples).
     pub fn drain_outbox_into(&mut self, out: &mut Vec<(SiteId, Frame)>) {
         out.append(&mut self.outbox);
+    }
+
+    // ---- link-level coalescing ---------------------------------------------
+
+    /// The datagram id the next drained datagram toward `peer` will get
+    /// (0 when coalescing is off). Frames queued now ride exactly that
+    /// datagram — the host drains at every flush boundary — so `VmSend`
+    /// events can carry the id before the datagram is assembled.
+    fn pending_datagram_id(&self, peer: SiteId) -> u64 {
+        if !self.cfg.coalesce {
+            return 0;
+        }
+        self.next_datagram.get(&peer).copied().unwrap_or(0) + 1
+    }
+
+    /// Drain all queued frames as **one encoded datagram per peer**,
+    /// appending `(peer, datagram)` pairs to `out`. Per-peer frame order
+    /// is preserved; each data frame's piggybacked ack is refreshed to
+    /// the current cumulative cursor, and any *owed* standalone ack
+    /// toward a peer with outgoing data is folded away (counted in
+    /// [`VmStats::bytes_acked_piggyback`]). Owed acks toward peers with
+    /// no outgoing data stay owed — the host's delayed-ack timer flushes
+    /// them via [`flush_owed_ack`](Self::flush_owed_ack).
+    pub fn drain_datagrams_into(&mut self, out: &mut Vec<(SiteId, WireDatagram)>) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let mut frames = std::mem::take(&mut self.outbox);
+        // Group per peer, preserving per-peer FIFO order.
+        let mut by_peer: BTreeMap<SiteId, Vec<Frame>> = BTreeMap::new();
+        for (to, f) in frames.drain(..) {
+            by_peer.entry(to).or_default().push(f);
+        }
+        self.outbox = frames; // keep the allocation
+        for (to, mut group) in by_peer {
+            let id = {
+                let c = self.next_datagram.entry(to).or_insert(0);
+                *c += 1;
+                *c
+            };
+            let ack_now = self.chans.get(&to).map_or(0, |c| c.accepted_in);
+            let mut has_data = false;
+            for f in &mut group {
+                if let Frame::Data { ack, .. } = f {
+                    *ack = ack_now;
+                    has_data = true;
+                }
+            }
+            if has_data && self.ack_owed.remove(&to) {
+                // The owed standalone ack rides the data frames for free.
+                self.stats.bytes_acked_piggyback += ACK_FRAME_LEN as u64;
+                self.obs.emit_with(self.me as u32, || EventKind::VmAck {
+                    to: to as u32,
+                    upto: ack_now,
+                    datagram: id,
+                });
+            }
+            let wire = WireDatagram::encode(id, &group);
+            self.stats.datagrams_sent += 1;
+            self.stats.bytes_sent += DATAGRAM_HEADER_LEN as u64;
+            out.push((to, wire));
+        }
+    }
+
+    /// Flush an owed ack toward `peer` as a standalone `Ack` frame
+    /// (queued; the next [`drain_datagrams_into`](Self::drain_datagrams_into)
+    /// ships it as an ack-only datagram). Returns whether an ack was
+    /// actually owed. The host calls this when its delayed-ack window
+    /// expires without reverse data traffic having piggybacked the ack.
+    pub fn flush_owed_ack(&mut self, peer: SiteId) -> bool {
+        if !self.ack_owed.remove(&peer) {
+            return false;
+        }
+        let ack = self.chan(peer).accepted_in;
+        self.outbox.push((peer, Frame::Ack { ack }));
+        self.stats.ack_frames_sent += 1;
+        self.stats.bytes_sent += ACK_FRAME_LEN as u64;
+        let datagram = self.pending_datagram_id(peer);
+        self.obs.emit_with(self.me as u32, || EventKind::VmAck {
+            to: peer as u32,
+            upto: ack,
+            datagram,
+        });
+        true
+    }
+
+    /// Peers currently owed a standalone ack (the host arms one delayed-
+    /// ack timer per owed peer after each flush).
+    pub fn owed_ack_peers(&self) -> impl Iterator<Item = SiteId> + '_ {
+        self.ack_owed.iter().copied()
+    }
+
+    /// Whether `peer` is owed a standalone ack.
+    pub fn has_owed_ack(&self, peer: SiteId) -> bool {
+        self.ack_owed.contains(&peer)
+    }
+
+    /// Mark the start of processing an incoming datagram: subsequent
+    /// `VmAccept` events carry `id` until the next datagram begins.
+    pub fn begin_datagram(&mut self, id: u64) {
+        self.in_datagram = id;
     }
 
     /// Take the `(peer, seq)` pairs whose lifecycles completed (cumulative
@@ -371,6 +534,11 @@ impl VmEndpoint {
         self.dirty.clear();
         self.outbox.clear();
         self.completed.clear();
+        self.ack_owed.clear();
+        self.in_datagram = 0;
+        // `next_datagram` survives: it is pure wire-level numbering, and
+        // keeping it monotone means datagram ids in a trace never repeat
+        // for a (site, peer) pair across crashes.
         self.stats.crash_resets += 1;
     }
 
@@ -592,7 +760,7 @@ mod tests {
     fn window_limits_transmission_not_creation() {
         let cfg = VmConfig {
             window: 2,
-            eager_acks: true,
+            ..VmConfig::default()
         };
         let mut s = VmEndpoint::new(0, cfg);
         let mut r = VmEndpoint::new(1, cfg);
@@ -803,11 +971,149 @@ mod tests {
         assert!(matches!(op, crate::VmLogOp::Created { seq: 3, .. }));
     }
 
+    fn coalescing_cfg() -> VmConfig {
+        VmConfig {
+            coalesce: true,
+            ..VmConfig::default()
+        }
+    }
+
+    /// Deliver every drained datagram of `a` to `b`, returning receipts.
+    fn flush_datagrams(a: &mut VmEndpoint, b: &mut VmEndpoint) -> Vec<Receipt> {
+        let mut dgrams = Vec::new();
+        a.drain_datagrams_into(&mut dgrams);
+        let mut receipts = Vec::new();
+        for (to, wire) in dgrams {
+            assert_eq!(to, b.site());
+            let d = wire.decode();
+            b.begin_datagram(d.id);
+            for f in d.frames {
+                receipts.push(b.on_frame(a.site(), f));
+            }
+        }
+        receipts
+    }
+
+    #[test]
+    fn coalesced_drain_builds_one_datagram_per_peer() {
+        let mut s = VmEndpoint::new(0, coalescing_cfg());
+        let _ = s.create(1, b("a"));
+        let _ = s.create(2, b("b"));
+        let _ = s.create(1, b("c"));
+        let mut dgrams = Vec::new();
+        s.drain_datagrams_into(&mut dgrams);
+        assert_eq!(dgrams.len(), 2, "one datagram per peer");
+        let to1 = &dgrams.iter().find(|(to, _)| *to == 1).unwrap().1;
+        assert_eq!(to1.frame_count(), 2, "both frames toward 1 coalesced");
+        assert_eq!(to1.decode().id, 1, "ids are 1-based per peer");
+        assert_eq!(s.stats().datagrams_sent, 2);
+        assert!(s.stats().bytes_sent > 0);
+        // Per-channel FIFO order survives the coalescing.
+        let seqs: Vec<Seq> = to1
+            .decode()
+            .frames
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Data { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn coalesced_lifecycle_with_owed_ack_piggyback() {
+        let mut s = VmEndpoint::new(0, coalescing_cfg());
+        let mut r = VmEndpoint::new(1, coalescing_cfg());
+        let _ = s.create(1, b("x"));
+        for receipt in flush_datagrams(&mut s, &mut r) {
+            if let Receipt::Fresh { seq, .. } = receipt {
+                r.commit_accept(0, seq);
+            }
+        }
+        // The eager ack became an *owed* ack — nothing on the wire yet.
+        assert!(r.has_owed_ack(0));
+        let mut none = Vec::new();
+        r.drain_datagrams_into(&mut none);
+        assert!(none.is_empty(), "owed ack alone does not build a datagram");
+        // Reverse data traffic folds it in for free.
+        let _ = r.create(0, b("reverse"));
+        let mut dgrams = Vec::new();
+        r.drain_datagrams_into(&mut dgrams);
+        assert_eq!(dgrams.len(), 1);
+        assert!(!r.has_owed_ack(0), "owed ack folded into the datagram");
+        assert_eq!(r.stats().bytes_acked_piggyback, ACK_FRAME_LEN as u64);
+        assert_eq!(r.stats().ack_frames_sent, 0, "no standalone ack frame");
+        let d = dgrams[0].1.decode();
+        match &d.frames[0] {
+            Frame::Data { ack, .. } => assert_eq!(*ack, 1, "refreshed piggyback ack"),
+            other => panic!("expected data frame, got {other:?}"),
+        }
+        // Delivering it releases the sender's outgoing state.
+        for (_, wire) in dgrams {
+            let d = wire.decode();
+            s.begin_datagram(d.id);
+            for f in d.frames {
+                s.on_frame(1, f);
+            }
+        }
+        assert!(!s.has_outstanding());
+    }
+
+    #[test]
+    fn owed_ack_flushes_standalone_on_delayed_ack_timer() {
+        let mut s = VmEndpoint::new(0, coalescing_cfg());
+        let mut r = VmEndpoint::new(1, coalescing_cfg());
+        let _ = s.create(1, b("x"));
+        for receipt in flush_datagrams(&mut s, &mut r) {
+            if let Receipt::Fresh { seq, .. } = receipt {
+                r.commit_accept(0, seq);
+            }
+        }
+        assert_eq!(r.owed_ack_peers().collect::<Vec<_>>(), vec![0]);
+        // No reverse traffic: the host's delayed-ack timer fires.
+        assert!(r.flush_owed_ack(0));
+        assert!(!r.flush_owed_ack(0), "second flush finds nothing owed");
+        let mut dgrams = Vec::new();
+        r.drain_datagrams_into(&mut dgrams);
+        assert_eq!(dgrams.len(), 1);
+        let d = dgrams[0].1.decode();
+        assert_eq!(d.frames, vec![Frame::Ack { ack: 1 }]);
+        assert_eq!(r.stats().ack_frames_sent, 1);
+        for (_, wire) in dgrams {
+            let d = wire.decode();
+            s.begin_datagram(d.id);
+            for f in d.frames {
+                s.on_frame(1, f);
+            }
+        }
+        assert!(!s.has_outstanding());
+    }
+
+    #[test]
+    fn datagram_ids_stay_monotone_across_crash() {
+        let mut s = VmEndpoint::new(0, coalescing_cfg());
+        let op = s.create(1, b("a"));
+        let mut dgrams = Vec::new();
+        s.drain_datagrams_into(&mut dgrams);
+        assert_eq!(dgrams[0].1.decode().id, 1);
+        s.crash_reset();
+        s.replay(&op);
+        s.tick();
+        dgrams.clear();
+        s.drain_datagrams_into(&mut dgrams);
+        assert_eq!(
+            dgrams[0].1.decode().id,
+            2,
+            "post-crash datagrams continue the id sequence"
+        );
+    }
+
     #[test]
     fn piggyback_only_mode_sends_no_ack_frames() {
         let cfg = VmConfig {
-            window: 16,
             eager_acks: false,
+            ..VmConfig::default()
         };
         let mut s = VmEndpoint::new(0, cfg);
         let mut r = VmEndpoint::new(1, cfg);

@@ -45,12 +45,14 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod codec;
 pub mod endpoint;
 pub mod frame;
 pub mod logop;
 pub mod stats;
 
 pub use channel::Seq;
+pub use codec::{Datagram, WireDatagram};
 pub use endpoint::{ChannelSnapshot, Receipt, VmConfig, VmEndpoint};
 pub use frame::Frame;
 pub use logop::VmLogOp;

@@ -26,9 +26,37 @@ pub struct VmStats {
     /// Channels a retransmit tick did *not* visit because they had no
     /// in-flight Vms (idle-aware retransmission).
     pub idle_channels_skipped: u64,
+    /// Coalesced wire datagrams put on the network (0 unless
+    /// [`coalesce`](crate::endpoint::VmConfig::coalesce) is on).
+    pub datagrams_sent: u64,
+    /// Total encoded wire bytes sent: every frame's encoded size, plus
+    /// one datagram header per datagram when coalescing.
+    pub bytes_sent: u64,
+    /// Wire bytes *saved* by folding owed standalone acks into outgoing
+    /// data datagrams (each fold avoids one encoded ack frame).
+    pub bytes_acked_piggyback: u64,
 }
 
 impl VmStats {
+    /// Accumulate another endpoint's counters into this one (used for
+    /// cluster-wide aggregation in reports).
+    pub fn absorb(&mut self, o: &VmStats) {
+        self.created += o.created;
+        self.accepted += o.accepted;
+        self.completed += o.completed;
+        self.data_frames_sent += o.data_frames_sent;
+        self.retransmissions += o.retransmissions;
+        self.ack_frames_sent += o.ack_frames_sent;
+        self.acks_effective += o.acks_effective;
+        self.duplicates_discarded += o.duplicates_discarded;
+        self.out_of_order_discarded += o.out_of_order_discarded;
+        self.crash_resets += o.crash_resets;
+        self.idle_channels_skipped += o.idle_channels_skipped;
+        self.datagrams_sent += o.datagrams_sent;
+        self.bytes_sent += o.bytes_sent;
+        self.bytes_acked_piggyback += o.bytes_acked_piggyback;
+    }
+
     /// Real messages per completed Vm — the paper's "message traffic"
     /// metric. Returns 0.0 when nothing completed.
     pub fn frames_per_completed(&self) -> f64 {

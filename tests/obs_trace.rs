@@ -33,15 +33,17 @@ fn golden_trace_is_byte_identical_across_runs() {
     assert_eq!(a, b, "same scenario + seed must export identical bytes");
 }
 
-/// `group_commit: false` reproduces the original per-record forcing
+/// `group_commit: false` + `coalesce: false` reproduces the original
+/// per-record forcing and one-transmission-per-frame wire behaviour
 /// byte-for-byte: the trace must match the golden file captured before
-/// group commit existed. If this fails, the non-batched path changed
+/// either optimisation existed. If this fails, the legacy path changed
 /// observable behaviour — which it must never do.
 #[test]
 fn non_batched_trace_matches_pre_group_commit_golden() {
     let got = soliciting_scenario()
         .site(SiteConfig {
             group_commit: false,
+            coalesce: false,
             ..SiteConfig::default()
         })
         .run()
@@ -50,13 +52,21 @@ fn non_batched_trace_matches_pre_group_commit_golden() {
     assert_eq!(got, golden, "non-batched trace diverged from the golden");
 }
 
-/// Group commit (the default) coalesces forces: the same scenario must
-/// emit strictly fewer `log_force` events than per-record forcing, while
-/// every protocol-level event (commits, solicits, donations, Vm traffic)
-/// stays identical.
+/// Group commit coalesces forces: the same scenario must emit strictly
+/// fewer `log_force` events than per-record forcing, while every
+/// protocol-level event (commits, solicits, donations, Vm traffic)
+/// stays identical. Wire coalescing is pinned off on both sides so the
+/// comparison isolates group commit (coalescing changes the Vm event
+/// stream by design — delayed acks merge, retransmit pacing differs).
 #[test]
 fn group_commit_reduces_forces_without_touching_protocol_events() {
-    let batched = soliciting_scenario().run().trace_jsonl();
+    let batched = soliciting_scenario()
+        .site(SiteConfig {
+            coalesce: false,
+            ..SiteConfig::default()
+        })
+        .run()
+        .trace_jsonl();
     let golden = include_str!("golden/obs_solicit_nobatch.jsonl");
     let count = |s: &str, ev: &str| s.matches(ev).count();
     assert!(

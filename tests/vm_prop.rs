@@ -4,7 +4,7 @@
 //! total transferred amount is conserved.
 
 use bytes::Bytes;
-use dvp::vmsg::{Frame, Receipt, VmConfig, VmEndpoint};
+use dvp::vmsg::{Frame, Receipt, VmConfig, VmEndpoint, WireDatagram};
 use proptest::prelude::*;
 
 /// One adversarial step applied to the channel between two endpoints.
@@ -52,7 +52,7 @@ proptest! {
     fn adversarial_schedules_never_lose_or_double_value(
         steps in proptest::collection::vec(step_strategy(), 1..120)
     ) {
-        let cfg = VmConfig { window: 4, eager_acks: true };
+        let cfg = VmConfig { window: 4, eager_acks: true, coalesce: false };
         let mut sender = VmEndpoint::new(0, cfg);
         let mut receiver = VmEndpoint::new(1, cfg);
         let mut wire = Wire::default();
@@ -147,7 +147,7 @@ proptest! {
         crash_sender_at in 0usize..12,
         crash_receiver_at in 0usize..12,
     ) {
-        let cfg = VmConfig { window: 8, eager_acks: true };
+        let cfg = VmConfig { window: 8, eager_acks: true, coalesce: false };
         let mut sender = VmEndpoint::new(0, cfg);
         let mut receiver = VmEndpoint::new(1, cfg);
         let mut sender_log = Vec::new();   // durable Created ops
@@ -204,4 +204,222 @@ proptest! {
         prop_assert!(!sender.has_outstanding());
         prop_assert_eq!(accepted_total, created_total);
     }
+
+    /// Datagram-granularity adversary: with link-level coalescing the
+    /// unit of loss, duplication, and reordering is the *datagram* (one
+    /// encoded frame batch), not the frame. Whatever the schedule, the
+    /// receiver must accept each Vm exactly once, in dense per-channel
+    /// FIFO order, and every fresh acceptance must land inside the
+    /// oracle window `(acked, created]` of the sender's channel state.
+    /// Runs both coalesced (wire carries encoded [`WireDatagram`]s) and
+    /// non-coalesced (wire carries bare frames) for the same schedule
+    /// shape.
+    #[test]
+    fn datagram_adversary_preserves_fifo_and_window(
+        steps in proptest::collection::vec(dgram_step_strategy(), 1..100),
+        coalesce in any::<bool>(),
+    ) {
+        let cfg = VmConfig { window: 4, eager_acks: true, coalesce };
+        let mut sender = VmEndpoint::new(0, cfg);
+        let mut receiver = VmEndpoint::new(1, cfg);
+        // The wire: each element is one transmission unit.
+        let mut to_receiver: Vec<Unit> = Vec::new();
+        let mut to_sender: Vec<Unit> = Vec::new();
+        // created/accepted value totals and the FIFO/window oracle.
+        let mut tally = Tally::default();
+
+        // Drain one side's queued traffic onto the wire as units.
+        fn drain(ep: &mut VmEndpoint, expect_to: usize, wire: &mut Vec<Unit>, coalesce: bool) {
+            if coalesce {
+                let mut dgrams = Vec::new();
+                ep.drain_datagrams_into(&mut dgrams);
+                for (to, wd) in dgrams {
+                    assert_eq!(to, expect_to);
+                    wire.push(Unit::Dgram(wd));
+                }
+            } else {
+                for (to, f) in ep.drain_outbox() {
+                    assert_eq!(to, expect_to);
+                    wire.push(Unit::Frame(f));
+                }
+            }
+        }
+
+        // Deliver one unit's frames into an endpoint; returns the frames.
+        fn unpack(ep: &mut VmEndpoint, unit: &Unit) -> Vec<Frame> {
+            match unit {
+                Unit::Dgram(wd) => {
+                    let d = wd.decode();
+                    assert_ne!(d.id, 0, "coalesced datagrams get real ids");
+                    ep.begin_datagram(d.id);
+                    d.frames
+                }
+                Unit::Frame(f) => vec![f.clone()],
+            }
+        }
+
+        let run = |step: &DStep,
+                   sender: &mut VmEndpoint,
+                   receiver: &mut VmEndpoint,
+                   to_receiver: &mut Vec<Unit>,
+                   to_sender: &mut Vec<Unit>,
+                   t: &mut Tally| {
+            match step {
+                DStep::Create(amount) => {
+                    let _op = sender.create(1, Bytes::from(vec![*amount]));
+                    t.created_total += *amount as u64;
+                    t.created_count += 1;
+                }
+                DStep::Tick => sender.tick(),
+                DStep::FlushData => drain(sender, 1, to_receiver, coalesce),
+                DStep::FlushAcks => {
+                    // The delayed-ack timer fires: owed acks go standalone.
+                    if coalesce {
+                        receiver.flush_owed_ack(0);
+                    }
+                    drain(receiver, 0, to_sender, coalesce);
+                }
+                DStep::DeliverData { n, drop_mask, dup_mask, from_back } => {
+                    for k in 0..(*n as usize) {
+                        if to_receiver.is_empty() { break; }
+                        // Reorder by taking from either end of the wire.
+                        let unit = if *from_back & (1 << (k % 8)) != 0 {
+                            to_receiver.pop().unwrap()
+                        } else {
+                            to_receiver.remove(0)
+                        };
+                        if drop_mask & (1 << (k % 8)) != 0 {
+                            continue; // the whole datagram is lost
+                        }
+                        let copies = if dup_mask & (1 << (k % 8)) != 0 { 2 } else { 1 };
+                        for _ in 0..copies {
+                            for f in unpack(receiver, &unit) {
+                                if let Receipt::Fresh { seq, payload } = receiver.on_frame(0, f) {
+                                    // Per-channel FIFO: dense, in order,
+                                    // exactly once.
+                                    assert_eq!(seq, t.last_accepted + 1,
+                                        "fresh acceptance out of FIFO order");
+                                    // Oracle window (acked, created].
+                                    assert!(seq <= t.created_count,
+                                        "accepted a seq never created");
+                                    t.last_accepted = seq;
+                                    t.accepted_total += payload[0] as u64;
+                                    receiver.commit_accept(0, seq);
+                                }
+                            }
+                        }
+                    }
+                }
+                DStep::DeliverAcks { n, drop_mask } => {
+                    for k in 0..(*n as usize) {
+                        if to_sender.is_empty() { break; }
+                        let unit = to_sender.remove(0);
+                        if drop_mask & (1 << (k % 8)) != 0 {
+                            continue;
+                        }
+                        for f in unpack(sender, &unit) {
+                            // Acks carried by the frame must never exceed
+                            // what the receiver durably accepted.
+                            assert!(f.ack() <= t.last_accepted, "ack beyond acceptance");
+                            sender.on_frame(1, f);
+                        }
+                    }
+                }
+            }
+        };
+
+        for step in &steps {
+            run(step, &mut sender, &mut receiver, &mut to_receiver, &mut to_sender, &mut tally);
+        }
+        prop_assert!(tally.accepted_total <= tally.created_total);
+
+        // Reliable drain to quiescence: two ticks per round (the
+        // coalescing retransmit gate gives freshly sent frames one tick
+        // of grace).
+        for _ in 0..2048 {
+            if !sender.has_outstanding() && to_receiver.is_empty() && to_sender.is_empty() {
+                break;
+            }
+            for s in [
+                DStep::Tick,
+                DStep::Tick,
+                DStep::FlushData,
+                DStep::DeliverData { n: 16, drop_mask: 0, dup_mask: 0, from_back: 0 },
+                DStep::FlushAcks,
+                DStep::DeliverAcks { n: 16, drop_mask: 0 },
+            ] {
+                run(&s, &mut sender, &mut receiver, &mut to_receiver, &mut to_sender, &mut tally);
+            }
+        }
+        prop_assert!(!sender.has_outstanding(), "all Vms must complete");
+        prop_assert_eq!(tally.accepted_total, tally.created_total,
+            "exactly-once acceptance of every created amount");
+        prop_assert_eq!(sender.stats().created, receiver.stats().accepted);
+        if coalesce && tally.created_count > 0 {
+            prop_assert!(sender.stats().datagrams_sent > 0);
+        }
+    }
+}
+
+/// Running oracle for the datagram adversary test.
+#[derive(Default)]
+struct Tally {
+    created_total: u64,
+    accepted_total: u64,
+    /// Vms created on the 0→1 channel (the upper window bound).
+    created_count: u64,
+    /// Last seq accepted fresh (the FIFO cursor and lower ack bound).
+    last_accepted: u64,
+}
+
+/// One transmission unit on the adversarial wire: an encoded datagram
+/// (coalesced mode) or a bare frame (legacy mode).
+#[derive(Clone, Debug)]
+enum Unit {
+    Dgram(WireDatagram),
+    Frame(Frame),
+}
+
+/// One adversarial step at datagram granularity.
+#[derive(Clone, Debug)]
+enum DStep {
+    /// Sender mints a Vm carrying `amount`.
+    Create(u8),
+    /// Sender retransmission timer fires.
+    Tick,
+    /// Sender's flush boundary: queued frames leave as datagrams.
+    FlushData,
+    /// Receiver's delayed-ack timer + flush boundary.
+    FlushAcks,
+    /// Deliver up to `n` data units, dropping/duplicating/reordering
+    /// whole datagrams by mask bits.
+    DeliverData {
+        n: u8,
+        drop_mask: u8,
+        dup_mask: u8,
+        from_back: u8,
+    },
+    /// Deliver up to `n` ack units toward the sender, with loss.
+    DeliverAcks { n: u8, drop_mask: u8 },
+}
+
+fn dgram_step_strategy() -> impl Strategy<Value = DStep> {
+    prop_oneof![
+        (1u8..20).prop_map(DStep::Create),
+        Just(DStep::Tick),
+        Just(DStep::FlushData),
+        Just(DStep::FlushAcks),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(
+            |(n, drop_mask, dup_mask, from_back)| DStep::DeliverData {
+                n: n % 8,
+                drop_mask,
+                dup_mask,
+                from_back,
+            }
+        ),
+        (any::<u8>(), any::<u8>()).prop_map(|(n, drop_mask)| DStep::DeliverAcks {
+            n: n % 8,
+            drop_mask
+        }),
+    ]
 }

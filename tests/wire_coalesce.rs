@@ -1,0 +1,103 @@
+//! Wire-coalescing regression tests: link-level frame batching must
+//! (a) measurably cut wire datagrams per transaction on the standard
+//! banking workload, (b) change *nothing* about protocol outcomes —
+//! commits, aborts, and donations stay identical to the per-frame wire
+//! — and (c) stay deterministic: the same scenario and seed reproduce
+//! the same counters run over run.
+//!
+//! Outcome identity is asserted on a fixed-delay reliable network: such
+//! links consume no per-send RNG draws, so changing the *number* of
+//! wire transmissions (which coalescing does by design) cannot shift
+//! any later delay draw. On jittery networks the two modes see
+//! different delay sequences and may decide borderline timeouts
+//! differently — that is network noise, not a protocol change.
+
+use dvp::prelude::*;
+use dvp::workloads::BankingWorkload;
+
+/// The standard banking workload at its default shape.
+fn banking(seed: u64) -> dvp::workloads::Workload {
+    BankingWorkload::default().generate(seed)
+}
+
+/// A reliable network with a fixed 2 ms delay on every link (no RNG).
+fn fixed_net() -> NetworkConfig {
+    NetworkConfig {
+        default_link: LinkConfig::reliable_fixed(SimDuration::millis(2)),
+        ..NetworkConfig::reliable()
+    }
+}
+
+fn run(w: &dvp::workloads::Workload, coalesce: bool, seed: u64) -> RunReport {
+    Scenario::dvp(w)
+        .name(if coalesce {
+            "wire/banking-coalesced"
+        } else {
+            "wire/banking-per-frame"
+        })
+        .site(SiteConfig {
+            coalesce,
+            ..SiteConfig::default()
+        })
+        .net(fixed_net())
+        .seed(seed)
+        .run()
+}
+
+#[test]
+fn coalescing_cuts_datagrams_without_touching_protocol_outcomes() {
+    for seed in [1u64, 7, 42] {
+        let w = banking(seed);
+        let coalesced = run(&w, true, seed);
+        let classic = run(&w, false, seed);
+
+        // Protocol outcomes are untouched on the draw-free network.
+        assert_eq!(coalesced.committed, classic.committed, "seed {seed}");
+        assert_eq!(coalesced.aborted, classic.aborted, "seed {seed}");
+        assert_eq!(coalesced.donations, classic.donations, "seed {seed}");
+        assert_eq!(coalesced.requests, classic.requests, "seed {seed}");
+
+        // The wire is cheaper: the classic mode puts every Vm frame on
+        // the wire individually, the coalesced mode at most one datagram
+        // per (site, peer) flush — and its retransmit pacing plus
+        // delayed acks cut the frame count itself.
+        let classic_vm_frames = classic.messages - classic.requests;
+        assert!(
+            coalesced.datagrams > 0,
+            "seed {seed}: coalescing must actually engage"
+        );
+        assert!(
+            coalesced.datagrams < classic_vm_frames,
+            "seed {seed}: {} datagrams not below {} per-frame vm sends",
+            coalesced.datagrams,
+            classic_vm_frames
+        );
+        assert!(
+            coalesced.messages < classic.messages,
+            "seed {seed}: wire transmissions must drop"
+        );
+
+        let decided = (coalesced.committed + coalesced.aborted).max(1);
+        println!(
+            "seed {seed}: vm wire {classic_vm_frames} frames -> {} datagrams \
+             over {decided} decided ({:.3}/txn), piggybacked {} ack bytes",
+            coalesced.datagrams,
+            coalesced.datagrams as f64 / decided as f64,
+            coalesced.bytes_acked_piggyback
+        );
+    }
+}
+
+#[test]
+fn coalescing_counters_are_stable_across_reruns() {
+    for seed in [1u64, 7, 42] {
+        let w = banking(seed);
+        let a = run(&w, true, seed);
+        let b = run(&w, true, seed);
+        assert_eq!(a.datagrams, b.datagrams, "seed {seed}: datagrams drifted");
+        assert_eq!(a.wire_bytes, b.wire_bytes, "seed {seed}: bytes drifted");
+        assert_eq!(a.messages, b.messages, "seed {seed}");
+        assert_eq!(a.committed, b.committed, "seed {seed}");
+        assert_eq!(a.aborted, b.aborted, "seed {seed}");
+    }
+}
