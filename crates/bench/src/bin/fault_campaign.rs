@@ -1,9 +1,11 @@
 //! `fault_campaign` — the nemesis smoke matrix.
 //!
 //! Runs N seeded fault campaigns (crashes, partitions, chaos bursts,
-//! crashpoints, torn log writes) against each protocol configuration and
-//! checks the full oracle suite (conservation, Vm channel sanity, read
-//! exactness, rebuild equivalence) at many pause points per campaign.
+//! crashpoints, torn log writes — and, in the `media-*` configurations,
+//! stable-log bit rot and checkpoint-slot corruption) against each
+//! protocol configuration and checks the full oracle suite (conservation,
+//! Vm channel sanity, read exactness, rebuild equivalence, post-settle
+//! liveness) at many pause points per campaign.
 //!
 //! On a violation, the failing schedule is shrunk with `ddmin` to a
 //! 1-minimal reproduction and a one-line replay invocation is printed;
@@ -34,6 +36,8 @@ struct ProtoConfig {
     name: &'static str,
     site: SiteConfig,
     net: NetworkConfig,
+    /// Fault mix for this configuration (scaled by `DVP_NEMESIS_INTENSITY`).
+    intensity: Intensity,
 }
 
 fn configs() -> Vec<ProtoConfig> {
@@ -56,26 +60,42 @@ fn configs() -> Vec<ProtoConfig> {
         conc: ConcMode::Conc2,
         ..base
     };
+    // Media campaigns need checkpoints to give slot corruption teeth; the
+    // tight variant checkpoints often enough that bit rot usually lands
+    // *behind* the redo floor (transparent salvage), the loose one leaves
+    // a long redo window so salvage loss and quarantine get exercised.
+    let media_ckpt = SiteConfig {
+        checkpoint_every: Some(24),
+        ..base
+    };
+    let media_tight_ckpt = SiteConfig {
+        checkpoint_every: Some(8),
+        ..base
+    };
     vec![
         ProtoConfig {
             name: "conc1-baseline",
             site: base,
             net: legacy_environment(),
+            intensity: Intensity::standard(),
         },
         ProtoConfig {
             name: "conc1-ckpt",
             site: ckpt,
             net: legacy_environment(),
+            intensity: Intensity::standard(),
         },
         ProtoConfig {
             name: "conc1-retry-rebalance",
             site: retry_rebalance,
             net: legacy_environment(),
+            intensity: Intensity::standard(),
         },
         ProtoConfig {
             name: "conc1-lazyacks-ckpt",
             site: lazy_acks_ckpt,
             net: legacy_environment(),
+            intensity: Intensity::standard(),
         },
         ProtoConfig {
             // Conc2 assumes a synchronous-ordered network (paper §6.2), so
@@ -84,6 +104,19 @@ fn configs() -> Vec<ProtoConfig> {
             name: "conc2-sync",
             site: conc2,
             net: NetworkConfig::synchronous_ordered(SimDuration::millis(2)),
+            intensity: Intensity::standard(),
+        },
+        ProtoConfig {
+            name: "media-ckpt",
+            site: media_ckpt,
+            net: legacy_environment(),
+            intensity: Intensity::media(),
+        },
+        ProtoConfig {
+            name: "media-tight-ckpt",
+            site: media_tight_ckpt,
+            net: legacy_environment(),
+            intensity: Intensity::media(),
         },
     ]
 }
@@ -117,8 +150,8 @@ fn campaign_config(
     }
 }
 
-fn intensity(env: &BenchEnv) -> Intensity {
-    Intensity::standard().scaled(env.nemesis_intensity)
+fn intensity(env: &BenchEnv, pc: &ProtoConfig) -> Intensity {
+    pc.intensity.scaled(env.nemesis_intensity)
 }
 
 const N_SITES: usize = 6;
@@ -158,7 +191,6 @@ fn shrink_and_report(
 fn run_matrix() -> bool {
     let env = BenchEnv::from_env();
     let seeds = env.nemesis_seeds();
-    let intensity = intensity(&env);
     let all = configs();
 
     let mut t = Table::new(
@@ -175,6 +207,9 @@ fn run_matrix() -> bool {
             "recoveries",
             "crashpoint trips",
             "torn crashes",
+            "ckpt fallbacks",
+            "salvages",
+            "media failures",
             "dropped@crashed",
             "lost",
             "dup",
@@ -184,6 +219,7 @@ fn run_matrix() -> bool {
     let mut failed = false;
     let mut breakdowns: Vec<Table> = Vec::new();
     for pc in &all {
+        let intensity = intensity(&env, pc);
         let results: Vec<(u64, FaultSchedule, CampaignResult)> =
             sweep((0..seeds).collect(), |&seed| {
                 let schedule = generate(seed, N_SITES, HORIZON_MS, &intensity);
@@ -210,6 +246,9 @@ fn run_matrix() -> bool {
             sum(|r| r.recoveries).to_string(),
             sum(|r| r.crashpoint_trips).to_string(),
             sum(|r| r.torn_crashes).to_string(),
+            sum(|r| r.checkpoint_fallbacks).to_string(),
+            sum(|r| r.salvages).to_string(),
+            sum(|r| r.media_failures).to_string(),
             sum(|r| r.dropped_crashed).to_string(),
             sum(|r| r.lost).to_string(),
             sum(|r| r.duplicated).to_string(),
@@ -258,7 +297,7 @@ fn run_replay(args: &[String]) -> bool {
         }
     };
     let env = BenchEnv::from_env();
-    let schedule = generate(seed, N_SITES, HORIZON_MS, &intensity(&env)).subset(&keep);
+    let schedule = generate(seed, N_SITES, HORIZON_MS, &intensity(&env, pc)).subset(&keep);
     if let Some(d) = digest {
         if schedule.digest() != d {
             eprintln!(

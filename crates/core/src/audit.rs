@@ -132,6 +132,18 @@ impl<'a> Auditor<'a> {
     /// Check `N = ΣNᵢ + N_M` for every item, where `N` is the initial
     /// total adjusted by every committed transaction's delta.
     pub fn check_conservation(&self) -> Result<(), AuditError> {
+        self.check_conservation_bounded(&BTreeMap::new())
+    }
+
+    /// Conservation under declared media damage: each item may be off by
+    /// at most its salvage-damage bound, in either direction — a dropped
+    /// acceptance the live sender may still re-deliver shows up as loss
+    /// the channel can undo, a dropped Commit record resurrects a debit —
+    /// and items with no declared damage must still conserve exactly.
+    pub fn check_conservation_bounded(
+        &self,
+        damage: &BTreeMap<ItemId, u64>,
+    ) -> Result<(), AuditError> {
         let frags = self.fragment_totals();
         let in_flight = self.in_flight_totals();
         let deltas = self.committed_deltas();
@@ -139,7 +151,8 @@ impl<'a> Auditor<'a> {
             let expected = def.total as i64 + deltas.get(&def.id).copied().unwrap_or(0);
             let found = frags.get(&def.id).copied().unwrap_or(0) as i64
                 + in_flight.get(&def.id).copied().unwrap_or(0) as i64;
-            if expected != found {
+            let bound = damage.get(&def.id).copied().unwrap_or(0) as i64;
+            if (found - expected).abs() > bound {
                 return Err(AuditError::Conservation {
                     item: def.id,
                     expected,

@@ -105,6 +105,29 @@ pub struct SiteMetrics {
     pub torn_crashes: u64,
     /// Torn-tail bytes recovery dropped and repaired at this site.
     pub torn_bytes_dropped: u64,
+    /// Recoveries that fell back to an older checkpoint generation
+    /// because the newest slot failed its checksum.
+    pub checkpoint_fallbacks: u64,
+    /// Stable-region salvages: recoveries that truncated the durable log
+    /// at a corrupt record (not a benign tail tear).
+    pub salvages: u64,
+    /// Durable records dropped by salvage truncation.
+    pub salvaged_records_lost: u64,
+    /// Image bytes dropped by salvage truncation.
+    pub salvaged_bytes_lost: u64,
+    /// Times this site entered media-failure quarantine (0 or 1 — the
+    /// flag is sticky; a quarantined site never rejoins).
+    pub media_failures: u64,
+    /// Upper bound on the value a salvage displaced, per item: the sum of
+    /// every dropped record's absolute fragment deltas and Vm transfer
+    /// amounts (records already covered by the surviving checkpoint are
+    /// excluded). The media-aware conservation oracle checks that any
+    /// cluster-wide discrepancy stays within these declared bounds.
+    pub salvage_damage: BTreeMap<ItemId, u64>,
+    /// The loss is unquantifiable: every checkpoint generation failed
+    /// verification *and* the log's genesis prefix was already truncated,
+    /// so the snapshot's effects cannot be reconstructed or bounded.
+    pub salvage_unbounded: bool,
 }
 
 impl SiteMetrics {
@@ -241,6 +264,37 @@ impl ClusterMetrics {
     /// Sum of recoveries performed.
     pub fn recoveries(&self) -> u64 {
         self.sites.iter().map(|s| s.recoveries).sum()
+    }
+
+    /// Sum of checkpoint-generation fallbacks across sites.
+    pub fn checkpoint_fallbacks(&self) -> u64 {
+        self.sites.iter().map(|s| s.checkpoint_fallbacks).sum()
+    }
+
+    /// Sum of stable-region salvages across sites.
+    pub fn salvages(&self) -> u64 {
+        self.sites.iter().map(|s| s.salvages).sum()
+    }
+
+    /// Sum of media-failure quarantines across sites.
+    pub fn media_failures(&self) -> u64 {
+        self.sites.iter().map(|s| s.media_failures).sum()
+    }
+
+    /// Merged per-item salvage damage bounds across sites.
+    pub fn salvage_damage(&self) -> BTreeMap<ItemId, u64> {
+        let mut out = BTreeMap::new();
+        for s in &self.sites {
+            for (&item, &bound) in &s.salvage_damage {
+                *out.entry(item).or_insert(0) += bound;
+            }
+        }
+        out
+    }
+
+    /// Whether any site's salvage loss was unquantifiable.
+    pub fn salvage_unbounded(&self) -> bool {
+        self.sites.iter().any(|s| s.salvage_unbounded)
     }
 }
 

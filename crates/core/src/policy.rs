@@ -123,6 +123,13 @@ pub struct InjectConfig {
     pub victim: usize,
     /// Tear the in-flight log write on the victim's crashes.
     pub torn: TornWrite,
+    /// Flip one byte in the victim's *stable* (forced) log region on its
+    /// next crash — media decay, not a torn tail. One-shot: disarms once
+    /// a byte has actually been flipped.
+    pub bit_rot: bool,
+    /// Corrupt this checkpoint slot (0 or 1) on the victim's next crash.
+    /// One-shot like `bit_rot`.
+    pub corrupt_ckpt: Option<u8>,
 }
 
 impl InjectConfig {
@@ -141,6 +148,24 @@ impl InjectConfig {
         InjectConfig {
             victim,
             torn: mode,
+            ..Default::default()
+        }
+    }
+
+    /// Rot one stable-log byte at `victim` on its next crash.
+    pub fn bit_rot_at(victim: usize) -> Self {
+        InjectConfig {
+            victim,
+            bit_rot: true,
+            ..Default::default()
+        }
+    }
+
+    /// Corrupt checkpoint slot `slot` at `victim` on its next crash.
+    pub fn corrupt_ckpt_at(victim: usize, slot: u8) -> Self {
+        InjectConfig {
+            victim,
+            corrupt_ckpt: Some(slot),
             ..Default::default()
         }
     }

@@ -41,7 +41,11 @@ use dvp_obs::{EventKind, Obs};
 use dvp_simnet::node::{Context, Node, TimerId};
 use dvp_simnet::time::{SimDuration, SimTime};
 use dvp_simnet::NodeId;
-use dvp_storage::{CheckpointSlot, Lsn, StableLog, TornWrite};
+use dvp_storage::codec::crc32;
+use dvp_storage::{
+    CheckpointSlot, DecodeError, Lsn, Record, RecordReader, RecordWriter, SalvageOutcome,
+    StableLog, TornWrite,
+};
 use dvp_vmsg::{ChannelSnapshot, Frame, Receipt, Seq, VmConfig, VmEndpoint, VmLogOp, WireDatagram};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -161,6 +165,70 @@ pub struct SiteSnapshot {
     vm: Vec<ChannelSnapshot>,
 }
 
+// The checkpoint store keeps slots as checksummed byte images, so the
+// snapshot must round-trip through bytes like any log record.
+impl Record for SiteSnapshot {
+    fn encode(&self, w: &mut RecordWriter<'_>) {
+        w.u32(self.frag_vals.len() as u32);
+        for &v in &self.frag_vals {
+            w.u64(v);
+        }
+        for &t in &self.frag_ts {
+            w.u64(t.0);
+        }
+        w.u32(self.vm.len() as u32);
+        for ch in &self.vm {
+            w.u64(ch.peer as u64);
+            w.u64(ch.last_created);
+            w.u64(ch.acked_out);
+            w.u64(ch.accepted_in);
+            w.u32(ch.outgoing.len() as u32);
+            for (seq, payload) in &ch.outgoing {
+                w.u64(*seq);
+                w.bytes(payload);
+            }
+        }
+    }
+
+    fn decode(r: &mut RecordReader<'_>) -> Result<Self, DecodeError> {
+        let items = r.u32()? as usize;
+        let mut frag_vals = Vec::with_capacity(items);
+        for _ in 0..items {
+            frag_vals.push(r.u64()?);
+        }
+        let mut frag_ts = Vec::with_capacity(items);
+        for _ in 0..items {
+            frag_ts.push(Ts(r.u64()?));
+        }
+        let channels = r.u32()? as usize;
+        let mut vm = Vec::with_capacity(channels);
+        for _ in 0..channels {
+            let peer = r.u64()? as NodeId;
+            let last_created = r.u64()?;
+            let acked_out = r.u64()?;
+            let accepted_in = r.u64()?;
+            let n_out = r.u32()? as usize;
+            let mut outgoing = Vec::with_capacity(n_out);
+            for _ in 0..n_out {
+                let seq = r.u64()?;
+                outgoing.push((seq, r.bytes()?));
+            }
+            vm.push(ChannelSnapshot {
+                peer,
+                last_created,
+                acked_out,
+                accepted_in,
+                outgoing,
+            });
+        }
+        Ok(SiteSnapshot {
+            frag_vals,
+            frag_ts,
+            vm,
+        })
+    }
+}
+
 /// One DvP site (a [`Node`] for `dvp-simnet`).
 pub struct SiteNode {
     id: NodeId,
@@ -201,6 +269,16 @@ pub struct SiteNode {
     /// A crashpoint fired in the current callback: the kernel will crash
     /// us when it returns, so no further durable effects may happen.
     crash_pending: bool,
+    /// Sticky media-failure quarantine: salvage dropped committed effects
+    /// that no checkpoint generation covers, so this site's durable state
+    /// is wrong by an unknown-but-declared amount. It stays inert forever
+    /// — rejoining would reuse Vm sequence numbers and resurrect value
+    /// its peers already absorbed.
+    media_failed: bool,
+    /// One-shot: the armed bit-rot injection already flipped a byte.
+    bit_rot_done: bool,
+    /// One-shot: the armed checkpoint-slot corruption already fired.
+    ckpt_rot_done: bool,
     /// Experiment instrumentation (omniscient: survives crashes).
     metrics: SiteMetrics,
     /// Structured trace handle (disabled by default; survives crashes).
@@ -269,6 +347,9 @@ impl SiteNode {
             crashpoint_hits: 0,
             crashpoint_tripped: false,
             crash_pending: false,
+            media_failed: false,
+            bit_rot_done: false,
+            ckpt_rot_done: false,
             metrics: SiteMetrics::default(),
             obs: Obs::disabled(),
             last_replayed: 0,
@@ -334,6 +415,12 @@ impl SiteNode {
     /// The site configuration.
     pub fn config(&self) -> &SiteConfig {
         &self.cfg
+    }
+
+    /// Whether this site is quarantined after unrecoverable media damage
+    /// (see [`SiteMetrics::media_failures`]).
+    pub fn media_failed(&self) -> bool {
+        self.media_failed
     }
 
     // ---- helpers ---------------------------------------------------------
@@ -488,14 +575,22 @@ impl SiteNode {
     /// configured bound: snapshot durable state, remember the redo point,
     /// truncate the log prefix.
     fn maybe_checkpoint(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
-        if self.crash_pending {
+        if self.crash_pending || self.media_failed {
             return;
         }
         let limit = match self.cfg.checkpoint_every {
             Some(l) => l,
             None => return,
         };
-        if self.log.stable_len() < limit {
+        // Trigger on the *un-checkpointed* suffix, not total log length:
+        // two-generation retention keeps the whole previous window in the
+        // log (see the `redo_floor` truncation below), so a total-length
+        // trigger would fire on every flush once the first window filled.
+        let suffix = self
+            .log
+            .stable_records_from(self.checkpoint.redo_from())
+            .count();
+        if suffix < limit {
             return;
         }
         // Only *forced* state may enter the snapshot; force first so the
@@ -516,7 +611,11 @@ impl SiteNode {
             // recovery must not redo them (the LSN skip below).
             return;
         }
-        self.log.truncate_before(redo_from);
+        // Retain back to the *older* generation's redo point, not the new
+        // one's: if the slot just written rots, recovery falls back a
+        // generation and must still find that generation's redo suffix in
+        // the log.
+        self.log.truncate_before(self.checkpoint.redo_floor());
         self.metrics.checkpoints += 1;
         self.obs
             .emit_with(self.id as u32, || EventKind::Checkpoint {
@@ -1331,11 +1430,27 @@ impl SiteNode {
     /// The Section 7 recovery scan: reconstruct fragments, timestamps,
     /// and Vm state purely from the local stable log.
     fn rebuild_from_log(&mut self) {
-        // Start from the latest checkpoint image (if any), then redo the
-        // log suffix. Records before the checkpoint were truncated away —
-        // unless the crash landed between checkpoint installation and log
-        // truncation, in which case the LSN skip below keeps the redo from
-        // double-applying the snapshotted prefix.
+        // Re-verify the checkpoint slots from their durable bytes first: a
+        // rotten newest slot must surface *now*, as a generation fallback,
+        // not be masked by a stale decoded cache.
+        let mut lost_snapshot = false;
+        if let Some(fb) = self.checkpoint.refresh() {
+            self.metrics.checkpoint_fallbacks += 1;
+            lost_snapshot = fb.used_generation.is_none();
+            self.obs
+                .emit_with(self.id as u32, || EventKind::CheckpointFallback {
+                    bad_generation: fb.bad_generation,
+                    used_generation: fb.used_generation.unwrap_or(0),
+                });
+        }
+        // Start from the newest *verifying* checkpoint image (if any),
+        // then redo the log suffix. Records before the checkpoint were
+        // truncated away — unless the crash landed between checkpoint
+        // installation and log truncation, in which case the LSN skip
+        // below keeps the redo from double-applying the snapshotted
+        // prefix. A generation fallback lengthens the redo: the log
+        // retains back to the older generation's redo point exactly for
+        // this (see `maybe_checkpoint`).
         match self.checkpoint.load() {
             Some(cp) => {
                 self.frags
@@ -1344,22 +1459,71 @@ impl SiteNode {
             }
             None => self.frags.reset(),
         }
-        let recovered = self.log.recover_lenient();
-        if let Some(torn) = &recovered.torn {
-            // WAL-style: the torn tail frame never committed; drop it and
-            // repair the image so later scans see a clean log.
-            self.metrics.torn_crashes += 1;
-            self.metrics.torn_bytes_dropped += torn.bytes_dropped;
-            self.log.repair_torn_tail();
+        let redo_from = self.checkpoint.redo_from();
+        let entries = match self.log.recover_salvage() {
+            SalvageOutcome::Clean { entries } => entries,
+            SalvageOutcome::TailTear {
+                entries,
+                bytes_dropped,
+                ..
+            } => {
+                // WAL-style: the torn tail frame never committed; the
+                // salvage scan dropped it and repaired the image so later
+                // scans see a clean log.
+                self.metrics.torn_crashes += 1;
+                self.metrics.torn_bytes_dropped += bytes_dropped;
+                entries
+            }
+            SalvageOutcome::MediaDamage {
+                entries,
+                dropped,
+                report,
+            } => {
+                // A *durable* record rotted: the log was truncated at the
+                // first bad record. Declare an upper bound on the value
+                // each dropped record could have displaced, then decide
+                // whether the surviving checkpoint covers the loss.
+                self.metrics.salvages += 1;
+                self.metrics.salvaged_records_lost += report.records_lost;
+                self.metrics.salvaged_bytes_lost += report.bytes_lost;
+                self.obs.emit_with(self.id as u32, || EventKind::Salvage {
+                    first_bad_lsn: report.first_bad_lsn.0,
+                    records_lost: report.records_lost,
+                    bytes_lost: report.bytes_lost,
+                });
+                let mut uncovered = 0u64;
+                for (lsn, rec) in &dropped {
+                    if *lsn < redo_from {
+                        // The snapshot already reflects this record; its
+                        // loss from the log costs nothing.
+                        continue;
+                    }
+                    uncovered += 1;
+                    declare_damage(&mut self.metrics.salvage_damage, rec);
+                }
+                if uncovered > 0 && !self.media_failed {
+                    self.quarantine(uncovered);
+                }
+                entries
+            }
+        };
+        if lost_snapshot {
+            // Every checkpoint generation failed verification; only the
+            // log remains. If its genesis prefix survives, a full replay
+            // reconstructs everything and nothing was lost. If it was
+            // already truncated by a checkpoint, the snapshot's effects
+            // are unreconstructible — and unboundable.
+            let genesis_intact = entries.first().map(|(l, _)| *l) == Some(Lsn::FIRST);
+            if !genesis_intact {
+                self.metrics.salvage_unbounded = true;
+                if !self.media_failed {
+                    self.quarantine(0);
+                }
+            }
         }
         if !self.cfg.unsafe_skip_recovery_redo {
-            let redo_from = self.checkpoint.redo_from();
-            self.last_replayed = recovered
-                .entries
-                .iter()
-                .filter(|(lsn, _)| *lsn >= redo_from)
-                .count() as u64;
-            redo_entries(&mut self.frags, &mut self.vm, &recovered.entries, redo_from);
+            self.last_replayed = entries.iter().filter(|(lsn, _)| *lsn >= redo_from).count() as u64;
+            redo_entries(&mut self.frags, &mut self.vm, &entries, redo_from);
         }
         // Rebuild the per-item outstanding index from the endpoint.
         for peer in self.vm.peers() {
@@ -1370,6 +1534,19 @@ impl SiteNode {
                 }
             }
         }
+    }
+
+    /// Enter media-failure quarantine: committed effects were destroyed
+    /// beyond what any checkpoint generation covers. The site stays up in
+    /// the simulator but refuses every event from now on (see the guards
+    /// in the `Node` impl) — serving its salvaged state could double-pay
+    /// or lose value, and its peers' timeouts already handle an
+    /// unresponsive site safely.
+    fn quarantine(&mut self, records_lost: u64) {
+        self.media_failed = true;
+        self.metrics.media_failures += 1;
+        self.obs
+            .emit_with(self.id as u32, || EventKind::MediaFailure { records_lost });
     }
 
     /// Reconstruct this site's durable state — fragments and Vm channels —
@@ -1392,6 +1569,41 @@ impl SiteNode {
             self.checkpoint.redo_from(),
         );
         (frags, vm)
+    }
+}
+
+/// Accumulate the per-item damage *upper bound* a salvage-dropped record
+/// represents: the magnitude of every fragment delta it applied plus the
+/// amount of every Vm payload it created. This is deliberately a bound,
+/// not an exact loss — a dropped `Created` whose frame is still sitting
+/// in a live sender's retransmit queue costs nothing, and a dropped
+/// `Commit` *resurrects* value (negative discrepancy). The media-aware
+/// conservation oracle checks |discrepancy| against the declared total.
+fn declare_damage(damage: &mut BTreeMap<ItemId, u64>, rec: &SiteRecord) {
+    match rec {
+        SiteRecord::Init { item, qty } => {
+            *damage.entry(*item).or_insert(0) += qty;
+        }
+        SiteRecord::Rds {
+            actions, vm_ops, ..
+        } => {
+            for &(item, delta) in actions {
+                *damage.entry(item).or_insert(0) += delta.unsigned_abs();
+            }
+            for op in vm_ops {
+                if let VmLogOp::Created { payload, .. } = op {
+                    if let Ok(t) = Transfer::from_bytes(payload) {
+                        *damage.entry(t.item).or_insert(0) += t.amount;
+                    }
+                }
+            }
+        }
+        SiteRecord::Commit { actions, .. } => {
+            for &(item, delta) in actions {
+                *damage.entry(item).or_insert(0) += delta.unsigned_abs();
+            }
+        }
+        SiteRecord::Applied { .. } => {}
     }
 }
 
@@ -1444,6 +1656,9 @@ impl Node for SiteNode {
     }
 
     fn on_message(&mut self, from: NodeId, msg: ProtoMsg, ctx: &mut Context<'_, ProtoMsg>) {
+        if self.media_failed {
+            return; // quarantined: inert until the end of time
+        }
         self.clock.observe_counter(msg.lamport);
         match msg.body {
             Body::Vm(frame) => self.handle_vm(from, frame, ctx),
@@ -1472,6 +1687,9 @@ impl Node for SiteNode {
     }
 
     fn on_external(&mut self, tag: u64, ctx: &mut Context<'_, ProtoMsg>) {
+        if self.media_failed {
+            return; // quarantined: no new transactions ever start here
+        }
         if let Some(spec) = self.script.get(tag as usize).cloned() {
             self.begin_txn(spec, ctx);
             self.flush_vm(ctx);
@@ -1481,6 +1699,9 @@ impl Node for SiteNode {
     }
 
     fn on_timer(&mut self, _id: TimerId, tag: u64, ctx: &mut Context<'_, ProtoMsg>) {
+        if self.media_failed {
+            return; // quarantined: pre-quarantine timers are all stale
+        }
         let kind = tag >> TAG_KIND_SHIFT << TAG_KIND_SHIFT;
         let payload = tag & TAG_PAYLOAD_MASK;
         match kind {
@@ -1566,6 +1787,35 @@ impl Node for SiteNode {
             TornWrite::None
         };
         self.log.crash_torn(torn_mode);
+        // Media decay (nemesis): the victim's stable storage may addition-
+        // ally rot at crash time — one byte of the durable log region, or
+        // one checkpoint slot. Both are one-shot: they disarm once bytes
+        // actually flipped, so recovery cannot rot-loop.
+        if self.id == self.cfg.inject.victim {
+            if self.cfg.inject.bit_rot && !self.bit_rot_done {
+                let len = self.log.stable_image_len();
+                if len > 0 {
+                    // Deterministic offset: hash the site id and image
+                    // length so a replayed seed rots the same byte.
+                    let mut key = [0u8; 16];
+                    key[..8].copy_from_slice(&(self.id as u64).to_be_bytes());
+                    key[8..].copy_from_slice(&(len as u64).to_be_bytes());
+                    let offset = crc32(&key) as usize % len;
+                    if self.log.corrupt_stable(offset..offset + 1) > 0 {
+                        self.bit_rot_done = true;
+                    }
+                }
+            }
+            if let Some(slot) = self.cfg.inject.corrupt_ckpt {
+                if !self.ckpt_rot_done {
+                    let slot = slot as usize % 2;
+                    let len = self.checkpoint.slot_image_len(slot);
+                    if len > 0 && self.checkpoint.corrupt_slot(slot, len / 2) {
+                        self.ckpt_rot_done = true;
+                    }
+                }
+            }
+        }
         self.vm.crash_reset();
         self.locks.clear();
         for (_, t) in std::mem::take(&mut self.active) {
@@ -1595,6 +1845,12 @@ impl Node for SiteNode {
     }
 
     fn on_recover(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        if self.media_failed {
+            // A quarantined site refuses to rejoin: its durable state lost
+            // committed effects, and resuming would reuse Vm sequence
+            // numbers and hand peers already-consumed value again.
+            return;
+        }
         // State was already rebuilt from the stable log at crash time
         // (see on_crash); restarting is just resuming normal processing.
         self.metrics.recoveries += 1;

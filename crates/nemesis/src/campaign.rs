@@ -53,6 +53,13 @@ pub struct CampaignResult {
     pub crashpoint_trips: u64,
     /// Crashes that left (and recovery repaired) a torn log tail.
     pub torn_crashes: u64,
+    /// Recoveries that fell back a checkpoint generation (CRC mismatch
+    /// on the newest slot).
+    pub checkpoint_fallbacks: u64,
+    /// Recoveries that salvaged around mid-log media damage.
+    pub salvages: u64,
+    /// Sites quarantined for unrecoverable media loss.
+    pub media_failures: u64,
     /// Deliveries suppressed because the recipient was down.
     pub dropped_crashed: u64,
     /// Messages dropped by loss (link + chaos).
@@ -109,6 +116,10 @@ pub fn run_campaign(cfg: &CampaignConfig, schedule: &FaultSchedule) -> CampaignR
         let m = cl.metrics();
         if let Err(v) = oracle::check_all(&cl, &m) {
             violation = Some(format!("settle: {v}"));
+        } else if let Err(v) = oracle::check_liveness(&cl) {
+            // Only meaningful here: mid-run audits pause with
+            // transactions legitimately in flight.
+            violation = Some(format!("settle: {v}"));
         }
     }
 
@@ -121,6 +132,9 @@ pub fn run_campaign(cfg: &CampaignConfig, schedule: &FaultSchedule) -> CampaignR
         recoveries: m.recoveries(),
         crashpoint_trips: m.crashpoint_trips(),
         torn_crashes: m.torn_crashes(),
+        checkpoint_fallbacks: m.checkpoint_fallbacks(),
+        salvages: m.salvages(),
+        media_failures: m.media_failures(),
         dropped_crashed: s.dropped_crashed,
         lost: s.lost,
         duplicated: s.duplicated,
@@ -179,5 +193,24 @@ mod tests {
             crashes += r.recoveries + r.crashpoint_trips + r.torn_crashes;
         }
         assert!(crashes > 0, "the nemesis never hurt anything");
+    }
+
+    #[test]
+    fn media_campaigns_pass_and_actually_rot_something() {
+        let (mut salvages, mut fallbacks) = (0u64, 0u64);
+        for seed in 0..12u64 {
+            let mut cfg = small_config(seed);
+            // Checkpoints must exist for slot corruption to have teeth.
+            cfg.site.checkpoint_every = Some(6);
+            let sched = generate(seed, cfg.n_sites, cfg.horizon_ms, &Intensity::media());
+            let r = run_campaign(&cfg, &sched);
+            assert!(r.passed(), "seed {seed}: {:?}", r.violation);
+            salvages += r.salvages;
+            fallbacks += r.checkpoint_fallbacks;
+        }
+        assert!(
+            salvages > 0 && fallbacks > 0,
+            "media faults never bit: salvages={salvages} fallbacks={fallbacks}"
+        );
     }
 }

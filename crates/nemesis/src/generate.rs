@@ -37,6 +37,13 @@ pub struct Intensity {
     pub crashpoint_p: f64,
     /// Probability of making one site's crashes tear the log write.
     pub torn_p: f64,
+    /// Probability of rotting one stable-log byte at one site (applies
+    /// on that site's next crash; the generator pairs it with one).
+    pub bit_rot_p: f64,
+    /// Probability of corrupting one checkpoint slot at one site
+    /// (applies on that site's next crash; the generator pairs it with
+    /// one).
+    pub corrupt_ckpt_p: f64,
 }
 
 impl Intensity {
@@ -52,11 +59,15 @@ impl Intensity {
             chaos_jitter_ms: 0,
             crashpoint_p: 0.0,
             torn_p: 0.0,
+            bit_rot_p: 0.0,
+            corrupt_ckpt_p: 0.0,
         }
     }
 
     /// The default campaign mix: legacy partitions/crashes plus chaos
     /// bursts, an occasional crashpoint, and occasional torn writes.
+    /// Media faults stay off so every pre-media pinned stream, digest,
+    /// and golden trace is untouched.
     pub fn standard() -> Self {
         Intensity {
             chaos_windows: 2,
@@ -66,6 +77,16 @@ impl Intensity {
             crashpoint_p: 0.5,
             torn_p: 0.5,
             ..Intensity::legacy()
+        }
+    }
+
+    /// The media-failure mix: everything in [`Intensity::standard`] plus
+    /// stable-log bit rot and checkpoint-slot corruption.
+    pub fn media() -> Self {
+        Intensity {
+            bit_rot_p: 0.6,
+            corrupt_ckpt_p: 0.6,
+            ..Intensity::standard()
         }
     }
 
@@ -80,6 +101,8 @@ impl Intensity {
             chaos_jitter_ms: self.chaos_jitter_ms,
             crashpoint_p: (self.crashpoint_p * f).clamp(0.0, 1.0),
             torn_p: (self.torn_p * f).clamp(0.0, 1.0),
+            bit_rot_p: (self.bit_rot_p * f).clamp(0.0, 1.0),
+            corrupt_ckpt_p: (self.corrupt_ckpt_p * f).clamp(0.0, 1.0),
         }
     }
 }
@@ -179,6 +202,26 @@ pub fn generate(seed: u64, n: usize, horizon_ms: u64, intensity: &Intensity) -> 
         };
         events.push(FaultEvent::TornWrites { site, mode });
     }
+    // Media decay only manifests at a crash (the rot is applied to the
+    // durable image as the site goes down), so each media fault ships
+    // with its own crash/recover pair from the extension stream.
+    if intensity.bit_rot_p > 0.0 && xrng.chance(intensity.bit_rot_p) {
+        let site = xrng.index(n);
+        events.push(FaultEvent::BitRot { site });
+        let c = xrng.uniform(10, horizon_ms / 2);
+        let r = c + xrng.uniform(20, horizon_ms / 2);
+        events.push(FaultEvent::Crash { at_ms: c, site });
+        events.push(FaultEvent::Recover { at_ms: r, site });
+    }
+    if intensity.corrupt_ckpt_p > 0.0 && xrng.chance(intensity.corrupt_ckpt_p) {
+        let site = xrng.index(n);
+        let slot = xrng.index(2) as u8;
+        events.push(FaultEvent::CorruptCheckpoint { site, slot });
+        let c = xrng.uniform(10, horizon_ms / 2);
+        let r = c + xrng.uniform(20, horizon_ms / 2);
+        events.push(FaultEvent::Crash { at_ms: c, site });
+        events.push(FaultEvent::Recover { at_ms: r, site });
+    }
 
     FaultSchedule::new(events)
 }
@@ -234,10 +277,47 @@ mod tests {
                     FaultEvent::Chaos { .. } => 4,
                     FaultEvent::ArmCrashpoint { .. } => 5,
                     FaultEvent::TornWrites { .. } => 6,
+                    FaultEvent::BitRot { .. } | FaultEvent::CorruptCheckpoint { .. } => {
+                        panic!("standard profile must not emit media faults: {e:?}")
+                    }
                 };
                 kinds[k] = true;
             }
         }
         assert!(kinds.iter().all(|&k| k), "coverage: {kinds:?}");
+    }
+
+    #[test]
+    fn media_extension_does_not_perturb_the_standard_stream() {
+        // Turning media faults on only *appends*: the standard-profile
+        // prefix (and, transitively, the legacy prefix inside it) is
+        // byte-identical.
+        for seed in 0..20u64 {
+            let std_s = generate(seed, 6, 1500, &Intensity::standard());
+            let media = generate(seed, 6, 1500, &Intensity::media());
+            assert_eq!(
+                std_s.events,
+                media.events[..std_s.events.len()],
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn media_profile_reaches_media_fault_kinds() {
+        let (mut rot, mut ckpt, mut slots) = (false, false, [false; 2]);
+        for seed in 0..60u64 {
+            for e in generate(seed, 6, 1500, &Intensity::media()).events {
+                match e {
+                    FaultEvent::BitRot { .. } => rot = true,
+                    FaultEvent::CorruptCheckpoint { slot, .. } => {
+                        ckpt = true;
+                        slots[slot as usize] = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(rot && ckpt && slots == [true; 2]);
     }
 }

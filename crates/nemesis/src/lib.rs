@@ -37,6 +37,6 @@ pub mod shrink;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
 pub use generate::{generate, legacy_environment, Intensity};
-pub use oracle::{check_all, check_rebuild, check_vm_channels, Violation};
+pub use oracle::{check_all, check_liveness, check_rebuild, check_vm_channels, Violation};
 pub use schedule::{AppliedFaults, FaultEvent, FaultSchedule};
 pub use shrink::{ddmin, Replay};

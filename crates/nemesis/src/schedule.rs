@@ -84,6 +84,21 @@ pub enum FaultEvent {
         /// How the write tears.
         mode: TornWrite,
     },
+    /// Flip one byte in `site`'s *stable* log region on its next crash —
+    /// media decay in the durable image, not a torn tail. Recovery must
+    /// salvage the clean prefix or quarantine, never serve wrong state.
+    BitRot {
+        /// Victim site.
+        site: usize,
+    },
+    /// Corrupt checkpoint slot `slot` (0 or 1) at `site` on its next
+    /// crash. Recovery must fall back a checkpoint generation.
+    CorruptCheckpoint {
+        /// Victim site.
+        site: usize,
+        /// Which physical slot rots.
+        slot: u8,
+    },
 }
 
 /// A full fault schedule: events in generation order.
@@ -170,6 +185,14 @@ impl FaultSchedule {
                     inject.torn = *mode;
                     inject.victim = *site;
                 }
+                FaultEvent::BitRot { site } => {
+                    inject.bit_rot = true;
+                    inject.victim = *site;
+                }
+                FaultEvent::CorruptCheckpoint { site, slot } => {
+                    inject.corrupt_ckpt = Some(*slot);
+                    inject.victim = *site;
+                }
             }
         }
         // The schedule owns the partition dimension: installed even when
@@ -248,6 +271,15 @@ impl FaultSchedule {
                         TornWrite::Truncated => 1,
                         TornWrite::Garbage => 2,
                     });
+                }
+                FaultEvent::BitRot { site } => {
+                    buf.push(8);
+                    num(&mut buf, *site as u64);
+                }
+                FaultEvent::CorruptCheckpoint { site, slot } => {
+                    buf.push(9);
+                    num(&mut buf, *site as u64);
+                    buf.push(*slot);
                 }
             }
         }

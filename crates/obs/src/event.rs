@@ -146,6 +146,32 @@ pub enum EventKind {
         /// Redo lower bound recorded in the snapshot.
         redo_from: u64,
     },
+    /// Recovery found the newest checkpoint slot corrupt and fell back
+    /// to an older generation (or to log-only replay).
+    CheckpointFallback {
+        /// Generation number that failed its checksum.
+        bad_generation: u64,
+        /// Generation actually used (0 = none survived; recovery
+        /// replayed the log from its genesis).
+        used_generation: u64,
+    },
+    /// Recovery truncated the durable log at a corrupt record and
+    /// salvaged the clean prefix.
+    Salvage {
+        /// LSN of the first unrecoverable record.
+        first_bad_lsn: u64,
+        /// Durable records dropped.
+        records_lost: u64,
+        /// Image bytes dropped.
+        bytes_lost: u64,
+    },
+    /// Salvage dropped committed state the checkpoint did not cover:
+    /// the site quarantined itself (media failure) instead of serving
+    /// possibly-wrong values.
+    MediaFailure {
+        /// Durable records whose effects were lost.
+        records_lost: u64,
+    },
 
     // --- crash / recovery -----------------------------------------
     /// The site crashed (volatile state lost).
@@ -178,6 +204,9 @@ impl EventKind {
             EventKind::VmAck { .. } => "vm_ack",
             EventKind::LogForce { .. } => "log_force",
             EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::CheckpointFallback { .. } => "checkpoint_fallback",
+            EventKind::Salvage { .. } => "salvage",
+            EventKind::MediaFailure { .. } => "media_failure",
             EventKind::Crash => "crash",
             EventKind::RecoveryBegin => "recovery_begin",
             EventKind::RecoveryEnd { .. } => "recovery_end",
@@ -307,6 +336,28 @@ impl Event {
             EventKind::Checkpoint { redo_from } => {
                 let _ = write!(s, ",\"redo_from\":{redo_from}");
             }
+            EventKind::CheckpointFallback {
+                bad_generation,
+                used_generation,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"bad_generation\":{bad_generation},\"used_generation\":{used_generation}"
+                );
+            }
+            EventKind::Salvage {
+                first_bad_lsn,
+                records_lost,
+                bytes_lost,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"first_bad_lsn\":{first_bad_lsn},\"records_lost\":{records_lost},\"bytes_lost\":{bytes_lost}"
+                );
+            }
+            EventKind::MediaFailure { records_lost } => {
+                let _ = write!(s, ",\"records_lost\":{records_lost}");
+            }
             EventKind::Crash | EventKind::RecoveryBegin => {}
             EventKind::RecoveryEnd {
                 replayed,
@@ -410,6 +461,44 @@ mod tests {
         assert_eq!(
             coalesced.to_json(),
             "{\"t\":10,\"site\":1,\"ev\":\"vm_ack\",\"to\":2,\"upto\":5,\"datagram\":3}"
+        );
+    }
+
+    #[test]
+    fn media_event_encoding_is_stable() {
+        let fb = Event {
+            at_us: 7,
+            site: 2,
+            kind: EventKind::CheckpointFallback {
+                bad_generation: 4,
+                used_generation: 3,
+            },
+        };
+        assert_eq!(
+            fb.to_json(),
+            "{\"t\":7,\"site\":2,\"ev\":\"checkpoint_fallback\",\"bad_generation\":4,\"used_generation\":3}"
+        );
+        let sv = Event {
+            at_us: 8,
+            site: 2,
+            kind: EventKind::Salvage {
+                first_bad_lsn: 12,
+                records_lost: 3,
+                bytes_lost: 96,
+            },
+        };
+        assert_eq!(
+            sv.to_json(),
+            "{\"t\":8,\"site\":2,\"ev\":\"salvage\",\"first_bad_lsn\":12,\"records_lost\":3,\"bytes_lost\":96}"
+        );
+        let mf = Event {
+            at_us: 9,
+            site: 2,
+            kind: EventKind::MediaFailure { records_lost: 3 },
+        };
+        assert_eq!(
+            mf.to_json(),
+            "{\"t\":9,\"site\":2,\"ev\":\"media_failure\",\"records_lost\":3}"
         );
     }
 

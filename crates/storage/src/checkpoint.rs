@@ -4,16 +4,34 @@
 //! database image saved alongside". Recovery then redoes only records at
 //! or after the checkpoint LSN, bounding the scan (paper Section 7).
 //!
-//! The checkpoint itself is generic: the *database image* is whatever the
-//! site wants to snapshot (`S`), stored in a crash-surviving cell next to
-//! the log. `dvp-core` snapshots its fragment store.
+//! The store is the real two-slot scheme: two generation-numbered slots,
+//! each holding a checksummed byte image of the snapshot. [`install`]
+//! always overwrites the *older* slot, so the previous generation survives
+//! every checkpoint verbatim; [`load`] picks the newest slot whose
+//! checksum verifies, so a crash mid-install or a corrupted slot degrades
+//! to the previous generation (with a longer redo) instead of undefined
+//! behavior. The price of that fallback is paid by the log: the host must
+//! retain records from [`redo_floor`] — the *older* retained generation's
+//! redo point — not just the newest one's.
+//!
+//! The *database image* is whatever the site wants to snapshot (`S`, any
+//! [`Record`]), stored as a framed byte image next to the log. `dvp-core`
+//! snapshots its fragment store plus Vm channel state.
+//!
+//! [`install`]: CheckpointSlot::install
+//! [`load`]: CheckpointSlot::load
+//! [`redo_floor`]: CheckpointSlot::redo_floor
 
+use crate::codec::{crc32, DecodeError, Record, RecordReader, RecordWriter};
 use crate::lsn::Lsn;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// A durable checkpoint: a snapshot `S` plus the LSN from which redo must
-/// resume.
+/// resume, stamped with its generation number.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CheckpointMeta<S> {
+    /// Monotone install counter (1 = the first checkpoint ever taken).
+    pub generation: u64,
     /// Redo must start at this LSN (records before it are reflected in
     /// `snapshot`).
     pub redo_from: Lsn,
@@ -21,48 +39,217 @@ pub struct CheckpointMeta<S> {
     pub snapshot: S,
 }
 
-/// A crash-surviving checkpoint slot.
+/// Recovery chose an older generation because the newest slot's checksum
+/// failed (reported by [`CheckpointSlot::refresh`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotFallback {
+    /// The generation whose slot failed verification.
+    pub bad_generation: u64,
+    /// The generation recovery will use instead (`None` = no slot
+    /// verifies; recovery replays the whole retained log from scratch).
+    pub used_generation: Option<u64>,
+}
+
+/// One physical slot: a framed byte image (`len | crc | payload`, payload
+/// = `generation ++ redo_from ++ snapshot`) plus a decoded cache kept in
+/// sync with it (`None` = empty or failed verification).
+#[derive(Clone, Debug)]
+struct SlotState<S> {
+    image: BytesMut,
+    cached: Option<CheckpointMeta<S>>,
+}
+
+impl<S> SlotState<S> {
+    fn empty() -> Self {
+        SlotState {
+            image: BytesMut::new(),
+            cached: None,
+        }
+    }
+}
+
+/// A crash-surviving two-slot checkpoint store.
 ///
-/// Writing a checkpoint is atomic at the granularity the paper needs: the
-/// slot either holds the old checkpoint or the new one, never a torn mix
-/// (a real implementation achieves this with the usual two-slot trick).
-#[derive(Clone, Debug, Default)]
+/// Writing a checkpoint never touches the newest surviving generation:
+/// [`install`](Self::install) encodes the snapshot into the *older* slot.
+/// Recovery ([`load`](Self::load) / [`refresh`](Self::refresh)) picks the
+/// newest slot whose CRC verifies and falls back one generation — or to
+/// nothing — when it doesn't.
+#[derive(Clone, Debug)]
 pub struct CheckpointSlot<S> {
-    current: Option<CheckpointMeta<S>>,
+    slots: [SlotState<S>; 2],
+    /// Generation of the most recent install (0 = none yet) — the
+    /// reference point for detecting that recovery had to fall back.
+    last_installed: u64,
     /// Checkpoints taken (for tests/benchmarks).
     pub taken: u64,
 }
 
-impl<S: Clone> CheckpointSlot<S> {
-    /// An empty slot.
+impl<S: Record> Default for CheckpointSlot<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn encode_slot<S: Record>(meta: &CheckpointMeta<S>) -> BytesMut {
+    let mut payload = BytesMut::new();
+    {
+        let mut w = RecordWriter::wrap(&mut payload);
+        w.u64(meta.generation);
+        w.u64(meta.redo_from.0);
+        meta.snapshot.encode(&mut w);
+    }
+    let mut image = BytesMut::with_capacity(payload.len() + 8);
+    image.put_u32(payload.len() as u32);
+    image.put_u32(crc32(&payload));
+    image.put_slice(&payload);
+    image
+}
+
+fn decode_slot<S: Record>(image: &[u8]) -> Result<CheckpointMeta<S>, DecodeError> {
+    let mut bytes = Bytes::copy_from_slice(image);
+    if bytes.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = bytes.get_u32() as usize;
+    let crc = bytes.get_u32();
+    if bytes.remaining() != len {
+        return Err(DecodeError::Invalid("slot image length mismatch"));
+    }
+    let actual = crc32(&bytes);
+    if actual != crc {
+        return Err(DecodeError::Corrupt {
+            expected: crc,
+            actual,
+        });
+    }
+    let mut r = RecordReader::wrap(&mut bytes);
+    let generation = r.u64()?;
+    let redo_from = Lsn(r.u64()?);
+    let snapshot = S::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(DecodeError::Invalid("trailing bytes in slot payload"));
+    }
+    Ok(CheckpointMeta {
+        generation,
+        redo_from,
+        snapshot,
+    })
+}
+
+impl<S: Record> CheckpointSlot<S> {
+    /// An empty store.
     pub fn new() -> Self {
         CheckpointSlot {
-            current: None,
+            slots: [SlotState::empty(), SlotState::empty()],
+            last_installed: 0,
             taken: 0,
         }
     }
 
-    /// Install a new checkpoint, replacing the previous one.
+    /// Generation of the slot, 0 when empty or unverifiable.
+    fn slot_generation(&self, i: usize) -> u64 {
+        self.slots[i].cached.as_ref().map_or(0, |m| m.generation)
+    }
+
+    /// Index of the slot holding the newest verified generation, if any.
+    fn newest_valid(&self) -> Option<usize> {
+        let (g0, g1) = (self.slot_generation(0), self.slot_generation(1));
+        if g0 == 0 && g1 == 0 {
+            None
+        } else if g0 >= g1 {
+            Some(0)
+        } else {
+            Some(1)
+        }
+    }
+
+    /// Install a new checkpoint into the *older* slot, leaving the
+    /// previous generation untouched.
     pub fn install(&mut self, redo_from: Lsn, snapshot: S) {
-        self.current = Some(CheckpointMeta {
+        let target = if self.slot_generation(0) <= self.slot_generation(1) {
+            0
+        } else {
+            1
+        };
+        self.last_installed += 1;
+        let meta = CheckpointMeta {
+            generation: self.last_installed,
             redo_from,
             snapshot,
-        });
+        };
+        self.slots[target].image = encode_slot(&meta);
+        self.slots[target].cached = Some(meta);
         self.taken += 1;
     }
 
-    /// The most recent checkpoint, if any.
+    /// The newest checkpoint whose checksum verifies, if any.
     pub fn load(&self) -> Option<&CheckpointMeta<S>> {
-        self.current.as_ref()
+        self.newest_valid()
+            .and_then(|i| self.slots[i].cached.as_ref())
     }
 
-    /// The LSN redo should start from: the checkpoint's `redo_from`, or
-    /// [`Lsn::FIRST`] when no checkpoint exists.
+    /// The LSN redo should start from: the chosen checkpoint's
+    /// `redo_from`, or [`Lsn::FIRST`] when no slot verifies.
     pub fn redo_from(&self) -> Lsn {
-        self.current
-            .as_ref()
-            .map(|c| c.redo_from)
-            .unwrap_or(Lsn::FIRST)
+        self.load().map(|c| c.redo_from).unwrap_or(Lsn::FIRST)
+    }
+
+    /// The oldest LSN the log must retain so that recovery can fall back
+    /// one generation: the *older* verified slot's `redo_from`, or
+    /// [`Lsn::FIRST`] while fewer than two generations exist (falling back
+    /// from a lone checkpoint means replaying the whole log).
+    pub fn redo_floor(&self) -> Lsn {
+        match (&self.slots[0].cached, &self.slots[1].cached) {
+            (Some(a), Some(b)) => a.redo_from.min(b.redo_from),
+            _ => Lsn::FIRST,
+        }
+    }
+
+    /// Re-verify both slot images against their checksums (the recovery
+    /// entry point — the decoded cache is rebuilt from durable bytes, so a
+    /// corrupted slot surfaces here instead of being masked by the cache).
+    /// Returns the fallback report if the most recently installed
+    /// generation no longer verifies.
+    pub fn refresh(&mut self) -> Option<SlotFallback> {
+        for slot in &mut self.slots {
+            slot.cached = if slot.image.is_empty() {
+                None
+            } else {
+                decode_slot::<S>(&slot.image).ok()
+            };
+        }
+        if self.last_installed > 0
+            && self.slot_generation(0).max(self.slot_generation(1)) < self.last_installed
+        {
+            Some(SlotFallback {
+                bad_generation: self.last_installed,
+                used_generation: self.load().map(|m| m.generation),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Fault injection: flip one byte of slot `slot`'s image at `offset`.
+    /// Returns whether a byte was actually flipped (`false` for an empty
+    /// slot or out-of-range offset). The slot's cache is re-derived from
+    /// the damaged bytes, so [`load`](Self::load) immediately reflects the
+    /// corruption.
+    pub fn corrupt_slot(&mut self, slot: usize, offset: usize) -> bool {
+        let s = &mut self.slots[slot % 2];
+        if offset >= s.image.len() {
+            return false;
+        }
+        s.image[offset] ^= 0xA5;
+        s.cached = decode_slot::<S>(&s.image).ok();
+        true
+    }
+
+    /// Byte length of slot `slot`'s image (0 = empty). For tests that
+    /// sweep corruption offsets.
+    pub fn slot_image_len(&self, slot: usize) -> usize {
+        self.slots[slot % 2].image.len()
     }
 }
 
@@ -70,28 +257,122 @@ impl<S: Clone> CheckpointSlot<S> {
 mod tests {
     use super::*;
 
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Snap(u64);
+    impl Record for Snap {
+        fn encode(&self, w: &mut RecordWriter<'_>) {
+            w.u64(self.0);
+        }
+        fn decode(r: &mut RecordReader<'_>) -> Result<Self, DecodeError> {
+            Ok(Snap(r.u64()?))
+        }
+    }
+
     #[test]
     fn empty_slot_redoes_from_first() {
-        let slot: CheckpointSlot<u32> = CheckpointSlot::new();
+        let slot: CheckpointSlot<Snap> = CheckpointSlot::new();
         assert_eq!(slot.redo_from(), Lsn::FIRST);
+        assert_eq!(slot.redo_floor(), Lsn::FIRST);
         assert!(slot.load().is_none());
     }
 
     #[test]
     fn install_replaces_previous() {
         let mut slot = CheckpointSlot::new();
-        slot.install(Lsn(10), "a");
-        slot.install(Lsn(20), "b");
+        slot.install(Lsn(10), Snap(1));
+        slot.install(Lsn(20), Snap(2));
         let cp = slot.load().unwrap();
         assert_eq!(cp.redo_from, Lsn(20));
-        assert_eq!(cp.snapshot, "b");
+        assert_eq!(cp.snapshot, Snap(2));
+        assert_eq!(cp.generation, 2);
         assert_eq!(slot.taken, 2);
     }
 
     #[test]
     fn redo_from_reflects_checkpoint() {
         let mut slot = CheckpointSlot::new();
-        slot.install(Lsn(7), vec![1u8, 2, 3]);
+        slot.install(Lsn(7), Snap(3));
         assert_eq!(slot.redo_from(), Lsn(7));
+    }
+
+    #[test]
+    fn install_preserves_the_previous_generation() {
+        let mut slot = CheckpointSlot::new();
+        slot.install(Lsn(10), Snap(1));
+        // A lone generation's fallback is "no checkpoint": keep everything.
+        assert_eq!(slot.redo_floor(), Lsn::FIRST);
+        slot.install(Lsn(20), Snap(2));
+        assert_eq!(slot.redo_floor(), Lsn(10));
+        slot.install(Lsn(30), Snap(3));
+        // Slots now hold generations 2 and 3; generation 1 was overwritten.
+        assert_eq!(slot.redo_floor(), Lsn(20));
+        assert_eq!(slot.redo_from(), Lsn(30));
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_one_generation() {
+        let mut slot = CheckpointSlot::new();
+        slot.install(Lsn(10), Snap(1));
+        slot.install(Lsn(20), Snap(2));
+        // Find which physical slot holds generation 2 and damage it.
+        let newest = slot.newest_valid().unwrap();
+        assert!(slot.corrupt_slot(newest, slot.slot_image_len(newest) / 2));
+        let cp = slot.load().expect("older generation must survive");
+        assert_eq!(cp.generation, 1);
+        assert_eq!(cp.redo_from, Lsn(10));
+        let fb = slot.refresh().expect("fallback must be reported");
+        assert_eq!(fb.bad_generation, 2);
+        assert_eq!(fb.used_generation, Some(1));
+    }
+
+    #[test]
+    fn corrupt_both_slots_falls_back_to_nothing() {
+        let mut slot = CheckpointSlot::new();
+        slot.install(Lsn(10), Snap(1));
+        slot.install(Lsn(20), Snap(2));
+        assert!(slot.corrupt_slot(0, 3));
+        assert!(slot.corrupt_slot(1, 3));
+        assert!(slot.load().is_none());
+        assert_eq!(slot.redo_from(), Lsn::FIRST);
+        let fb = slot.refresh().unwrap();
+        assert_eq!(fb.bad_generation, 2);
+        assert_eq!(fb.used_generation, None);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        // CRC-32 catches any single-byte error, so no flip offset can
+        // yield a silently wrong checkpoint: the slot either verifies to
+        // the true generation or fails and falls back.
+        let mut reference = CheckpointSlot::new();
+        reference.install(Lsn(5), Snap(0xDEAD_BEEF));
+        reference.install(Lsn(9), Snap(0xFEED_FACE));
+        let newest = reference.newest_valid().unwrap();
+        for offset in 0..reference.slot_image_len(newest) {
+            let mut slot = reference.clone();
+            assert!(slot.corrupt_slot(newest, offset));
+            if let Some(cp) = slot.load() {
+                assert_eq!(cp.generation, 1, "flip at {offset} must not verify");
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_rebuilds_cache_from_durable_bytes() {
+        let mut slot = CheckpointSlot::new();
+        slot.install(Lsn(4), Snap(44));
+        assert!(slot.refresh().is_none(), "clean slots report no fallback");
+        let cp = slot.load().unwrap();
+        assert_eq!(cp.snapshot, Snap(44));
+        assert_eq!(cp.redo_from, Lsn(4));
+    }
+
+    #[test]
+    fn corrupt_out_of_range_or_empty_is_a_noop() {
+        let mut slot: CheckpointSlot<Snap> = CheckpointSlot::new();
+        assert!(!slot.corrupt_slot(0, 0), "empty slot has no bytes");
+        slot.install(Lsn(1), Snap(1));
+        let len = slot.slot_image_len(0).max(slot.slot_image_len(1));
+        assert!(!slot.corrupt_slot(0, len + 100) || !slot.corrupt_slot(1, len + 100));
     }
 }

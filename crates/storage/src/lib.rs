@@ -31,7 +31,9 @@ pub mod codec;
 pub mod log;
 pub mod lsn;
 
-pub use checkpoint::{CheckpointMeta, CheckpointSlot};
+pub use checkpoint::{CheckpointMeta, CheckpointSlot, SlotFallback};
 pub use codec::{DecodeError, Record, RecordReader, RecordWriter};
-pub use log::{LogStats, RecoveredLog, StableLog, TornTail, TornWrite};
+pub use log::{
+    LogStats, RecoveredLog, SalvageOutcome, SalvageReport, StableLog, TornTail, TornWrite,
+};
 pub use lsn::Lsn;

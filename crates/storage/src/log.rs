@@ -47,6 +47,14 @@ pub struct LogStats {
     /// Largest number of records hardened by a single force — the
     /// group-commit batch high-water mark.
     pub max_force_batch: u64,
+    /// Stable-region salvages performed by
+    /// [`StableLog::recover_salvage`] (mid-log corruption, not a benign
+    /// tail tear).
+    pub media_salvages: u64,
+    /// Durable records dropped by salvage truncation.
+    pub salvaged_records: u64,
+    /// Image bytes dropped by salvage truncation.
+    pub salvaged_bytes: u64,
 }
 
 impl LogStats {
@@ -61,6 +69,9 @@ impl LogStats {
         self.torn_writes += o.torn_writes;
         self.forces_elided += o.forces_elided;
         self.max_force_batch = self.max_force_batch.max(o.max_force_batch);
+        self.media_salvages += o.media_salvages;
+        self.salvaged_records += o.salvaged_records;
+        self.salvaged_bytes += o.salvaged_bytes;
     }
 }
 
@@ -96,6 +107,58 @@ pub struct RecoveredLog<R> {
     pub clean_bytes: usize,
     /// The torn tail, if the scan hit a bad frame.
     pub torn: Option<TornTail>,
+}
+
+/// Stable-region corruption found and repaired by
+/// [`StableLog::recover_salvage`]: a *durable* record failed
+/// verification, so the log was truncated at the first bad record and
+/// everything after it — valid frames included — was dropped (frame
+/// boundaries past a corrupt region cannot be trusted).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// LSN of the first durable record whose frame failed verification.
+    pub first_bad_lsn: Lsn,
+    /// Durable records dropped (the bad one and everything after it).
+    pub records_lost: u64,
+    /// Image bytes dropped, including any torn tail beyond the durable
+    /// region.
+    pub bytes_lost: u64,
+    /// The decode failure that ended the scan.
+    pub error: DecodeError,
+}
+
+/// Outcome of [`StableLog::recover_salvage`] — a recovery scan that
+/// classifies image damage and repairs the image in place.
+#[derive(Clone, Debug)]
+pub enum SalvageOutcome<R> {
+    /// Every frame verified; nothing was dropped.
+    Clean {
+        /// The durable entries, oldest first.
+        entries: Vec<(Lsn, R)>,
+    },
+    /// Benign tail tear: every *durable* record verified and only the
+    /// partially-written frame a crash mid-`force` leaves behind was
+    /// dropped — exactly what a clean crash would have lost anyway.
+    TailTear {
+        /// The durable entries, oldest first.
+        entries: Vec<(Lsn, R)>,
+        /// Bytes of torn frame discarded from the image.
+        bytes_dropped: u64,
+        /// The decode failure the tear produced.
+        error: DecodeError,
+    },
+    /// Stable-region corruption: a record that *was* durably forced no
+    /// longer verifies. The image was truncated at the first bad record;
+    /// `dropped` lists the records lost (for exact loss accounting by the
+    /// host) and `report` names the damage.
+    MediaDamage {
+        /// The surviving entries, oldest first.
+        entries: Vec<(Lsn, R)>,
+        /// The durable records the truncation dropped, oldest first.
+        dropped: Vec<(Lsn, R)>,
+        /// What was lost and why.
+        report: SalvageReport,
+    },
 }
 
 /// Encode `(lsn, rec)` as one frame: `len | crc | lsn ++ record payload`.
@@ -365,6 +428,78 @@ impl<R: Record> StableLog<R> {
         self.stable_image.truncate(clean);
         self.stats.stable_bytes = self.stable_image.len() as u64;
         dropped
+    }
+
+    /// Fault injection: flip the image bytes in `region` (clamped to the
+    /// image), modelling bit rot on the stable medium. Returns the number
+    /// of bytes flipped.
+    ///
+    /// The decoded cache is deliberately left alone — it mirrors what the
+    /// disk *should* hold, which is exactly what lets
+    /// [`recover_salvage`](Self::recover_salvage) name the first corrupt
+    /// record's LSN instead of guessing from damaged bytes.
+    pub fn corrupt_stable(&mut self, region: std::ops::Range<usize>) -> u64 {
+        let end = region.end.min(self.stable_image.len());
+        let start = region.start.min(end);
+        for b in &mut self.stable_image[start..end] {
+            *b ^= 0xA5;
+        }
+        (end - start) as u64
+    }
+
+    /// Length of the durable byte image (for choosing
+    /// [`corrupt_stable`](Self::corrupt_stable) offsets).
+    pub fn stable_image_len(&self) -> usize {
+        self.stable_image.len()
+    }
+
+    /// Recovery scan that classifies image damage and repairs in place.
+    ///
+    /// * every frame verifies → [`SalvageOutcome::Clean`];
+    /// * the scan fails only *past* the last durable record → the benign
+    ///   [`SalvageOutcome::TailTear`] a crash mid-`force` leaves (repaired
+    ///   exactly like [`repair_torn_tail`](Self::repair_torn_tail));
+    /// * the scan fails *at* a durable record → stable-region corruption:
+    ///   the image is truncated at the first bad record and
+    ///   [`SalvageOutcome::MediaDamage`] reports exactly which records
+    ///   were lost. Valid frames after the bad one are dropped too — a
+    ///   frame boundary past a corrupt region cannot be trusted.
+    pub fn recover_salvage(&mut self) -> SalvageOutcome<R> {
+        let scan = self.recover_lenient();
+        let Some(torn) = scan.torn else {
+            return SalvageOutcome::Clean {
+                entries: scan.entries,
+            };
+        };
+        let kept = scan.entries.len();
+        if kept >= self.stable.len() {
+            // All durable records verified: the bad bytes are the torn
+            // remnant of an unforced write, beyond everything durable.
+            self.stable_image.truncate(scan.clean_bytes);
+            self.stats.stable_bytes = self.stable_image.len() as u64;
+            return SalvageOutcome::TailTear {
+                entries: scan.entries,
+                bytes_dropped: torn.bytes_dropped,
+                error: torn.error,
+            };
+        }
+        let dropped: Vec<(Lsn, R)> = self.stable.split_off(kept);
+        let report = SalvageReport {
+            first_bad_lsn: dropped[0].0,
+            records_lost: dropped.len() as u64,
+            bytes_lost: torn.bytes_dropped,
+            error: torn.error,
+        };
+        self.stable_image.truncate(scan.clean_bytes);
+        self.stats.stable_bytes = self.stable_image.len() as u64;
+        self.stats.media_salvages += 1;
+        self.stats.salvaged_records += report.records_lost;
+        self.stats.salvaged_bytes += report.bytes_lost;
+        SalvageOutcome::MediaDamage {
+            entries: scan.entries,
+            dropped,
+            report,
+        }
     }
 
     /// Durable records with their LSNs, oldest first (no decode; the cache).
@@ -639,5 +774,106 @@ mod tests {
         assert!(scan.torn.is_none());
         assert_eq!(scan.clean_bytes as u64, log.stats().stable_bytes);
         assert_eq!(log.repair_torn_tail(), 0, "repair on clean log is a no-op");
+    }
+
+    #[test]
+    fn salvage_on_clean_log_is_clean() {
+        let mut log = StableLog::<R>::new();
+        log.append_force(R(1));
+        log.append_force(R(2));
+        match log.recover_salvage() {
+            SalvageOutcome::Clean { entries } => assert_eq!(entries.len(), 2),
+            other => panic!("expected Clean, got {other:?}"),
+        }
+        assert_eq!(log.stats().media_salvages, 0);
+    }
+
+    #[test]
+    fn salvage_classifies_torn_tail_as_benign() {
+        let mut log = StableLog::<R>::new();
+        log.append_force(R(1));
+        log.append(R(2));
+        assert!(log.crash_torn(TornWrite::Garbage));
+        match log.recover_salvage() {
+            SalvageOutcome::TailTear {
+                entries,
+                bytes_dropped,
+                ..
+            } => {
+                assert_eq!(entries, vec![(Lsn(0), R(1))]);
+                assert!(bytes_dropped > 0);
+            }
+            other => panic!("expected TailTear, got {other:?}"),
+        }
+        // The repair leaves a strict-recoverable image, like repair_torn_tail.
+        assert_eq!(log.recover().unwrap(), vec![R(1)]);
+        assert_eq!(log.stats().media_salvages, 0, "tail tears are not salvages");
+    }
+
+    #[test]
+    fn salvage_truncates_at_first_corrupt_durable_record() {
+        let mut log = StableLog::<R>::new();
+        for i in 0..5 {
+            log.append_force(R(i));
+        }
+        // Rot a byte inside the second frame: frame 0 occupies the first
+        // 24 bytes (8 header + 8 lsn + 8 payload), so offset 30 lands in
+        // frame 1's payload.
+        assert_eq!(log.corrupt_stable(30..31), 1);
+        match log.recover_salvage() {
+            SalvageOutcome::MediaDamage {
+                entries,
+                dropped,
+                report,
+            } => {
+                // Only the record before the damage survives; the valid
+                // frames after the corrupt one are dropped too.
+                assert_eq!(entries, vec![(Lsn(0), R(0))]);
+                assert_eq!(report.first_bad_lsn, Lsn(1));
+                assert_eq!(report.records_lost, 4);
+                assert_eq!(dropped.len(), 4);
+                assert_eq!(dropped[0], (Lsn(1), R(1)));
+                assert!(report.bytes_lost > 0);
+            }
+            other => panic!("expected MediaDamage, got {other:?}"),
+        }
+        // Repaired: the surviving prefix strict-recovers, cache agrees.
+        assert_eq!(log.recover().unwrap(), vec![R(0)]);
+        assert_eq!(log.stable_len(), 1);
+        let s = log.stats();
+        assert_eq!(s.media_salvages, 1);
+        assert_eq!(s.salvaged_records, 4);
+        // LSNs of salvaged records are never reused.
+        assert_eq!(log.append(R(9)), Lsn(5));
+    }
+
+    #[test]
+    fn salvage_with_corruption_and_torn_tail_reports_durable_loss() {
+        let mut log = StableLog::<R>::new();
+        for i in 0..3 {
+            log.append_force(R(i));
+        }
+        log.append(R(3));
+        // Corrupt a durable frame *and* tear the in-flight write.
+        assert_eq!(log.corrupt_stable(50..51), 1);
+        assert!(log.crash_torn(TornWrite::Truncated));
+        match log.recover_salvage() {
+            SalvageOutcome::MediaDamage { report, .. } => {
+                assert_eq!(report.first_bad_lsn, Lsn(2));
+                assert_eq!(report.records_lost, 1);
+            }
+            other => panic!("expected MediaDamage, got {other:?}"),
+        }
+        assert_eq!(log.recover().unwrap(), vec![R(0), R(1)]);
+    }
+
+    #[test]
+    fn corrupt_stable_clamps_to_image() {
+        let mut log = StableLog::<R>::new();
+        log.append_force(R(1));
+        let len = log.stable_image_len();
+        assert_eq!(log.corrupt_stable(len..len + 10), 0);
+        assert_eq!(log.corrupt_stable(len - 2..len + 10), 2);
+        assert!(log.recover().is_err());
     }
 }

@@ -139,6 +139,85 @@ fn shrinker_reduces_a_failing_campaign_to_a_minimal_replayable_schedule() {
     assert!(line.contains(&format!("digest={:08x}", minimal.digest())));
 }
 
+/// `ddmin` also minimizes *media-fault* reproductions. The healthy
+/// protocol survives bit rot (salvage + quarantine keep every oracle
+/// green), so the interesting predicate here is not "an oracle tripped"
+/// but "the rot actually bit": the shrinker must reduce a full
+/// media-intensity schedule to the 1-minimal pair that still produces a
+/// salvage — the `BitRot` arming plus one crash of the same site —
+/// and the replay line must round-trip it.
+#[test]
+fn bitrot_repro_shrinks_to_the_arming_and_one_crash() {
+    // Find a seed whose media campaign actually salvages something.
+    let (seed, cfg, schedule) = (0..30u64)
+        .find_map(|seed| {
+            let schedule = generate(seed, N_SITES, HORIZON_MS, &Intensity::media());
+            if !schedule
+                .events
+                .iter()
+                .any(|e| matches!(e, FaultEvent::BitRot { .. }))
+            {
+                return None;
+            }
+            let mut cfg = broken_campaign(seed);
+            cfg.site.unsafe_skip_recovery_redo = false; // healthy protocol
+            let r = run_campaign(&cfg, &schedule);
+            (r.passed() && r.salvages > 0).then_some((seed, cfg, schedule))
+        })
+        .expect("no salvaging media campaign in seeds 0..30");
+
+    let salvages = |indices: &[usize]| {
+        let r = run_campaign(&cfg, &schedule.subset(indices));
+        assert!(r.passed(), "healthy protocol must survive any subsequence");
+        r.salvages > 0
+    };
+    let kept = ddmin(schedule.events.len(), salvages);
+    let minimal = schedule.subset(&kept);
+
+    // The essence of a mid-log rot: the arming, and one crash of the
+    // same site to manifest it.
+    assert_eq!(kept.len(), 2, "shrunk: {:?}", minimal.events);
+    let rot_site = minimal.events.iter().find_map(|e| match e {
+        FaultEvent::BitRot { site } => Some(*site),
+        _ => None,
+    });
+    let rot_site = rot_site.expect("minimal schedule keeps the BitRot arming");
+    assert!(
+        minimal
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Crash { site, .. } if *site == rot_site)),
+        "minimal schedule keeps a crash of the rotted site: {:?}",
+        minimal.events
+    );
+
+    // 1-minimality: dropping either event loses the salvage.
+    for drop in 0..kept.len() {
+        let sub: Vec<usize> = kept
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != drop)
+            .map(|(_, &i)| i)
+            .collect();
+        assert!(
+            !salvages(&sub),
+            "not 1-minimal: still salvages without event {}",
+            kept[drop]
+        );
+    }
+
+    // The replay line round-trips the minimal schedule and its digest.
+    let replay = Replay::new(seed, "media-bitrot", &schedule, kept.clone());
+    let line = replay.to_string();
+    let keep_str = line
+        .split("keep=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .expect("replay line carries keep=");
+    assert_eq!(Replay::parse_keep(keep_str), Some(kept));
+    assert!(line.contains(&format!("digest={:08x}", minimal.digest())));
+}
+
 /// The healthy protocol survives the exact same campaigns — the failure
 /// above is the ablation's fault, not the nemesis being unfair.
 #[test]
