@@ -8,11 +8,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dvp_bench::{RunReport, Scenario};
-use dvp_core::{Fanout, RefillPolicy, SiteConfig};
+use dvp_core::{Fanout, Placement, ReactivePlacement, RefillPolicy, SiteConfig};
 use dvp_simnet::network::NetworkConfig;
 use dvp_simnet::time::{SimDuration, SimTime};
 use dvp_vmsg::VmConfig;
-use dvp_workloads::{AirlineWorkload, Workload};
+use dvp_workloads::{AirlineWorkload, HotspotDriftWorkload, Workload};
 
 fn until() -> SimTime {
     SimTime::ZERO + SimDuration::secs(10)
@@ -52,10 +52,12 @@ fn ablate_refill(c: &mut Criterion) {
         (RefillPolicy::DemandHalf, "half"),
         (RefillPolicy::All, "all"),
     ] {
-        let site = SiteConfig {
-            refill: policy,
-            ..Default::default()
-        };
+        let site = SiteConfig::builder()
+            .placement(Placement::Reactive(ReactivePlacement {
+                refill: policy,
+                ..Default::default()
+            }))
+            .build();
         let r = dvp(&w, site, NetworkConfig::reliable());
         eprintln!(
             "[ablation refill={name}] commits={} aborts={} requests={} donations={}",
@@ -72,10 +74,12 @@ fn ablate_fanout(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_fanout");
     let w = hub_workload();
     for (fanout, name) in [(Fanout::One, "one"), (Fanout::All, "all")] {
-        let site = SiteConfig {
-            fanout,
-            ..Default::default()
-        };
+        let site = SiteConfig::builder()
+            .placement(Placement::Reactive(ReactivePlacement {
+                fanout,
+                ..Default::default()
+            }))
+            .build();
         let r = dvp(&w, site, NetworkConfig::reliable());
         eprintln!(
             "[ablation fanout={name}] commits={} aborts={} requests={} messages={}",
@@ -167,9 +171,38 @@ fn ablate_timeout(c: &mut Criterion) {
     g.finish();
 }
 
+fn ablate_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_placement");
+    // A drifting hotspot is the regime that separates the three placement
+    // modes: Static strands value, Reactive chases yesterday's demand,
+    // Adaptive tracks the spike via demand EWMAs and hint-directed
+    // solicitation.
+    let w = HotspotDriftWorkload {
+        txns: 300,
+        ..Default::default()
+    }
+    .generate(2);
+    for (placement, name) in [
+        (Placement::Static, "static"),
+        (Placement::reactive(), "reactive"),
+        (Placement::adaptive(), "adaptive"),
+    ] {
+        let site = SiteConfig::builder().placement(placement).build();
+        let r = dvp(&w, site, NetworkConfig::reliable());
+        eprintln!(
+            "[ablation placement={name}] commits={} aborts={} requests={} frames={} fast_path={} hint_hits={}/{}",
+            r.committed, r.aborted, r.requests, r.frames, r.fast_path, r.hint_hits, r.hinted_solicits
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| dvp(&w, site, NetworkConfig::reliable()))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = ablate_refill, ablate_fanout, ablate_acks_and_window, ablate_coalesce, ablate_timeout
+    targets = ablate_refill, ablate_fanout, ablate_acks_and_window, ablate_coalesce, ablate_timeout, ablate_placement
 );
 criterion_main!(benches);

@@ -60,7 +60,7 @@ fn bench_read_gather(c: &mut Criterion) {
                 cfg = cfg.at(0, SimTime(1_000), TxnSpec::read(item));
                 let mut cl = Cluster::build(cfg);
                 cl.run_to_quiescence();
-                assert_eq!(cl.metrics().committed(), 1);
+                assert_eq!(cl.stats().txn.committed(), 1);
             })
         });
     }

@@ -1,6 +1,6 @@
 //! Engine throughput baseline: closed-loop DvP and 2PC runs over the
-//! banking and airline workloads, written to `BENCH_engine.json` (path
-//! overridable as argv[1]).
+//! banking, airline, and hotspot-drift workloads, written to
+//! `BENCH_engine.json` (path overridable as argv[1]).
 //!
 //! Where `kernel_baseline` measures the simulation kernel, this measures
 //! the *transaction engines* end to end: every scripted transaction is
@@ -19,14 +19,21 @@
 //!   coalescing many frames share one wire transmission, so
 //!   `datagrams_per_txn` (Vm wire datagrams) and `wire_bytes_per_txn`
 //!   report what actually hits the network.
+//! * `solicits_per_txn`, `fast_path_rate`, `hint_hit_rate` — the value-
+//!   placement columns: how often transactions had to solicit remote
+//!   value, how often they committed without leaving their site, and how
+//!   often a hint-directed solicitation paid off. The `*_adaptive` rows
+//!   run the same workload under `Placement::Adaptive` so the placement
+//!   delta is visible side by side.
 //!
 //! Scale via `DVP_SCALE=quick|full` or `--quick`; compare runs at
 //! identical scales only.
 
 use dvp_bench::{Scale, Scenario};
+use dvp_core::{Placement, SiteConfig};
 use dvp_simnet::time::{SimDuration, SimTime};
 use dvp_storage::LogStats;
-use dvp_workloads::{AirlineWorkload, BankingWorkload, Workload};
+use dvp_workloads::{AirlineWorkload, BankingWorkload, HotspotDriftWorkload, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -49,6 +56,15 @@ struct Row {
     wire_bytes: u64,
     /// Standalone-ack bytes avoided by piggybacking (0 for baseline).
     bytes_acked_piggyback: u64,
+    /// Solicitation requests sent (0 for the baseline engine).
+    solicits: u64,
+    /// Commits that never left the initiating site (0 for baseline).
+    fast_path: u64,
+    /// Hint-directed solicitations and how many paid off (adaptive only).
+    hinted_solicits: u64,
+    hint_hits: u64,
+    /// Hint entries piggybacked on Vm datagrams (adaptive only).
+    hints_sent: u64,
 }
 
 impl Row {
@@ -66,6 +82,15 @@ impl Row {
     }
     fn wire_bytes_per_txn(&self) -> f64 {
         self.wire_bytes as f64 / self.decided.max(1) as f64
+    }
+    fn solicits_per_txn(&self) -> f64 {
+        self.solicits as f64 / self.decided.max(1) as f64
+    }
+    fn fast_path_rate(&self) -> f64 {
+        self.fast_path as f64 / self.committed.max(1) as f64
+    }
+    fn hint_hit_rate(&self) -> f64 {
+        self.hint_hits as f64 / self.hinted_solicits.max(1) as f64
     }
 }
 
@@ -96,23 +121,40 @@ fn airline(scale: Scale) -> Workload {
     .generate(42)
 }
 
+fn hotspot(scale: Scale) -> Workload {
+    let txns = match scale {
+        Scale::Quick => 2_000,
+        Scale::Full => 20_000,
+    };
+    HotspotDriftWorkload {
+        txns,
+        epochs: 4,
+        // Supply scales with the run so the spike stays *tight* (the hot
+        // site's share is far below one epoch's withdrawals) without the
+        // workload ever exhausting the global pool.
+        per_item: txns as u64 * 4,
+        ..Default::default()
+    }
+    .generate(42)
+}
+
 /// Run a DvP scenario closed-loop (to quiescence) and harvest the row.
-fn run_dvp(name: &'static str, w: &Workload) -> Row {
-    let mut cl = Scenario::dvp(w).name(name).build_dvp();
+fn run_dvp(name: &'static str, w: &Workload, site: SiteConfig) -> Row {
+    let mut cl = Scenario::dvp(w).name(name).site(site).build_dvp();
     let t = Instant::now();
     cl.run_to_quiescence();
     let wall_secs = t.elapsed().as_secs_f64();
     cl.auditor()
         .check_conservation()
         .expect("conservation must hold in every benchmark run");
-    let m = cl.metrics();
+    let stats = cl.stats();
+    let m = &stats.txn;
     let LogStats {
         forces,
         forces_elided,
         max_force_batch,
         ..
-    } = cl.log_stats();
-    let vm = cl.vm_stats();
+    } = stats.log;
     Row {
         name,
         decided: m.committed() + m.aborted(),
@@ -123,9 +165,14 @@ fn run_dvp(name: &'static str, w: &Workload) -> Row {
         max_force_batch,
         frames: cl.sim.stats().frames_sent,
         messages: cl.sim.stats().sent,
-        datagrams: vm.datagrams_sent,
-        wire_bytes: vm.bytes_sent,
-        bytes_acked_piggyback: vm.bytes_acked_piggyback,
+        datagrams: stats.vm.datagrams_sent,
+        wire_bytes: stats.vm.bytes_sent,
+        bytes_acked_piggyback: stats.vm.bytes_acked_piggyback,
+        solicits: stats.placement.requests_sent,
+        fast_path: m.fast_path_commits(),
+        hinted_solicits: stats.placement.hinted_solicits,
+        hint_hits: stats.placement.hint_hits,
+        hints_sent: stats.placement.hints_sent,
     }
 }
 
@@ -157,6 +204,11 @@ fn run_trad(name: &'static str, w: &Workload) -> Row {
         datagrams: 0,
         wire_bytes: 0,
         bytes_acked_piggyback: 0,
+        solicits: 0,
+        fast_path: 0,
+        hinted_solicits: 0,
+        hint_hits: 0,
+        hints_sent: 0,
     }
 }
 
@@ -171,11 +223,20 @@ fn main() {
         Scale::from_env()
     };
 
+    let reactive = SiteConfig::default();
+    let adaptive = SiteConfig::builder()
+        .placement(Placement::adaptive())
+        .build();
+
     let bank = banking(scale);
     let air = airline(scale);
+    let hot = hotspot(scale);
     let rows = [
-        run_dvp("dvp_banking", &bank),
-        run_dvp("dvp_airline", &air),
+        run_dvp("dvp_banking", &bank, reactive),
+        run_dvp("dvp_banking_adaptive", &bank, adaptive),
+        run_dvp("dvp_airline", &air, reactive),
+        run_dvp("dvp_hotspot", &hot, reactive),
+        run_dvp("dvp_hotspot_adaptive", &hot, adaptive),
         run_trad("trad2pc_banking", &bank),
         run_trad("trad2pc_airline", &air),
     ];
@@ -183,7 +244,7 @@ fn main() {
     let mut json = String::from("{\n  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
         println!(
-            "{:<18} {:>7} decided  {:>8.3} s  {:>10.0} txns/s  {:>6.3} forces/txn  {:>7.3} frames/txn  {:>6.3} dgrams/txn",
+            "{:<22} {:>7} decided  {:>8.3} s  {:>10.0} txns/s  {:>6.3} forces/txn  {:>7.3} frames/txn  {:>6.3} dgrams/txn  {:>6.3} solicits/txn  {:>5.1}% fast-path  {}/{} hint hits",
             r.name,
             r.decided,
             r.wall_secs,
@@ -191,6 +252,10 @@ fn main() {
             r.forces_per_txn(),
             r.frames_per_txn(),
             r.datagrams_per_txn(),
+            r.solicits_per_txn(),
+            100.0 * r.fast_path_rate(),
+            r.hint_hits,
+            r.hinted_solicits,
         );
         let _ = write!(
             json,
@@ -199,7 +264,10 @@ fn main() {
              \"forces_elided\": {}, \"max_force_batch\": {}, \"frames\": {}, \
              \"frames_per_txn\": {:.4}, \"messages\": {}, \"datagrams\": {}, \
              \"datagrams_per_txn\": {:.4}, \"wire_bytes\": {}, \
-             \"wire_bytes_per_txn\": {:.4}, \"bytes_acked_piggyback\": {}}}",
+             \"wire_bytes_per_txn\": {:.4}, \"bytes_acked_piggyback\": {}, \
+             \"solicits\": {}, \"solicits_per_txn\": {:.4}, \"fast_path\": {}, \
+             \"fast_path_rate\": {:.4}, \"hinted_solicits\": {}, \"hint_hits\": {}, \
+             \"hint_hit_rate\": {:.4}, \"hints_sent\": {}}}",
             r.name,
             r.decided,
             r.committed,
@@ -217,6 +285,14 @@ fn main() {
             r.wire_bytes,
             r.wire_bytes_per_txn(),
             r.bytes_acked_piggyback,
+            r.solicits,
+            r.solicits_per_txn(),
+            r.fast_path,
+            r.fast_path_rate(),
+            r.hinted_solicits,
+            r.hint_hits,
+            r.hint_hit_rate(),
+            r.hints_sent,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

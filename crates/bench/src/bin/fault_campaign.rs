@@ -22,7 +22,7 @@
 
 use dvp_bench::table::phase_table;
 use dvp_bench::{sweep, BenchEnv, Table};
-use dvp_core::{ConcMode, SiteConfig};
+use dvp_core::{ConcMode, Placement, ReactivePlacement, SiteConfig};
 use dvp_nemesis::{
     ddmin, generate, legacy_environment, run_campaign, CampaignConfig, CampaignResult,
     FaultSchedule, Intensity, Replay,
@@ -46,11 +46,19 @@ fn configs() -> Vec<ProtoConfig> {
         checkpoint_every: Some(24),
         ..base
     };
-    let retry_rebalance = SiteConfig {
-        solicit_retries: 2,
-        rebalance: Some(Default::default()),
-        ..base
-    };
+    let retry_rebalance = SiteConfig::builder()
+        .solicit_retries(2)
+        .placement(Placement::Reactive(ReactivePlacement {
+            rebalance: Some(Default::default()),
+            ..Default::default()
+        }))
+        .build();
+    // Adaptive placement under the full fault mix: hints, demand
+    // estimators, and suspicion are all volatile, so every oracle must
+    // still pass with them churning through crashes and partitions.
+    let adaptive = SiteConfig::builder()
+        .placement(Placement::adaptive())
+        .build();
     let lazy_acks_ckpt = {
         let mut c = ckpt;
         c.vm.eager_acks = false;
@@ -88,6 +96,12 @@ fn configs() -> Vec<ProtoConfig> {
         ProtoConfig {
             name: "conc1-retry-rebalance",
             site: retry_rebalance,
+            net: legacy_environment(),
+            intensity: Intensity::standard(),
+        },
+        ProtoConfig {
+            name: "conc1-adaptive",
+            site: adaptive,
             net: legacy_environment(),
             intensity: Intensity::standard(),
         },

@@ -14,7 +14,7 @@ use crate::scenario::Scenario;
 use crate::sweep::sweep;
 use crate::table::{f2, pct, Table};
 use crate::Scale;
-use dvp_core::{RefillPolicy, SiteConfig};
+use dvp_core::{Placement, ReactivePlacement, RefillPolicy, SiteConfig};
 use dvp_simnet::time::{SimDuration, SimTime};
 use dvp_workloads::AirlineWorkload;
 
@@ -59,10 +59,12 @@ pub fn run(scale: Scale) -> Table {
             ..Default::default()
         }
         .generate(17);
-        let site = SiteConfig {
-            refill: policy,
-            ..Default::default()
-        };
+        let site = SiteConfig::builder()
+            .placement(Placement::Reactive(ReactivePlacement {
+                refill: policy,
+                ..Default::default()
+            }))
+            .build();
         let r = Scenario::dvp(&w).site(site).until(until).seed(3).run();
         let per_commit = |x: u64| {
             if r.committed == 0 {

@@ -41,7 +41,7 @@ fn dvp_read(n: usize) -> (u64, u64) {
     cfg = cfg.at(0, msec(1), TxnSpec::read(item));
     let mut cl = Cluster::build(cfg);
     cl.run_to_quiescence();
-    let m = cl.metrics();
+    let m = cl.stats().txn;
     assert_eq!(m.committed(), 1, "read must commit on a healthy network");
     cl.auditor().check_reads(&m).unwrap();
     (cl.sim.stats().sent, m.commit_latency_percentile(100.0))

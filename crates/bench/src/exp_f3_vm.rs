@@ -52,7 +52,7 @@ pub fn run(scale: Scale) -> Table {
         cl.run_until(msec(1 + reservations * 60 + scale.pick(30_000, 120_000)));
         cl.auditor().check_conservation().unwrap();
 
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         let created: u64 = (0..2)
             .map(|s| cl.sim.node(s).vm_endpoint().stats().created)
             .sum();

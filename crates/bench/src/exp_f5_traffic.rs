@@ -16,7 +16,7 @@ use crate::sweep::sweep;
 use crate::table::{f2, pct, Table};
 use crate::Scale;
 use dvp_core::item::Split;
-use dvp_core::{RefillPolicy, SiteConfig};
+use dvp_core::{Placement, ReactivePlacement, RefillPolicy, SiteConfig};
 use dvp_simnet::time::{SimDuration, SimTime};
 use dvp_workloads::AirlineWorkload;
 
@@ -68,10 +68,12 @@ pub fn run(scale: Scale) -> Table {
             ..Default::default()
         }
         .generate(23);
-        let site = SiteConfig {
-            refill: *policy,
-            ..Default::default()
-        };
+        let site = SiteConfig::builder()
+            .placement(Placement::Reactive(ReactivePlacement {
+                refill: *policy,
+                ..Default::default()
+            }))
+            .build();
         let r = Scenario::dvp(&w).site(site).until(until).seed(4).run();
         let per_commit = |x: u64| {
             if r.committed == 0 {

@@ -63,7 +63,7 @@ fn observe_dvp(net: NetworkConfig, faults: FaultPlan, probe_at: SimTime, until: 
     let undecided: u64 = (0..4).map(|s| cl.sim.node(s).active_txns() as u64).sum();
     cl.run_until(until);
     cl.auditor().check_conservation().unwrap();
-    let m = cl.metrics();
+    let m = cl.stats().txn;
     Obs {
         max_window_us: m.decision_latency_percentile(100.0),
         undecided_mid_fault: undecided,

@@ -96,7 +96,7 @@ pub fn run(scale: Scale) -> Table {
             let mut cl = Cluster::build(cfg);
             cl.run_until(until);
             cl.auditor().check_conservation().unwrap();
-            let m = cl.metrics();
+            let m = cl.stats().txn;
             let ttfc = first_commit_after(&m.sites[1].commits, msec(recover_at));
             vec![
                 k.to_string(),

@@ -73,7 +73,7 @@ pub fn run(scale: Scale) -> Table {
                 .unwrap_or_else(|e| panic!("seed {seed}, t={}ms: {e}", k * step));
             audits += 1;
         }
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         vec![
             seed.to_string(),
             (m.committed() + m.aborted()).to_string(),

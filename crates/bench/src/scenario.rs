@@ -207,9 +207,10 @@ impl Scenario {
         cl.auditor()
             .check_conservation()
             .expect("conservation must hold in every experiment");
-        let m = cl.metrics();
+        let stats = cl.stats();
+        let m = stats.txn;
+        let vm = stats.vm;
         let decisions = m.decision_latency();
-        let vm = cl.vm_stats();
         RunReport {
             scenario: self.name,
             seed: self.seed,
@@ -225,9 +226,14 @@ impl Scenario {
             datagrams: vm.datagrams_sent,
             wire_bytes: vm.bytes_sent,
             bytes_acked_piggyback: vm.bytes_acked_piggyback,
-            forces: cl.log_stats().forces,
-            requests: m.requests_sent(),
+            forces: stats.log.forces,
+            requests: stats.placement.requests_sent,
             donations: m.donations(),
+            fast_path: m.fast_path_commits(),
+            hinted_solicits: stats.placement.hinted_solicits,
+            hint_hits: stats.placement.hint_hits,
+            rebalances: stats.placement.rebalances,
+            hints_sent: stats.placement.hints_sent,
             still_blocked: 0,
             recovery_remote_msgs: m.sites.iter().map(|s| s.recovery_remote_messages).sum(),
             dropped_crashed: cl.sim.stats().dropped_crashed,
@@ -270,6 +276,11 @@ impl Scenario {
             forces: cl.log_stats().forces,
             requests: 0,
             donations: 0,
+            fast_path: 0,
+            hinted_solicits: 0,
+            hint_hits: 0,
+            rebalances: 0,
+            hints_sent: 0,
             still_blocked: m.still_blocked() as u64,
             recovery_remote_msgs: m.recovery_remote_messages(),
             dropped_crashed: cl.sim.stats().dropped_crashed,
@@ -332,6 +343,20 @@ pub struct RunReport {
     pub requests: u64,
     /// DvP donations performed.
     pub donations: u64,
+    /// Commits that never left their initiating site (local value was
+    /// adequate). `fast_path / committed` is the placement headline
+    /// metric: good placement pushes it toward 1.
+    pub fast_path: u64,
+    /// Solicitations aimed at one peer because of a fresh availability
+    /// hint (adaptive placement only).
+    pub hinted_solicits: u64,
+    /// Hinted solicitations whose hinted donor delivered value the
+    /// transaction consumed.
+    pub hint_hits: u64,
+    /// Rds rebalance transfers shipped.
+    pub rebalances: u64,
+    /// Availability-hint entries piggybacked on Vm datagrams.
+    pub hints_sent: u64,
     /// Transactions still blocked (in doubt) at harvest — always 0 for
     /// DvP, possibly nonzero for 2PC under partition.
     pub still_blocked: u64,

@@ -106,7 +106,7 @@ impl ClusterConfig {
 ///     .at(3, SimTime(1_000), TxnSpec::reserve(flight, 40));
 /// let mut cluster = Cluster::build(cfg);
 /// cluster.run_to_quiescence();
-/// assert_eq!(cluster.metrics().committed(), 1);
+/// assert_eq!(cluster.stats().txn.committed(), 1);
 /// cluster.auditor().check_conservation().unwrap();
 /// ```
 pub struct Cluster {
@@ -174,15 +174,37 @@ impl Cluster {
         self.sim.run_to_quiescence();
     }
 
-    /// Collect per-site metrics.
-    pub fn metrics(&self) -> ClusterMetrics {
-        ClusterMetrics {
+    /// One coherent snapshot of every counter layer: transaction engine,
+    /// Vm channel, stable log, and placement. This is the single stats
+    /// surface — reports and benchmarks pull everything from here rather
+    /// than stitching together per-layer accessors.
+    pub fn stats(&self) -> StatsView {
+        let txn = ClusterMetrics {
             sites: self
                 .sim
                 .nodes()
                 .iter()
                 .map(|s| s.metrics().clone())
                 .collect(),
+        };
+        let mut vm = dvp_vmsg::VmStats::default();
+        let mut log = dvp_storage::LogStats::default();
+        for site in self.sim.nodes() {
+            vm.absorb(site.vm_endpoint().stats());
+            log.merge(&site.log().stats());
+        }
+        let placement = PlacementStats {
+            requests_sent: txn.requests_sent(),
+            hinted_solicits: txn.hinted_solicits(),
+            hint_hits: txn.hint_hits(),
+            rebalances: txn.rebalances(),
+            hints_sent: vm.hints_sent,
+        };
+        StatsView {
+            txn,
+            vm,
+            log,
+            placement,
         }
     }
 
@@ -191,31 +213,45 @@ impl Cluster {
         Auditor::new(self.sim.nodes(), &self.catalog)
     }
 
-    /// Cluster-wide stable-log counters (forces, appends, batch sizes) —
-    /// the engine benchmarks report `forces / committed` from these.
-    pub fn log_stats(&self) -> dvp_storage::LogStats {
-        let mut total = dvp_storage::LogStats::default();
-        for site in self.sim.nodes() {
-            total.merge(&site.log().stats());
-        }
-        total
-    }
-
-    /// Cluster-wide Vm-layer counters (frames, datagrams, wire bytes,
-    /// piggybacked acks) — the coalescing benchmarks report
-    /// `datagrams / committed` and `bytes / txn` from these.
-    pub fn vm_stats(&self) -> dvp_vmsg::VmStats {
-        let mut total = dvp_vmsg::VmStats::default();
-        for site in self.sim.nodes() {
-            total.absorb(site.vm_endpoint().stats());
-        }
-        total
-    }
-
     /// The trace handle the cluster was built with.
     pub fn obs(&self) -> &Obs {
         self.sim.obs()
     }
+}
+
+/// Every counter layer of a [`Cluster`], captured at one instant by
+/// [`Cluster::stats`]. Benchmarks and run reports derive their columns
+/// from this view instead of poking at per-layer accessors.
+#[derive(Clone, Debug)]
+pub struct StatsView {
+    /// Per-site transaction-engine counters (commits, aborts, fast path).
+    pub txn: ClusterMetrics,
+    /// Cluster-wide Vm-layer counters (frames, datagrams, wire bytes,
+    /// piggybacked acks and hints).
+    pub vm: dvp_vmsg::VmStats,
+    /// Cluster-wide stable-log counters (forces, appends, batch sizes).
+    pub log: dvp_storage::LogStats,
+    /// Value-placement counters distilled from the layers above.
+    pub placement: PlacementStats,
+}
+
+/// How value moved around the cluster: solicitation traffic, hint
+/// effectiveness, and rebalancer activity. All advisory-layer counters —
+/// none of these affect commit/abort decisions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlacementStats {
+    /// Solicitation requests put on the wire (all fanouts).
+    pub requests_sent: u64,
+    /// Solicitations aimed at a single peer because a fresh availability
+    /// hint advertised surplus there.
+    pub hinted_solicits: u64,
+    /// Hinted solicitations whose hinted donor actually delivered value
+    /// that the soliciting transaction consumed.
+    pub hint_hits: u64,
+    /// Rds rebalance transfers shipped (reactive or adaptive).
+    pub rebalances: u64,
+    /// Availability-hint entries piggybacked on outgoing Vm datagrams.
+    pub hints_sent: u64,
 }
 
 #[cfg(test)]
@@ -223,7 +259,7 @@ mod tests {
     use super::*;
     use crate::item::Split;
     use crate::metrics::AbortReason;
-    use crate::policy::{ConcMode, Fanout, RefillPolicy};
+    use crate::policy::{ConcMode, Fanout, ReactivePlacement, RefillPolicy};
     use dvp_simnet::partition::PartitionSchedule;
     use dvp_simnet::time::SimDuration;
 
@@ -243,7 +279,7 @@ mod tests {
         let cfg = ClusterConfig::new(4, catalog).at(0, ms(1), TxnSpec::reserve(flight, 10));
         let mut cl = Cluster::build(cfg);
         cl.run_to_quiescence();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         assert_eq!(m.committed(), 1);
         assert_eq!(m.aborted(), 0);
         assert_eq!(m.sites[0].fast_path_commits, 1);
@@ -258,7 +294,7 @@ mod tests {
         let cfg = ClusterConfig::new(4, catalog).at(0, ms(1), TxnSpec::reserve(flight, 40));
         let mut cl = Cluster::build(cfg);
         cl.run_to_quiescence();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         assert_eq!(m.committed(), 1, "solicited reservation must commit");
         assert!(m.requests_sent() >= 1);
         assert!(m.donations() >= 1);
@@ -276,7 +312,7 @@ mod tests {
         let cfg = ClusterConfig::new(4, catalog).at(0, ms(1), TxnSpec::reserve(flight, 150));
         let mut cl = Cluster::build(cfg);
         cl.run_to_quiescence();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         assert_eq!(m.committed(), 0);
         assert_eq!(m.aborted_for(AbortReason::Timeout), 1);
         // No seats were consumed; redistribution may have occurred.
@@ -294,7 +330,7 @@ mod tests {
         cfg.net = NetworkConfig::reliable().with_partitions(sched);
         let mut cl = Cluster::build(cfg);
         cl.run_to_quiescence();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         assert_eq!(m.committed(), 1, "local work proceeds despite partition");
         assert_eq!(cl.sim.node(3).fragments().get(flight), 5);
         cl.auditor().check_conservation().unwrap();
@@ -311,7 +347,7 @@ mod tests {
         cfg.net = NetworkConfig::reliable().with_partitions(sched);
         let mut cl = Cluster::build(cfg);
         cl.run_to_quiescence();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         assert_eq!(m.aborted_for(AbortReason::Timeout), 1);
         let bound = cl.sim.node(3).config().txn_timeout.as_micros() + 1_000;
         assert!(
@@ -329,7 +365,7 @@ mod tests {
             .at(0, ms(30), TxnSpec::read(flight));
         let mut cl = Cluster::build(cfg);
         cl.run_to_quiescence();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         assert_eq!(m.committed(), 2);
         let reads: Vec<_> = m
             .global_commit_order()
@@ -349,7 +385,7 @@ mod tests {
         cfg.net = NetworkConfig::reliable().with_partitions(sched);
         let mut cl = Cluster::build(cfg);
         cl.run_to_quiescence();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         assert_eq!(m.committed(), 0, "read needs every fragment");
         assert_eq!(m.aborted_for(AbortReason::Timeout), 1);
         cl.auditor().check_conservation().unwrap();
@@ -364,7 +400,7 @@ mod tests {
         cfg.faults = FaultPlan::none().crash(ms(60), 2).recover(ms(100), 2);
         let mut cl = Cluster::build(cfg);
         cl.run_to_quiescence();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         cl.auditor().check_conservation().unwrap();
         assert_eq!(m.sites[2].recoveries, 1);
         assert_eq!(
@@ -391,7 +427,7 @@ mod tests {
             .at(1, ms(1), TxnSpec::transfer(b, a, 30));
         let mut cl = Cluster::build(cfg);
         cl.run_to_quiescence();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         cl.auditor().check_conservation().unwrap();
         // Whatever committed, totals moved consistently.
         let ta: crate::Qty = (0..2).map(|s| cl.sim.node(s).fragments().get(a)).sum();
@@ -413,7 +449,7 @@ mod tests {
         cfg.net = NetworkConfig::synchronous_ordered(SimDuration::millis(2));
         let mut cl = Cluster::build(cfg);
         cl.run_to_quiescence();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         assert_eq!(m.committed(), 2, "both must commit via queueing");
         cl.auditor().check_conservation().unwrap();
     }
@@ -452,7 +488,7 @@ mod tests {
             let mut cl = Cluster::build(cfg);
             cl.run_until(ms(60 * 20 + 2_000));
             cl.auditor().check_conservation().unwrap();
-            cl.metrics().committed()
+            cl.stats().txn.committed()
         };
         let without = run(0);
         let with = run(4);
@@ -473,9 +509,12 @@ mod tests {
             let flight = catalog.add("flight", 4_000, Split::Even); // 1000/site
             let mut cfg = ClusterConfig::new(4, catalog);
             if rebalance {
-                cfg.site.rebalance = Some(crate::policy::RebalanceConfig {
-                    every: SimDuration::millis(20),
-                    surplus_factor: 0.5, // ship aggressively once demand is known
+                cfg.site.placement = crate::policy::Placement::Reactive(ReactivePlacement {
+                    rebalance: Some(crate::policy::RebalanceConfig {
+                        every: SimDuration::millis(20),
+                        surplus_factor: 0.5, // ship aggressively once demand is known
+                    }),
+                    ..Default::default()
                 });
             }
             for k in 0..30u64 {
@@ -484,7 +523,7 @@ mod tests {
             let mut cl = Cluster::build(cfg);
             cl.run_until(ms(5_000));
             cl.auditor().check_conservation().unwrap();
-            let m = cl.metrics();
+            let m = cl.stats().txn;
             (
                 m.committed(),
                 m.requests_sent(),
@@ -513,10 +552,10 @@ mod tests {
             }
             let mut cl = Cluster::build(cfg);
             cl.run_to_quiescence();
-            assert_eq!(cl.metrics().committed(), 200);
+            assert_eq!(cl.stats().txn.committed(), 200);
             (
                 cl.sim.node(0).log().stable_len(),
-                cl.metrics().sites[0].checkpoints,
+                cl.stats().txn.sites[0].checkpoints,
             )
         };
         let (unbounded, cps0) = run(None);
@@ -546,7 +585,7 @@ mod tests {
             cl.run_to_quiescence();
             cl.auditor().check_conservation().unwrap();
             (
-                cl.metrics().committed(),
+                cl.stats().txn.committed(),
                 (0..4)
                     .map(|s| cl.sim.node(s).fragments().get(flight))
                     .collect::<Vec<_>>(),
@@ -586,11 +625,14 @@ mod tests {
     fn fanout_one_round_robin_works() {
         let (catalog, flight) = seats_catalog(100);
         let mut cfg = ClusterConfig::new(4, catalog).at(0, ms(1), TxnSpec::reserve(flight, 40));
-        cfg.site.fanout = Fanout::One;
-        cfg.site.refill = RefillPolicy::All;
+        cfg.site.placement = crate::policy::Placement::Reactive(ReactivePlacement {
+            fanout: Fanout::One,
+            refill: RefillPolicy::All,
+            rebalance: None,
+        });
         let mut cl = Cluster::build(cfg);
         cl.run_to_quiescence();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         assert_eq!(m.committed(), 1);
         assert_eq!(m.requests_sent(), 1, "fanout one sends a single request");
         cl.auditor().check_conservation().unwrap();

@@ -45,12 +45,13 @@ pub mod transfer;
 pub mod txn;
 
 pub use clock::{LamportClock, Ts, TxnId};
-pub use cluster::{Cluster, ClusterConfig, FaultPlan};
+pub use cluster::{Cluster, ClusterConfig, FaultPlan, PlacementStats, StatsView};
 pub use item::{Catalog, ItemId};
 pub use metrics::{AbortReason, ClusterMetrics, SiteMetrics};
 pub use ops::Op;
 pub use policy::{
-    ConcMode, Crashpoint, Fanout, InjectConfig, RebalanceConfig, RefillPolicy, SiteConfig,
+    AdaptivePlacement, ConcMode, Crashpoint, Fanout, HintChaos, InjectConfig, Placement,
+    ReactivePlacement, RebalanceConfig, RefillPolicy, SiteConfig, SiteConfigBuilder,
 };
 pub use site::SiteNode;
 pub use txn::{TxnOutcome, TxnSpec};

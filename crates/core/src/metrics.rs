@@ -86,6 +86,12 @@ pub struct SiteMetrics {
     pub absorbed: u64,
     /// Spontaneous rebalance shipments performed.
     pub rebalances: u64,
+    /// Solicitations directed at one hint-advertised peer instead of
+    /// broadcast (`Fanout::Hinted` with a fresh usable hint).
+    pub hinted_solicits: u64,
+    /// Hinted solicitations the hinted peer actually answered (the first
+    /// credit for the item came from the advertised donor).
+    pub hint_hits: u64,
     /// Checkpoints taken (snapshot + log truncation).
     pub checkpoints: u64,
     /// Transactions that committed on the write-only fast path (no
@@ -249,6 +255,26 @@ impl ClusterMetrics {
     /// Sum of donations made.
     pub fn donations(&self) -> u64 {
         self.sites.iter().map(|s| s.donations).sum()
+    }
+
+    /// Sum of spontaneous rebalance shipments.
+    pub fn rebalances(&self) -> u64 {
+        self.sites.iter().map(|s| s.rebalances).sum()
+    }
+
+    /// Sum of hint-directed solicitations.
+    pub fn hinted_solicits(&self) -> u64 {
+        self.sites.iter().map(|s| s.hinted_solicits).sum()
+    }
+
+    /// Sum of hinted solicitations the advertised donor answered.
+    pub fn hint_hits(&self) -> u64 {
+        self.sites.iter().map(|s| s.hint_hits).sum()
+    }
+
+    /// Sum of write-only fast-path commits (no solicitation round).
+    pub fn fast_path_commits(&self) -> u64 {
+        self.sites.iter().map(|s| s.fast_path_commits).sum()
     }
 
     /// Sum of crashpoint triggers fired (nemesis injection).

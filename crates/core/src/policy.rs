@@ -4,6 +4,15 @@
 //! studies to find the best ways to distribute the data, to design the
 //! transactions and to reduce the message traffic are needed", Section 9)
 //! — each is swept by an experiment or an ablation bench.
+//!
+//! Value-placement policy is folded into a single [`Placement`] type:
+//! [`Placement::Static`] never moves value, [`Placement::Reactive`] is
+//! the paper's baseline (demand-triggered refills plus an optional
+//! fixed-threshold rebalancer), and [`Placement::Adaptive`] layers the
+//! demand-adaptive subsystem on top (per-item demand EWMAs, availability
+//! hints piggybacked on Vm datagrams, hint-directed solicitation,
+//! predictive refill, and a demand-driven rebalancer). Configurations are
+//! assembled with [`SiteConfig::builder`].
 
 use crate::Qty;
 use dvp_simnet::time::SimDuration;
@@ -45,10 +54,19 @@ impl RefillPolicy {
 pub enum Fanout {
     /// One site, chosen round-robin. Minimal traffic, fragile under
     /// failures (no retry — a lost request means a timeout abort).
+    /// Peers recently seen unresponsive to a single-target solicitation
+    /// are skipped while their suspicion lasts.
     One,
     /// Every other site (the deficit is requested from each; donors cap
     /// by policy). Robust, chattier.
     All,
+    /// The peer with the highest *fresh* advertised surplus, learned from
+    /// availability hints gossiped on Vm datagrams. Falls back to `All`
+    /// when no usable hint is known (cold start, stale hints, suspect
+    /// peers), so losing every hint only costs extra messages, never
+    /// liveness. Only meaningful under [`Placement::Adaptive`] — without
+    /// it no hints flow and the fallback always fires.
+    Hinted,
 }
 
 /// Which concurrency-control scheme the sites run (paper Section 6).
@@ -65,15 +83,15 @@ pub enum ConcMode {
     Conc2,
 }
 
-/// Spontaneous-redistribution (proactive Rds transaction) policy.
+/// Fixed-threshold rebalancing, the reactive placement's optional
+/// proactive arm.
 ///
 /// The paper treats Rds transactions as free-standing ("Rds transactions
 /// may actually not redistribute any data item at all... may simply be
 /// used to send requests", §5) and asks for traffic-reducing
 /// distribution policies (§9). This policy ships a site's *surplus* —
 /// fragment value beyond a multiple of its initial quota — toward the
-/// site that most recently solicited the item (the demand hint), on a
-/// periodic timer.
+/// site that most recently solicited the item, on a periodic timer.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RebalanceConfig {
     /// How often the rebalancer wakes.
@@ -88,6 +106,180 @@ impl Default for RebalanceConfig {
             every: SimDuration::millis(25),
             surplus_factor: 2.0,
         }
+    }
+}
+
+/// The paper-baseline placement policy: value moves only when demanded
+/// (refill solicitations), optionally plus a fixed-threshold rebalancer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReactivePlacement {
+    /// Refill donation policy.
+    pub refill: RefillPolicy,
+    /// Solicitation fan-out.
+    pub fanout: Fanout,
+    /// Proactive surplus shipping (`None` = off, the paper's baseline).
+    pub rebalance: Option<RebalanceConfig>,
+}
+
+impl Default for ReactivePlacement {
+    fn default() -> Self {
+        ReactivePlacement {
+            refill: RefillPolicy::DemandExact,
+            fanout: Fanout::All,
+            rebalance: None,
+        }
+    }
+}
+
+/// Adversarial hint handling, for proving hints are safety-inert.
+///
+/// **Test-only** (like the `unsafe_skip_*` ablation flags): production
+/// configurations keep `None`. The placement proptests run every mode
+/// and assert that no commit/abort decision changes when hints are not
+/// steering (fan-out ≠ `Hinted`), and that every safety oracle holds
+/// when they are.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HintChaos {
+    /// Hints are processed normally.
+    #[default]
+    None,
+    /// Every received hint is discarded.
+    Drop,
+    /// Every received hint is applied twice.
+    Duplicate,
+    /// Every received hint is recorded as already expired.
+    Stale,
+}
+
+/// Parameters of the demand-adaptive placement subsystem.
+///
+/// All state the subsystem accumulates — demand EWMAs, the advertised-
+/// surplus hint table, peer suspicion — is **volatile**: wiped on crash,
+/// never logged, never consulted by recovery. Hints in particular are
+/// pure gossip riding existing Vm datagrams; a site that believes a
+/// wrong, stale, or missing hint only pays extra messages or a timeout,
+/// never a safety violation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptivePlacement {
+    /// Solicitation fan-out (default [`Fanout::Hinted`]).
+    pub fanout: Fanout,
+    /// Base refill amount; the predictive top-up (toward the requester's
+    /// advertised demand estimate) is added on top, capped by what the
+    /// donor can spare beyond its own predicted demand.
+    pub refill: RefillPolicy,
+    /// How often the demand-driven rebalancer wakes.
+    pub every: SimDuration,
+    /// EWMA gain for the demand estimators (0 < gain ≤ 1; higher tracks
+    /// shifts faster but is noisier).
+    pub gain: f64,
+    /// Advertised-surplus hints older than this are ignored by
+    /// [`Fanout::Hinted`] targeting (volatile gossip must expire).
+    pub hint_ttl: SimDuration,
+    /// At most this many per-item hints ride each outgoing datagram.
+    pub max_hints: u32,
+    /// A donor keeps `headroom ×` its own predicted demand before
+    /// counting value as spareable surplus (for both predictive refill
+    /// and the rebalancer).
+    pub headroom: f64,
+    /// Adversarial hint handling (test-only; see [`HintChaos`]).
+    pub chaos: HintChaos,
+}
+
+impl Default for AdaptivePlacement {
+    fn default() -> Self {
+        AdaptivePlacement {
+            fanout: Fanout::Hinted,
+            refill: RefillPolicy::DemandExact,
+            every: SimDuration::millis(25),
+            gain: 0.25,
+            hint_ttl: SimDuration::millis(100),
+            max_hints: 16,
+            headroom: 1.5,
+            chaos: HintChaos::None,
+        }
+    }
+}
+
+/// Where value sits and how it moves: the unified placement policy.
+///
+/// Replaces the former loose trio of `refill` + `fanout` + `rebalance`
+/// knobs on `SiteConfig`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Placement {
+    /// Value never moves: every refill solicitation is declined, so a
+    /// transaction exceeding its local fragment aborts at its timeout.
+    /// Full-value *reads* still work (the Section 5 read protocol ships
+    /// fragments under leases — that is reading, not re-placement).
+    /// The ablation floor: what partitioning costs with no redistribution
+    /// at all.
+    Static,
+    /// The paper's baseline: demand-triggered refills, optional
+    /// fixed-threshold rebalancer. The default.
+    Reactive(ReactivePlacement),
+    /// The demand-adaptive subsystem: demand EWMAs, piggybacked
+    /// availability hints, hint-directed solicitation, predictive refill,
+    /// demand-driven rebalancing.
+    Adaptive(AdaptivePlacement),
+}
+
+impl Default for Placement {
+    fn default() -> Self {
+        Placement::Reactive(ReactivePlacement::default())
+    }
+}
+
+impl Placement {
+    /// The default reactive policy (demand-exact refills, full fan-out,
+    /// no rebalancer) — today's and the paper's baseline.
+    pub fn reactive() -> Self {
+        Placement::default()
+    }
+
+    /// The default adaptive policy.
+    pub fn adaptive() -> Self {
+        Placement::Adaptive(AdaptivePlacement::default())
+    }
+
+    /// Solicitation fan-out under this policy. `Static` solicits with
+    /// full fan-out (requests are part of the protocol; donors decline).
+    pub fn fanout(&self) -> Fanout {
+        match self {
+            Placement::Static => Fanout::All,
+            Placement::Reactive(r) => r.fanout,
+            Placement::Adaptive(a) => a.fanout,
+        }
+    }
+
+    /// Base refill amount a donor grants, before any adaptive top-up.
+    /// `Static` grants nothing.
+    pub fn base_refill(&self, need: Qty, have: Qty) -> Qty {
+        match self {
+            Placement::Static => 0,
+            Placement::Reactive(r) => r.refill.amount(need, have),
+            Placement::Adaptive(a) => a.refill.amount(need, have),
+        }
+    }
+
+    /// The rebalance wake interval, if any arm of this policy rebalances.
+    pub fn rebalance_every(&self) -> Option<SimDuration> {
+        match self {
+            Placement::Static => None,
+            Placement::Reactive(r) => r.rebalance.map(|rb| rb.every),
+            Placement::Adaptive(a) => Some(a.every),
+        }
+    }
+
+    /// The adaptive parameters, when this policy is adaptive.
+    pub fn adaptive_params(&self) -> Option<&AdaptivePlacement> {
+        match self {
+            Placement::Adaptive(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether the demand-adaptive subsystem is on.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, Placement::Adaptive(_))
     }
 }
 
@@ -171,7 +363,7 @@ impl InjectConfig {
     }
 }
 
-/// Per-site protocol configuration.
+/// Per-site protocol configuration. Assemble with [`SiteConfig::builder`].
 #[derive(Clone, Copy, Debug)]
 pub struct SiteConfig {
     /// Transaction timeout: solicited value must arrive within this span
@@ -179,10 +371,8 @@ pub struct SiteConfig {
     pub txn_timeout: SimDuration,
     /// Retransmission interval for outstanding Vms.
     pub retransmit_every: SimDuration,
-    /// Refill donation policy.
-    pub refill: RefillPolicy,
-    /// Solicitation fan-out.
-    pub fanout: Fanout,
+    /// Value-placement policy (refill, fan-out, rebalancing, adaptivity).
+    pub placement: Placement,
     /// Concurrency-control scheme.
     pub conc: ConcMode,
     /// How long a donor's read lease pins the drained item. Must exceed
@@ -196,8 +386,6 @@ pub struct SiteConfig {
     /// `0` = the paper's baseline pessimism. Retries are spaced evenly
     /// inside the timeout window, so the decision bound is unchanged.
     pub solicit_retries: u32,
-    /// Proactive surplus shipping (`None` = off, the paper's baseline).
-    pub rebalance: Option<RebalanceConfig>,
     /// Take a checkpoint (snapshot + log truncation) whenever the stable
     /// log exceeds this many records (`None` = never; §7's "the number of
     /// redo actions required can be reduced in the usual manner").
@@ -231,7 +419,9 @@ pub struct SiteConfig {
     /// discipline holds per datagram: the flush forces the log once, then
     /// drains. Off reproduces the original one-transmission-per-frame
     /// wire behaviour byte-for-byte (golden-trace pinned, like
-    /// [`group_commit`](Self::group_commit)).
+    /// [`group_commit`](Self::group_commit)). Availability hints ride
+    /// only on coalesced datagrams, so adaptive placement wants this on
+    /// (the default).
     pub coalesce: bool,
     /// How long an owed standalone ack may wait for reverse data traffic
     /// to piggyback on before the delayed-ack timer flushes it as an
@@ -257,13 +447,11 @@ impl Default for SiteConfig {
         SiteConfig {
             txn_timeout,
             retransmit_every: SimDuration::millis(10),
-            refill: RefillPolicy::DemandExact,
-            fanout: Fanout::All,
+            placement: Placement::default(),
             conc: ConcMode::Conc1,
             read_lease: txn_timeout.saturating_mul(2),
             vm: VmConfig::default(),
             solicit_retries: 0,
-            rebalance: None,
             checkpoint_every: None,
             unsafe_skip_read_drain_gate: false,
             unsafe_skip_recovery_redo: false,
@@ -276,11 +464,128 @@ impl Default for SiteConfig {
 }
 
 impl SiteConfig {
+    /// Start a builder from the default configuration.
+    pub fn builder() -> SiteConfigBuilder {
+        SiteConfigBuilder {
+            cfg: SiteConfig::default(),
+        }
+    }
+
     /// Set the transaction timeout, keeping the read lease at 2× it.
     pub fn with_timeout(mut self, t: SimDuration) -> Self {
         self.txn_timeout = t;
         self.read_lease = t.saturating_mul(2);
         self
+    }
+}
+
+/// Typed builder for [`SiteConfig`] — the one front door for assembling
+/// configurations (field-poking is reserved for the engine internals).
+///
+/// ```
+/// # use dvp_core::{SiteConfig, Placement, ConcMode};
+/// let cfg = SiteConfig::builder()
+///     .placement(Placement::adaptive())
+///     .checkpoint_every(24)
+///     .build();
+/// assert!(cfg.placement.is_adaptive());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SiteConfigBuilder {
+    cfg: SiteConfig,
+}
+
+impl SiteConfigBuilder {
+    /// Transaction timeout; the read lease follows at 2× (override it
+    /// afterwards with [`read_lease`](Self::read_lease) if needed).
+    pub fn timeout(mut self, t: SimDuration) -> Self {
+        self.cfg = self.cfg.with_timeout(t);
+        self
+    }
+
+    /// Retransmission interval for outstanding Vms.
+    pub fn retransmit_every(mut self, t: SimDuration) -> Self {
+        self.cfg.retransmit_every = t;
+        self
+    }
+
+    /// Value-placement policy.
+    pub fn placement(mut self, p: Placement) -> Self {
+        self.cfg.placement = p;
+        self
+    }
+
+    /// Concurrency-control scheme.
+    pub fn conc(mut self, c: ConcMode) -> Self {
+        self.cfg.conc = c;
+        self
+    }
+
+    /// Read-lease duration (defaults to 2× the timeout; must exceed the
+    /// requester's decision bound for reads to stay exact).
+    pub fn read_lease(mut self, t: SimDuration) -> Self {
+        self.cfg.read_lease = t;
+        self
+    }
+
+    /// Vm-layer knobs (window, eager acks).
+    pub fn vm(mut self, vm: VmConfig) -> Self {
+        self.cfg.vm = vm;
+        self
+    }
+
+    /// Extra solicitation rounds inside the timeout window.
+    pub fn solicit_retries(mut self, n: u32) -> Self {
+        self.cfg.solicit_retries = n;
+        self
+    }
+
+    /// Checkpoint once the un-checkpointed stable suffix exceeds `n`
+    /// records.
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.cfg.checkpoint_every = Some(n);
+        self
+    }
+
+    /// Group commit on/off (off = per-record forcing, golden-pinned).
+    pub fn group_commit(mut self, on: bool) -> Self {
+        self.cfg.group_commit = on;
+        self
+    }
+
+    /// Link-level coalescing on/off (off = per-frame wire, golden-pinned).
+    pub fn coalesce(mut self, on: bool) -> Self {
+        self.cfg.coalesce = on;
+        self
+    }
+
+    /// Delayed-ack window for coalesced owed acks.
+    pub fn ack_delay(mut self, t: SimDuration) -> Self {
+        self.cfg.ack_delay = t;
+        self
+    }
+
+    /// Nemesis fault injection.
+    pub fn inject(mut self, inject: InjectConfig) -> Self {
+        self.cfg.inject = inject;
+        self
+    }
+
+    /// **Ablation-only**: disable the read-drain gate.
+    pub fn unsafe_skip_read_drain_gate(mut self, on: bool) -> Self {
+        self.cfg.unsafe_skip_read_drain_gate = on;
+        self
+    }
+
+    /// **Ablation-only**: skip the recovery redo pass.
+    pub fn unsafe_skip_recovery_redo(mut self, on: bool) -> Self {
+        self.cfg.unsafe_skip_recovery_redo = on;
+        self
+    }
+
+    /// Finish: the assembled configuration.
+    pub fn build(self) -> SiteConfig {
+        self.cfg
     }
 }
 
@@ -326,5 +631,60 @@ mod tests {
         let c = SiteConfig::default().with_timeout(SimDuration::millis(20));
         assert_eq!(c.txn_timeout, SimDuration::millis(20));
         assert_eq!(c.read_lease, SimDuration::millis(40));
+    }
+
+    #[test]
+    fn default_placement_is_the_paper_baseline() {
+        let p = Placement::default();
+        assert_eq!(p, Placement::reactive());
+        assert_eq!(p.fanout(), Fanout::All);
+        assert_eq!(p.base_refill(5, 10), 5, "demand-exact");
+        assert_eq!(p.rebalance_every(), None);
+        assert!(!p.is_adaptive());
+    }
+
+    #[test]
+    fn static_placement_never_grants() {
+        let p = Placement::Static;
+        assert_eq!(p.base_refill(5, 100), 0);
+        assert_eq!(p.rebalance_every(), None);
+    }
+
+    #[test]
+    fn adaptive_placement_defaults() {
+        let p = Placement::adaptive();
+        assert!(p.is_adaptive());
+        assert_eq!(p.fanout(), Fanout::Hinted);
+        let a = p.adaptive_params().unwrap();
+        assert!(a.gain > 0.0 && a.gain <= 1.0);
+        assert!(a.headroom >= 1.0);
+        assert_eq!(a.chaos, HintChaos::None);
+        assert_eq!(
+            p.rebalance_every(),
+            Some(a.every),
+            "adaptive always rebalances"
+        );
+    }
+
+    #[test]
+    fn builder_assembles_and_scales_lease() {
+        let cfg = SiteConfig::builder()
+            .timeout(SimDuration::millis(20))
+            .placement(Placement::Adaptive(AdaptivePlacement {
+                max_hints: 4,
+                ..Default::default()
+            }))
+            .conc(ConcMode::Conc2)
+            .solicit_retries(2)
+            .checkpoint_every(24)
+            .coalesce(false)
+            .build();
+        assert_eq!(cfg.txn_timeout, SimDuration::millis(20));
+        assert_eq!(cfg.read_lease, SimDuration::millis(40));
+        assert_eq!(cfg.conc, ConcMode::Conc2);
+        assert_eq!(cfg.solicit_retries, 2);
+        assert_eq!(cfg.checkpoint_every, Some(24));
+        assert!(!cfg.coalesce);
+        assert_eq!(cfg.placement.adaptive_params().unwrap().max_hints, 4);
     }
 }

@@ -32,7 +32,9 @@ use crate::fragment::FragmentStore;
 use crate::item::ItemId;
 use crate::locks::{Holder, LockTable};
 use crate::metrics::{AbortReason, CommitEntry, SiteMetrics};
-use crate::policy::{ConcMode, Crashpoint, Fanout, SiteConfig};
+use crate::policy::{
+    AdaptivePlacement, ConcMode, Crashpoint, Fanout, HintChaos, Placement, SiteConfig,
+};
 use crate::record::SiteRecord;
 use crate::transfer::{Transfer, TransferKind};
 use crate::txn::TxnSpec;
@@ -82,6 +84,12 @@ pub enum Body {
         item: ItemId,
         /// Amount needed (ignored for reads).
         need: Qty,
+        /// The requester's *estimated* ongoing demand for the item
+        /// (its own EWMA, rounded up). Donors under adaptive placement
+        /// refill toward this instead of just the instant `need`;
+        /// always 0 when the adaptive subsystem is off, making the
+        /// field inert there.
+        demand: Qty,
         /// Whether this is a full-value read solicitation.
         read: bool,
     },
@@ -116,6 +124,7 @@ enum Waiter {
         from: NodeId,
         txn: Ts,
         need: Qty,
+        demand: Qty,
         read: bool,
     },
 }
@@ -140,6 +149,10 @@ struct ActiveTxn {
     solicited: bool,
     /// Remaining solicitation retries (see `SiteConfig::solicit_retries`).
     retries_left: u32,
+    /// Per item: the single peer a `One`/`Hinted` solicitation targeted
+    /// (`true` = hint-selected). Feeds hint-hit accounting and, on a
+    /// timeout abort, peer suspicion.
+    single_targets: BTreeMap<ItemId, (NodeId, bool)>,
 }
 
 impl ActiveTxn {
@@ -255,11 +268,31 @@ pub struct SiteNode {
     vm_item: BTreeMap<(NodeId, Seq), ItemId>,
     /// Initial per-item quota (the rebalancer's target level).
     initial_quotas: Vec<Qty>,
-    /// Last site to solicit each item — where demand lives (rebalancer).
+    /// Last site to solicit each item — where demand lives (the
+    /// reactive fixed-threshold rebalancer's targeting signal).
     demand_hint: BTreeMap<ItemId, NodeId>,
+    /// Adaptive placement: this site's own per-item demand EWMA, fed by
+    /// local transaction demands and timeout deficits. Volatile.
+    own_demand: BTreeMap<ItemId, f64>,
+    /// Adaptive placement: per-(item, peer) solicited-demand EWMA, fed
+    /// by incoming requests (the demand-driven rebalancer's targeting
+    /// and sizing signal). Volatile.
+    peer_demand: BTreeMap<(ItemId, NodeId), f64>,
+    /// Adaptive placement: advertised-surplus hints received from peers,
+    /// with their arrival instant (expired by `hint_ttl`). Volatile
+    /// gossip — never consulted by anything safety-bearing.
+    hint_table: BTreeMap<(ItemId, NodeId), (Qty, SimTime)>,
+    /// Peers suspected unresponsive after an unanswered single-target
+    /// solicitation, until the stored instant. Any message from the
+    /// peer clears it. Volatile.
+    suspect_until: BTreeMap<NodeId, SimTime>,
     /// Round-robin pointer for `Fanout::One`.
     rr: usize,
     retransmit_armed: bool,
+    /// A periodic rebalance timer is pending. The timer is idle-aware:
+    /// ticks re-arm only while the site has local activity, and arrivals
+    /// or messages re-arm it, so a drained cluster reaches quiescence.
+    rebalance_armed: bool,
     /// Times the armed crashpoint has been reached (survives crashes so
     /// `crash_on_hit` counts protocol events, not boots).
     crashpoint_hits: u32,
@@ -338,12 +371,17 @@ impl SiteNode {
             active: BTreeMap::new(),
             initial_quotas: quotas,
             demand_hint: BTreeMap::new(),
+            own_demand: BTreeMap::new(),
+            peer_demand: BTreeMap::new(),
+            hint_table: BTreeMap::new(),
+            suspect_until: BTreeMap::new(),
             lock_queue: BTreeMap::new(),
             outstanding_out: BTreeMap::new(),
             lease_timers: BTreeMap::new(),
             vm_item: BTreeMap::new(),
             rr: (id + 1) % n.max(1),
             retransmit_armed: false,
+            rebalance_armed: false,
             crashpoint_hits: 0,
             crashpoint_tripped: false,
             crash_pending: false,
@@ -457,6 +495,119 @@ impl SiteNode {
         ctx.send(to, ProtoMsg { lamport, body });
     }
 
+    // ---- adaptive placement ----------------------------------------------
+
+    /// Feed the own-demand estimator with one observed local need.
+    fn note_own_demand(&mut self, item: ItemId, qty: Qty) {
+        let gain = match self.cfg.placement.adaptive_params() {
+            Some(a) => a.gain,
+            None => return,
+        };
+        let e = self.own_demand.entry(item).or_insert(0.0);
+        *e += gain * (qty as f64 - *e);
+    }
+
+    /// Feed the per-peer solicited-demand estimator (incoming requests).
+    fn note_peer_demand(&mut self, item: ItemId, from: NodeId, qty: Qty) {
+        let gain = match self.cfg.placement.adaptive_params() {
+            Some(a) => a.gain,
+            None => return,
+        };
+        let e = self.peer_demand.entry((item, from)).or_insert(0.0);
+        *e += gain * (qty as f64 - *e);
+    }
+
+    /// Fragment value beyond the headroom this site keeps for its own
+    /// predicted demand — what it can advertise, predictively donate, or
+    /// proactively rebalance away.
+    fn spare(&self, item: ItemId, a: &AdaptivePlacement) -> Qty {
+        let have = self.frags.get(item);
+        let own = self.own_demand.get(&item).copied().unwrap_or(0.0);
+        have.saturating_sub((a.headroom * own).ceil() as Qty)
+    }
+
+    /// The demand figure a solicitation advertises: the requester's own
+    /// EWMA estimate, at least the instant need. Zero (inert) when the
+    /// adaptive subsystem is off.
+    fn advertised_demand(&self, item: ItemId, need: Qty) -> Qty {
+        if !self.cfg.placement.is_adaptive() {
+            return 0;
+        }
+        let e = self.own_demand.get(&item).copied().unwrap_or(0.0);
+        need.max(e.ceil() as Qty)
+    }
+
+    /// Recompute the availability hints riding every outgoing datagram:
+    /// the top `max_hints` items by spareable surplus. Advisory gossip —
+    /// a peer believing a stale figure only wastes a solicitation.
+    fn refresh_hints(&mut self) {
+        let a = match self.cfg.placement.adaptive_params() {
+            Some(a) => *a,
+            None => return,
+        };
+        let mut hints: Vec<(u32, u64)> = (0..self.initial_quotas.len())
+            .filter_map(|idx| {
+                let item = ItemId(idx as u32);
+                let s = self.spare(item, &a);
+                (s > 0).then_some((item.0, s))
+            })
+            .collect();
+        hints.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        hints.truncate(a.max_hints as usize);
+        self.vm.set_hints(hints);
+    }
+
+    /// Record arriving availability hints (through the chaos knob, for
+    /// the safety-inertness proptests).
+    fn ingest_hints(&mut self, from: NodeId, hints: &[(u32, u64)], now: SimTime) {
+        let chaos = match self.cfg.placement.adaptive_params() {
+            Some(a) => a.chaos,
+            None => return, // subsystem off: arriving hints are ignored
+        };
+        if chaos == HintChaos::Drop {
+            return;
+        }
+        let reps = if chaos == HintChaos::Duplicate { 2 } else { 1 };
+        for _ in 0..reps {
+            for &(item, surplus) in hints {
+                self.hint_table.insert((ItemId(item), from), (surplus, now));
+            }
+        }
+    }
+
+    /// The peer with the highest fresh advertised surplus for `item`
+    /// (suspects and expired hints excluded). `None` ⇒ the `Hinted`
+    /// fan-out falls back to broadcast.
+    fn hinted_target(&self, item: ItemId, need: Qty, now: SimTime) -> Option<(NodeId, Qty)> {
+        let a = self.cfg.placement.adaptive_params()?;
+        if a.chaos == HintChaos::Stale {
+            return None; // chaos: every hint is treated as expired
+        }
+        let mut best: Option<(NodeId, Qty)> = None;
+        for (&(i, peer), &(surplus, at)) in &self.hint_table {
+            // A hint below the need would aim the whole solicitation at a
+            // donor that cannot cover it — under Conc1's silent declines
+            // that burns the full timeout, so such hints don't qualify.
+            if i != item || peer == self.id || surplus < need.max(1) {
+                continue;
+            }
+            if now.since(at) > a.hint_ttl || self.is_suspect(peer, now) {
+                continue;
+            }
+            if best.is_none_or(|(_, s)| surplus > s) {
+                best = Some((peer, surplus));
+            }
+        }
+        best
+    }
+
+    /// Whether `peer` is currently suspected unresponsive.
+    fn is_suspect(&self, peer: NodeId, now: SimTime) -> bool {
+        self.suspect_until
+            .get(&peer)
+            .is_some_and(|&until| now < until)
+    }
+
     /// A record that per-record forcing hardened inline was just appended:
     /// force now, or (group commit) note that this dispatch's flush
     /// boundary owes a single coalesced force.
@@ -503,6 +654,11 @@ impl SiteNode {
         if self.cfg.group_commit && self.needs_flush {
             self.log.force_if_dirty();
             self.needs_flush = false;
+        }
+        if self.cfg.placement.is_adaptive() && self.cfg.coalesce {
+            // Refresh the availability gossip riding whatever leaves now
+            // (free: hints piggyback on datagrams that exist anyway).
+            self.refresh_hints();
         }
         if self.cfg.coalesce {
             // One wire datagram per peer per flush: every queued frame
@@ -648,6 +804,7 @@ impl SiteNode {
             first_credit_at: None,
             solicited: false,
             retries_left: 0,
+            single_targets: BTreeMap::new(),
         };
 
         match self.cfg.conc {
@@ -731,6 +888,10 @@ impl SiteNode {
         // Deficits after counting what is already local.
         let mut deficits = BTreeMap::new();
         for (item, demand) in demands {
+            // Every local demand feeds the estimator, satisfied or not —
+            // a hot site with enough local value still wants the
+            // rebalancer (and its own headroom) to keep it stocked.
+            self.note_own_demand(item, demand);
             let have = self.frags.get(item);
             let deficit = demand.saturating_sub(have);
             if deficit > 0 {
@@ -808,50 +969,37 @@ impl SiteNode {
             )
         };
         for (item, need) in deficits {
-            match self.cfg.fanout {
-                Fanout::All => {
-                    for to in self.others().collect::<Vec<_>>() {
-                        self.send(
-                            ctx,
-                            to,
-                            Body::Request {
-                                txn: ts,
-                                item,
-                                need,
-                                read: false,
-                            },
-                        );
-                        self.metrics.requests_sent += 1;
+            let demand = self.advertised_demand(item, need);
+            match self.cfg.placement.fanout() {
+                Fanout::All => self.broadcast_request(ts, item, need, demand, ctx),
+                Fanout::One => {
+                    let to = self.next_rr(ctx.now());
+                    self.send_one_request(ts, item, need, demand, to, false, ctx);
+                }
+                Fanout::Hinted => match self.hinted_target(item, need, ctx.now()) {
+                    Some((to, surplus)) => {
+                        self.metrics.hinted_solicits += 1;
                         self.obs
-                            .emit_with(self.id as u32, || EventKind::TxnSolicit {
+                            .emit_with(self.id as u32, || EventKind::HintSolicit {
                                 txn: ts.0,
                                 item: item.0,
                                 to: to as u32,
-                                qty: need as i64,
+                                surplus,
                             });
+                        self.send_one_request(ts, item, need, demand, to, true, ctx);
+                        // Debit the hint locally: soliciting consumes the
+                        // advertised surplus, so back-to-back deficits
+                        // don't all pile onto the same (now drained)
+                        // donor before its next gossip refresh.
+                        if let Some(h) = self.hint_table.get_mut(&(item, to)) {
+                            h.0 = h.0.saturating_sub(need);
+                        }
                     }
-                }
-                Fanout::One => {
-                    let to = self.next_rr();
-                    self.send(
-                        ctx,
-                        to,
-                        Body::Request {
-                            txn: ts,
-                            item,
-                            need,
-                            read: false,
-                        },
-                    );
-                    self.metrics.requests_sent += 1;
-                    self.obs
-                        .emit_with(self.id as u32, || EventKind::TxnSolicit {
-                            txn: ts.0,
-                            item: item.0,
-                            to: to as u32,
-                            qty: need as i64,
-                        });
-                }
+                    // No usable hint (cold start, everything stale or
+                    // suspect): broadcast. Losing every hint costs
+                    // messages, never liveness.
+                    None => self.broadcast_request(ts, item, need, demand, ctx),
+                },
             }
         }
         // Reads always go to every other site: Π needs every fragment.
@@ -864,6 +1012,7 @@ impl SiteNode {
                         txn: ts,
                         item,
                         need: 0,
+                        demand: 0,
                         read: true,
                     },
                 );
@@ -879,10 +1028,91 @@ impl SiteNode {
         }
     }
 
-    fn next_rr(&mut self) -> NodeId {
+    /// Solicit `item` from every other site.
+    fn broadcast_request(
+        &mut self,
+        ts: Ts,
+        item: ItemId,
+        need: Qty,
+        demand: Qty,
+        ctx: &mut Context<'_, ProtoMsg>,
+    ) {
+        for to in self.others().collect::<Vec<_>>() {
+            self.send(
+                ctx,
+                to,
+                Body::Request {
+                    txn: ts,
+                    item,
+                    need,
+                    demand,
+                    read: false,
+                },
+            );
+            self.metrics.requests_sent += 1;
+            self.obs
+                .emit_with(self.id as u32, || EventKind::TxnSolicit {
+                    txn: ts.0,
+                    item: item.0,
+                    to: to as u32,
+                    qty: need as i64,
+                });
+        }
+    }
+
+    /// Solicit `item` from exactly one peer, remembering the target so a
+    /// timeout can mark it suspect (and a hinted answer count as a hit).
+    #[allow(clippy::too_many_arguments)]
+    fn send_one_request(
+        &mut self,
+        ts: Ts,
+        item: ItemId,
+        need: Qty,
+        demand: Qty,
+        to: NodeId,
+        hinted: bool,
+        ctx: &mut Context<'_, ProtoMsg>,
+    ) {
+        self.send(
+            ctx,
+            to,
+            Body::Request {
+                txn: ts,
+                item,
+                need,
+                demand,
+                read: false,
+            },
+        );
+        self.metrics.requests_sent += 1;
+        self.obs
+            .emit_with(self.id as u32, || EventKind::TxnSolicit {
+                txn: ts.0,
+                item: item.0,
+                to: to as u32,
+                qty: need as i64,
+            });
+        if let Some(t) = self.active.get_mut(&ts) {
+            t.single_targets.insert(item, (to, hinted));
+        }
+    }
+
+    fn next_rr(&mut self, now: SimTime) -> NodeId {
         let mut cand = self.rr % self.n;
         if cand == self.id {
             cand = (cand + 1) % self.n;
+        }
+        // Skip peers recently seen unresponsive to a single-target
+        // solicitation — asking a known-dead peer burns the whole
+        // timeout for nothing. If every peer is suspect, keep the
+        // original candidate: asking is still no worse than aborting.
+        let mut probe = cand;
+        for _ in 0..self.n {
+            if probe != self.id && !self.is_suspect(probe, now) {
+                cand = probe;
+                break;
+            }
+            probe = (probe + 1) % self.n;
         }
         self.rr = (cand + 1) % self.n;
         cand
@@ -911,6 +1141,7 @@ impl SiteNode {
                         txn: ts,
                         item,
                         need: 0,
+                        demand: 0,
                         read: true,
                     },
                 );
@@ -1025,6 +1256,23 @@ impl SiteNode {
             None => return,
         };
         ctx.cancel_timer(t.timeout_timer);
+        if reason == AbortReason::Timeout {
+            // Unanswered single-target solicitations mark their target
+            // suspect for two timeout spans: the next round-robin or
+            // hinted pick skips it (any message from the peer clears
+            // the suspicion — see `on_message`).
+            let until = ctx.now() + self.cfg.txn_timeout.saturating_mul(2);
+            for &(peer, _) in t.single_targets.values() {
+                self.suspect_until.insert(peer, until);
+            }
+            // Unmet deficits are demand the estimator under-called:
+            // re-emphasize them so the next advertisement asks higher.
+            for (&item, &d) in &t.deficits {
+                if d > 0 {
+                    self.note_own_demand(item, d);
+                }
+            }
+        }
         self.release_read_leases(ts, &t.spec, ctx);
         let items = self.locks.release_all(ts);
         for item in items {
@@ -1096,11 +1344,12 @@ impl SiteNode {
                     from,
                     txn,
                     need,
+                    demand,
                     read,
                 } => {
                     // Momentary Rds: donate and keep popping (the lock is
                     // free again afterwards, unless a read lease pinned it).
-                    self.try_donate(from, txn, item, need, read, ctx);
+                    self.try_donate(from, txn, item, need, demand, read, ctx);
                 }
             }
         }
@@ -1108,16 +1357,23 @@ impl SiteNode {
 
     // ---- remote requests (donor side) --------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_request(
         &mut self,
         from: NodeId,
         txn: Ts,
         item: ItemId,
         need: Qty,
+        demand: Qty,
         read: bool,
         ctx: &mut Context<'_, ProtoMsg>,
     ) {
         self.demand_hint.insert(item, from);
+        if !read {
+            // Every incoming solicitation is observed demand at `from`
+            // (the demand-driven rebalancer's targeting signal).
+            self.note_peer_demand(item, from, demand.max(need));
+        }
         if self.locks.is_locked(item) {
             match self.cfg.conc {
                 ConcMode::Conc1 => {
@@ -1137,22 +1393,25 @@ impl SiteNode {
                             from,
                             txn,
                             need,
+                            demand,
                             read,
                         });
                 }
             }
             return;
         }
-        self.try_donate(from, txn, item, need, read, ctx);
+        self.try_donate(from, txn, item, need, demand, read, ctx);
     }
 
     /// Honour a request against an unlocked item (an Rds transaction).
+    #[allow(clippy::too_many_arguments)]
     fn try_donate(
         &mut self,
         from: NodeId,
         txn: Ts,
         item: ItemId,
         need: Qty,
+        demand: Qty,
         read: bool,
         ctx: &mut Context<'_, ProtoMsg>,
     ) {
@@ -1186,7 +1445,20 @@ impl SiteNode {
             }
             (have, TransferKind::ReadGrant)
         } else {
-            let amount = self.cfg.refill.amount(need, have);
+            let base = self.cfg.placement.base_refill(need, have);
+            let amount = match self.cfg.placement.adaptive_params() {
+                // Predictive refill: top up toward the requester's
+                // estimated ongoing demand, capped by what we can spare
+                // beyond our own predicted needs — one Vm now instead
+                // of another solicitation round-trip soon.
+                Some(a) => {
+                    let extra = demand
+                        .saturating_sub(need)
+                        .min(self.spare(item, a).saturating_sub(base));
+                    (base + extra).min(have)
+                }
+                None => base,
+            };
             if amount == 0 {
                 self.metrics.requests_ignored += 1;
                 self.obs
@@ -1262,58 +1534,137 @@ impl SiteNode {
         self.flush_vm(ctx);
     }
 
-    /// The proactive rebalancer: a spontaneous Rds transaction shipping
-    /// surplus value toward observed demand.
+    /// Arm the periodic rebalance timer unless one is already pending
+    /// (or the placement policy has none). Called from every entry point
+    /// that could create work for a tick — start, arrivals, messages —
+    /// so the cadence is continuous under load but the timer chain dies
+    /// out when the cluster drains (quiescence stays reachable).
+    fn arm_rebalance(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
+        if self.rebalance_armed {
+            return;
+        }
+        if let Some(every) = self.cfg.placement.rebalance_every() {
+            ctx.set_timer(every, TAG_REBALANCE);
+            self.rebalance_armed = true;
+        }
+    }
+
+    /// The proactive rebalancer: spontaneous Rds transactions shipping
+    /// surplus value toward observed demand. The reactive arm uses the
+    /// fixed surplus-factor threshold aimed at the *last* solicitor; the
+    /// adaptive arm sizes and targets by the demand EWMAs.
     fn run_rebalance(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
         if self.crash_pending {
             return;
         }
-        let rb = match self.cfg.rebalance {
-            Some(rb) => rb,
-            None => return,
-        };
-        for idx in 0..self.initial_quotas.len() {
-            let item = ItemId(idx as u32);
-            let quota = self.initial_quotas[idx];
-            if quota == 0 || self.locks.is_locked(item) {
-                continue;
+        match self.cfg.placement {
+            Placement::Static => return,
+            Placement::Reactive(r) => {
+                let rb = match r.rebalance {
+                    Some(rb) => rb,
+                    None => return,
+                };
+                for idx in 0..self.initial_quotas.len() {
+                    let item = ItemId(idx as u32);
+                    let quota = self.initial_quotas[idx];
+                    if quota == 0 || self.locks.is_locked(item) {
+                        continue;
+                    }
+                    let have = self.frags.get(item);
+                    let threshold = (rb.surplus_factor * quota as f64).ceil() as Qty;
+                    if have <= threshold {
+                        continue;
+                    }
+                    let to = match self.demand_hint.get(&item) {
+                        Some(&to) if to != self.id => to,
+                        _ => continue, // no demand signal: leave the value be
+                    };
+                    // Ship the excess above the threshold (keep `threshold`).
+                    self.ship_rebalance(item, to, have - threshold);
+                }
             }
-            let have = self.frags.get(item);
-            let threshold = (rb.surplus_factor * quota as f64).ceil() as Qty;
-            if have <= threshold {
-                continue;
-            }
-            let to = match self.demand_hint.get(&item) {
-                Some(&to) if to != self.id => to,
-                _ => continue, // no demand signal: leave the value be
-            };
-            // Ship the excess above the threshold (keep `threshold`).
-            let amount = have - threshold;
-            let payload = Transfer {
-                item,
-                amount,
-                for_txn: Ts::ZERO,
-                donor: self.id,
-                kind: TransferKind::Rebalance,
-            }
-            .to_bytes();
-            let op = self.vm.create(to, payload);
-            let seq = match &op {
-                VmLogOp::Created { seq, .. } => *seq,
-                _ => unreachable!("create returns Created"),
-            };
-            self.log.append(SiteRecord::Rds {
-                txn: Ts::ZERO,
-                actions: vec![(item, -(amount as i64))],
-                vm_ops: vec![op],
-            });
-            self.force_record();
-            self.frags.debit(item, amount);
-            *self.outstanding_out.entry(item).or_insert(0) += 1;
-            self.vm_item.insert((to, seq), item);
-            self.metrics.rebalances += 1;
+            Placement::Adaptive(a) => self.run_adaptive_rebalance(&a, ctx.now()),
         }
         self.flush_vm(ctx);
+    }
+
+    /// The demand-driven rebalancer: for every item with spareable
+    /// surplus, ship toward the peer whose solicited-demand estimate is
+    /// highest, sized by that estimate — value migrates to where demand
+    /// actually is instead of draining to whoever asked last.
+    fn run_adaptive_rebalance(&mut self, a: &AdaptivePlacement, now: SimTime) {
+        // One ship per tick, for the (item, peer) pair with the strongest
+        // demand signal. Rebalance Rds transfers are not free — each one
+        // costs a force and a Vm round trip — so the rebalancer moves the
+        // single most valuable block per cadence instead of dribbling on
+        // every item at once (which was measured to *raise* frames/txn
+        // past what hint-directed solicitation saves).
+        let mut best: Option<(ItemId, NodeId, f64)> = None;
+        for (&(item, peer), &e) in &self.peer_demand {
+            if peer == self.id || self.is_suspect(peer, now) {
+                continue;
+            }
+            // Noise floor 1.0: a peer must have asked recently and
+            // repeatedly before unsolicited value flows its way.
+            if e >= 1.0 && best.is_none_or(|(_, _, b)| e > b) && !self.locks.is_locked(item) {
+                best = Some((item, peer, e));
+            }
+        }
+        if let Some((item, to, est)) = best {
+            // Ship toward the peer's estimated demand (with the same
+            // headroom a donor keeps for itself), never more than spare.
+            let amount = self.spare(item, a).min((a.headroom * est).ceil() as Qty);
+            if amount > 0 {
+                self.ship_rebalance(item, to, amount);
+                self.obs
+                    .emit_with(self.id as u32, || EventKind::PlacementShip {
+                        item: item.0,
+                        to: to as u32,
+                        qty: amount,
+                    });
+                // The shipped block covers the demand we knew about;
+                // zeroing the estimate keeps the next tick from shipping
+                // again before fresh solicitations justify it.
+                self.peer_demand.insert((item, to), 0.0);
+            }
+        }
+        // Demand estimates fade unless refreshed: without decay, a
+        // once-hot site would keep attracting value forever after the
+        // hotspot drifts elsewhere.
+        for e in self.own_demand.values_mut() {
+            *e *= 1.0 - a.gain;
+        }
+        for e in self.peer_demand.values_mut() {
+            *e *= 1.0 - a.gain;
+        }
+    }
+
+    /// Ship `amount` of `item` to `to` as a spontaneous Rds transaction
+    /// (the shared trunk of both rebalancer arms).
+    fn ship_rebalance(&mut self, item: ItemId, to: NodeId, amount: Qty) {
+        let payload = Transfer {
+            item,
+            amount,
+            for_txn: Ts::ZERO,
+            donor: self.id,
+            kind: TransferKind::Rebalance,
+        }
+        .to_bytes();
+        let op = self.vm.create(to, payload);
+        let seq = match &op {
+            VmLogOp::Created { seq, .. } => *seq,
+            _ => unreachable!("create returns Created"),
+        };
+        self.log.append(SiteRecord::Rds {
+            txn: Ts::ZERO,
+            actions: vec![(item, -(amount as i64))],
+            vm_ops: vec![op],
+        });
+        self.force_record();
+        self.frags.debit(item, amount);
+        *self.outstanding_out.entry(item).or_insert(0) += 1;
+        self.vm_item.insert((to, seq), item);
+        self.metrics.rebalances += 1;
     }
 
     // ---- Vm arrivals (receiver side) ---------------------------------------
@@ -1334,6 +1685,11 @@ impl SiteNode {
         ctx: &mut Context<'_, ProtoMsg>,
     ) {
         let datagram = wire.decode();
+        // Piggybacked availability hints first: pure volatile gossip,
+        // recorded (or chaos-mangled) before any frame is processed.
+        if !datagram.hints.is_empty() {
+            self.ingest_hints(from, &datagram.hints, ctx.now());
+        }
         self.vm.begin_datagram(datagram.id);
         for frame in datagram.frames {
             self.process_vm_frame(from, frame, ctx);
@@ -1404,6 +1760,7 @@ impl SiteNode {
 
     /// Track an absorbed transfer against the waiting transaction's needs.
     fn credit_to_txn(&mut self, holder: Ts, transfer: &Transfer, ctx: &mut Context<'_, ProtoMsg>) {
+        let mut hinted_hit = false;
         let ready = {
             let now = ctx.now();
             let t = match self.active.get_mut(&holder) {
@@ -1416,6 +1773,13 @@ impl SiteNode {
             if let Some(d) = t.deficits.get_mut(&transfer.item) {
                 *d = d.saturating_sub(transfer.amount);
             }
+            if let Some(&(peer, hinted)) = t.single_targets.get(&transfer.item) {
+                if hinted && peer == transfer.donor {
+                    // The hint-selected donor answered: the hint paid off.
+                    t.single_targets.remove(&transfer.item);
+                    hinted_hit = true;
+                }
+            }
             if transfer.kind == TransferKind::ReadGrant && transfer.for_txn == holder {
                 if let Some(pending) = t.read_pending.get_mut(&transfer.item) {
                     pending.remove(&transfer.donor);
@@ -1423,6 +1787,9 @@ impl SiteNode {
             }
             t.ready()
         };
+        if hinted_hit {
+            self.metrics.hint_hits += 1;
+        }
         if ready {
             self.commit_txn(holder, ctx);
         }
@@ -1650,9 +2017,7 @@ impl Node for SiteNode {
     type Msg = ProtoMsg;
 
     fn on_start(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
-        if let Some(rb) = self.cfg.rebalance {
-            ctx.set_timer(rb.every, TAG_REBALANCE);
-        }
+        self.arm_rebalance(ctx);
     }
 
     fn on_message(&mut self, from: NodeId, msg: ProtoMsg, ctx: &mut Context<'_, ProtoMsg>) {
@@ -1660,6 +2025,12 @@ impl Node for SiteNode {
             return; // quarantined: inert until the end of time
         }
         self.clock.observe_counter(msg.lamport);
+        // Any message from a suspected peer proves it alive again.
+        if !self.suspect_until.is_empty() {
+            self.suspect_until.remove(&from);
+        }
+        // Traffic can change what the next rebalance tick would ship.
+        self.arm_rebalance(ctx);
         match msg.body {
             Body::Vm(frame) => self.handle_vm(from, frame, ctx),
             Body::VmDatagram(wire) => self.handle_vm_datagram(from, wire, ctx),
@@ -1667,9 +2038,10 @@ impl Node for SiteNode {
                 txn,
                 item,
                 need,
+                demand,
                 read,
             } => {
-                self.handle_request(from, txn, item, need, read, ctx);
+                self.handle_request(from, txn, item, need, demand, read, ctx);
             }
             Body::ReleaseLease { txn, item } => {
                 if self.locks.holder(item) == Some(Holder::Lease(txn)) {
@@ -1691,6 +2063,7 @@ impl Node for SiteNode {
             return; // quarantined: no new transactions ever start here
         }
         if let Some(spec) = self.script.get(tag as usize).cloned() {
+            self.arm_rebalance(ctx);
             self.begin_txn(spec, ctx);
             self.flush_vm(ctx);
         } else {
@@ -1752,9 +2125,12 @@ impl Node for SiteNode {
                 }
             }
             TAG_REBALANCE => {
+                self.rebalance_armed = false;
                 self.run_rebalance(ctx);
-                if let Some(rb) = self.cfg.rebalance {
-                    ctx.set_timer(rb.every, TAG_REBALANCE);
+                // Keep the cadence while this site still has local work;
+                // an idle site's next arrival or message re-arms it.
+                if !self.active.is_empty() || !self.outstanding_out.is_empty() {
+                    self.arm_rebalance(ctx);
                 }
             }
             TAG_LEASE => {
@@ -1830,8 +2206,20 @@ impl Node for SiteNode {
         self.outstanding_out.clear();
         self.lease_timers.clear();
         self.vm_item.clear();
+        // The adaptive subsystem's entire memory is volatile by design:
+        // demand estimates, received hints, and peer suspicion all
+        // describe a pre-crash world and die here (the endpoint's
+        // outgoing hints died in `crash_reset` above). Recovery never
+        // consults any of it — hints must stay safety-inert.
+        self.own_demand.clear();
+        self.peer_demand.clear();
+        self.hint_table.clear();
+        self.suspect_until.clear();
         self.clock.crash_reset();
         self.retransmit_armed = false;
+        // A pre-crash rebalance timer may still fire after recovery; the
+        // handler treats it as a fresh tick and re-arms as needed.
+        self.rebalance_armed = false;
         // Owed acks died with the endpoint's volatile state; pre-crash
         // delayed-ack timers become stale (the firing checks this set).
         self.ack_timers.clear();
@@ -1865,6 +2253,7 @@ impl Node for SiteNode {
         if self.vm.has_outstanding() {
             self.vm.tick();
         }
+        self.arm_rebalance(ctx);
         self.flush_vm(ctx);
     }
 }

@@ -101,7 +101,7 @@ pub fn run_campaign(cfg: &CampaignConfig, schedule: &FaultSchedule) -> CampaignR
     let step = (cfg.horizon_ms / cfg.audit_points.max(1) as u64).max(1);
     for k in 1..=cfg.audit_points as u64 {
         cl.run_until(msec(k * step));
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         if let Err(v) = oracle::check_all(&cl, &m) {
             violation = Some(format!("t={}ms: {v}", k * step));
             break;
@@ -113,7 +113,7 @@ pub fn run_campaign(cfg: &CampaignConfig, schedule: &FaultSchedule) -> CampaignR
         // than hard quiescence because periodic maintenance timers
         // (e.g. the rebalancer) re-arm forever and would never quiesce.
         cl.run_until(msec(cfg.horizon_ms * 2 + 1_000));
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         if let Err(v) = oracle::check_all(&cl, &m) {
             violation = Some(format!("settle: {v}"));
         } else if let Err(v) = oracle::check_liveness(&cl) {
@@ -123,7 +123,7 @@ pub fn run_campaign(cfg: &CampaignConfig, schedule: &FaultSchedule) -> CampaignR
         }
     }
 
-    let m = cl.metrics();
+    let m = cl.stats().txn;
     let s = cl.sim.stats();
     CampaignResult {
         violation,

@@ -248,11 +248,11 @@ mod tests {
         let mut cl = dvp_core::Cluster::build(cfg);
         for t in [5u64, 20, 60, 200] {
             cl.run_until(ms(t));
-            let m = cl.metrics();
+            let m = cl.stats().txn;
             check_all(&cl, &m).unwrap();
         }
         cl.run_to_quiescence();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         check_all(&cl, &m).unwrap();
         assert!(m.committed() >= 1);
     }

@@ -97,6 +97,31 @@ pub enum EventKind {
         latency_us: u64,
     },
 
+    // --- adaptive placement ---------------------------------------
+    /// The home site directed a solicitation at one hint-advertised
+    /// peer instead of broadcasting (`Fanout::Hinted`; emitted only
+    /// under adaptive placement, so older traces are unaffected).
+    HintSolicit {
+        /// Transaction id.
+        txn: u64,
+        /// Item solicited.
+        item: u32,
+        /// The hint-selected peer.
+        to: u32,
+        /// The surplus that peer last advertised.
+        surplus: u64,
+    },
+    /// The demand-driven rebalancer shipped surplus toward estimated
+    /// demand (adaptive placement only).
+    PlacementShip {
+        /// Item shipped.
+        item: u32,
+        /// Destination peer.
+        to: u32,
+        /// Amount shipped.
+        qty: u64,
+    },
+
     // --- Virtual Message channel ----------------------------------
     /// A Vm frame left this site (first send or retransmission).
     VmSend {
@@ -199,6 +224,8 @@ impl EventKind {
             EventKind::TxnQueued { .. } => "txn_queued",
             EventKind::TxnCommit { .. } => "txn_commit",
             EventKind::TxnAbort { .. } => "txn_abort",
+            EventKind::HintSolicit { .. } => "hint_solicit",
+            EventKind::PlacementShip { .. } => "placement_ship",
             EventKind::VmSend { .. } => "vm_send",
             EventKind::VmAccept { .. } => "vm_accept",
             EventKind::VmAck { .. } => "vm_ack",
@@ -223,7 +250,8 @@ impl EventKind {
             | EventKind::TxnAbsorb { txn, .. }
             | EventKind::TxnQueued { txn, .. }
             | EventKind::TxnCommit { txn, .. }
-            | EventKind::TxnAbort { txn, .. } => Some(*txn),
+            | EventKind::TxnAbort { txn, .. }
+            | EventKind::HintSolicit { txn, .. } => Some(*txn),
             _ => None,
         }
     }
@@ -293,6 +321,20 @@ impl Event {
                     s,
                     ",\"txn\":{txn},\"reason\":\"{reason}\",\"latency_us\":{latency_us}"
                 );
+            }
+            EventKind::HintSolicit {
+                txn,
+                item,
+                to,
+                surplus,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"txn\":{txn},\"item\":{item},\"to\":{to},\"surplus\":{surplus}"
+                );
+            }
+            EventKind::PlacementShip { item, to, qty } => {
+                let _ = write!(s, ",\"item\":{item},\"to\":{to},\"qty\":{qty}");
             }
             EventKind::VmSend {
                 to,

@@ -12,10 +12,17 @@
 //! Wire layout (big-endian):
 //!
 //! ```text
-//! datagram  := id:u64  count:u32  frame*
+//! datagram  := id:u64  count:u32  frame*  hints?
 //! frame     := 0x00 ack:u64                              (Ack)
 //!            | 0x01 seq:u64 ack:u64 len:u32 payload      (Data)
+//! hints     := hint_count:u32  (item:u32 surplus:u64)*
 //! ```
+//!
+//! The high bit of `count` flags a trailing **availability-hint**
+//! section (advertised-surplus gossip piggybacked by the adaptive
+//! placement layer). A datagram with no hints encodes byte-for-byte as
+//! it did before the section existed — the flag bit is simply never
+//! set — which is what keeps the pre-hint golden traces valid.
 
 use crate::channel::Seq;
 use crate::frame::Frame;
@@ -26,8 +33,14 @@ const TAG_ACK: u8 = 0x00;
 /// Frame tag byte for a data frame.
 const TAG_DATA: u8 = 0x01;
 
+/// High bit of the header `count` field: a hint section trails the
+/// frames.
+const HINT_FLAG: u32 = 1 << 31;
+
 /// Encoded size of the datagram header (`id` + `count`).
 pub const DATAGRAM_HEADER_LEN: usize = 8 + 4;
+/// Encoded size of one availability-hint entry (`item` + `surplus`).
+pub const HINT_ENTRY_LEN: usize = 4 + 8;
 /// Encoded size of a standalone ack frame (tag + ack).
 pub const ACK_FRAME_LEN: usize = 1 + 8;
 /// Encoded size of a data frame's metadata (tag + seq + ack + len).
@@ -49,6 +62,9 @@ pub struct Datagram {
     pub id: u64,
     /// The coalesced frames, in the order they were queued.
     pub frames: Vec<Frame>,
+    /// Piggybacked availability hints `(item, advertised surplus)` —
+    /// empty unless the sender's adaptive placement attached gossip.
+    pub hints: Vec<(u32, u64)>,
 }
 
 /// The encoded form of one datagram: an ordered list of byte segments
@@ -69,11 +85,24 @@ impl WireDatagram {
     /// Encode `frames` as datagram `id`. Payload bytes are shared, not
     /// copied: each `Data` payload becomes its own segment.
     pub fn encode(id: u64, frames: &[Frame]) -> WireDatagram {
+        Self::encode_with_hints(id, frames, &[])
+    }
+
+    /// Encode `frames` as datagram `id` with a trailing availability-hint
+    /// section. With `hints` empty this is byte-identical to
+    /// [`encode`](Self::encode) — the flag bit is only set when there is
+    /// something to carry.
+    pub fn encode_with_hints(id: u64, frames: &[Frame], hints: &[(u32, u64)]) -> WireDatagram {
+        debug_assert!(frames.len() < HINT_FLAG as usize, "frame count overflow");
         let mut segs = Vec::with_capacity(1 + frames.len());
         let mut meta =
             BytesMut::with_capacity(DATAGRAM_HEADER_LEN + frames.len() * DATA_FRAME_META_LEN);
         meta.put_u64(id);
-        meta.put_u32(frames.len() as u32);
+        let mut count = frames.len() as u32;
+        if !hints.is_empty() {
+            count |= HINT_FLAG;
+        }
+        meta.put_u32(count);
         let mut wire_len = 0usize;
         for f in frames {
             wire_len += frame_wire_len(f);
@@ -93,6 +122,14 @@ impl WireDatagram {
                     segs.push(payload.clone());
                 }
             }
+        }
+        if !hints.is_empty() {
+            meta.put_u32(hints.len() as u32);
+            for &(item, surplus) in hints {
+                meta.put_u32(item);
+                meta.put_u64(surplus);
+            }
+            wire_len += 4 + hints.len() * HINT_ENTRY_LEN;
         }
         if !meta.is_empty() {
             segs.push(meta.freeze());
@@ -121,7 +158,8 @@ impl WireDatagram {
     pub fn decode(&self) -> Datagram {
         let mut r = SegReader::new(&self.segs);
         let id = r.u64();
-        let count = r.u32();
+        let raw_count = r.u32();
+        let count = raw_count & !HINT_FLAG;
         let mut frames = Vec::with_capacity(count as usize);
         for _ in 0..count {
             match r.u8() {
@@ -141,8 +179,18 @@ impl WireDatagram {
                 tag => panic!("malformed datagram: unknown frame tag {tag:#x}"),
             }
         }
+        let mut hints = Vec::new();
+        if raw_count & HINT_FLAG != 0 {
+            let n = r.u32() as usize;
+            hints.reserve(n);
+            for _ in 0..n {
+                let item = r.u32();
+                let surplus = r.u64();
+                hints.push((item, surplus));
+            }
+        }
         assert_eq!(r.remaining(), 0, "malformed datagram: trailing bytes");
-        Datagram { id, frames }
+        Datagram { id, frames, hints }
     }
 
     /// The concatenated wire image (test/debug helper; copies).
@@ -337,5 +385,40 @@ mod tests {
     fn frame_wire_len_covers_both_variants() {
         assert_eq!(frame_wire_len(&Frame::Ack { ack: 1 }), 9);
         assert_eq!(frame_wire_len(&data(1, 0, b"1234")), 21 + 4);
+    }
+
+    #[test]
+    fn hints_roundtrip_and_cost_their_section() {
+        let frames = vec![Frame::Ack { ack: 2 }, data(3, 2, b"pay")];
+        let hints = vec![(0u32, 40u64), (7, 12)];
+        let wire = WireDatagram::encode_with_hints(5, &frames, &hints);
+        assert_eq!(wire.frame_count(), 2, "flag bit must not leak into count");
+        assert_eq!(wire.wire_len(), wire.to_vec().len());
+        assert_eq!(
+            wire.wire_len(),
+            DATAGRAM_HEADER_LEN + ACK_FRAME_LEN + DATA_FRAME_META_LEN + 3 + 4 + 2 * HINT_ENTRY_LEN
+        );
+        let d = wire.decode();
+        assert_eq!(d.id, 5);
+        assert_eq!(d.frames, frames);
+        assert_eq!(d.hints, hints);
+    }
+
+    #[test]
+    fn zero_hints_encode_byte_identically_to_plain_encode() {
+        let frames = vec![data(1, 0, b"abc"), Frame::Ack { ack: 4 }];
+        let plain = WireDatagram::encode(9, &frames);
+        let hinted = WireDatagram::encode_with_hints(9, &frames, &[]);
+        assert_eq!(plain.to_vec(), hinted.to_vec());
+        assert!(plain.decode().hints.is_empty());
+    }
+
+    #[test]
+    fn hint_only_datagram_roundtrips() {
+        let wire = WireDatagram::encode_with_hints(2, &[], &[(1, 99)]);
+        assert_eq!(wire.frame_count(), 0);
+        let d = wire.decode();
+        assert!(d.frames.is_empty());
+        assert_eq!(d.hints, vec![(1, 99)]);
     }
 }

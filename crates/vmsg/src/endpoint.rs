@@ -1,7 +1,9 @@
 //! The per-site Vm endpoint.
 
 use crate::channel::{Channel, Classify, Seq};
-use crate::codec::{frame_wire_len, WireDatagram, ACK_FRAME_LEN, DATAGRAM_HEADER_LEN};
+use crate::codec::{
+    frame_wire_len, WireDatagram, ACK_FRAME_LEN, DATAGRAM_HEADER_LEN, HINT_ENTRY_LEN,
+};
 use crate::frame::Frame;
 use crate::logop::VmLogOp;
 use crate::stats::VmStats;
@@ -113,6 +115,11 @@ pub struct VmEndpoint {
     /// Id of the incoming datagram currently being processed (set by
     /// [`begin_datagram`](Self::begin_datagram); 0 = non-coalesced frame).
     in_datagram: u64,
+    /// Availability hints `(item, surplus)` to piggyback on every outgoing
+    /// datagram (adaptive placement gossip). Volatile and advisory: set by
+    /// the host via [`set_hints`](Self::set_hints), wiped on crash, and
+    /// never consulted by the Vm protocol itself.
+    hints: Vec<(u32, u64)>,
     stats: VmStats,
     /// Structured-observability handle (disabled by default; the host
     /// shares the cluster-wide handle via [`VmEndpoint::set_obs`]).
@@ -132,6 +139,7 @@ impl VmEndpoint {
             ack_owed: BTreeSet::new(),
             next_datagram: BTreeMap::new(),
             in_datagram: 0,
+            hints: Vec::new(),
             stats: VmStats::default(),
             obs: Obs::disabled(),
         }
@@ -151,6 +159,15 @@ impl VmEndpoint {
     /// Protocol counters.
     pub fn stats(&self) -> &VmStats {
         &self.stats
+    }
+
+    /// Replace the availability hints piggybacked on outgoing datagrams.
+    /// The host refreshes these from its placement layer; an empty slice
+    /// (the default) keeps the wire encoding byte-identical to a build
+    /// without hints. Requires [`coalesce`](VmConfig::coalesce) — bare
+    /// frames have nowhere to carry a hint section.
+    pub fn set_hints(&mut self, hints: Vec<(u32, u64)>) {
+        self.hints = hints;
     }
 
     fn chan(&mut self, peer: SiteId) -> &mut Channel {
@@ -440,9 +457,15 @@ impl VmEndpoint {
                     datagram: id,
                 });
             }
-            let wire = WireDatagram::encode(id, &group);
+            let wire = WireDatagram::encode_with_hints(id, &group, &self.hints);
             self.stats.datagrams_sent += 1;
             self.stats.bytes_sent += DATAGRAM_HEADER_LEN as u64;
+            if !self.hints.is_empty() {
+                let section = 4 + self.hints.len() * HINT_ENTRY_LEN;
+                self.stats.hints_sent += self.hints.len() as u64;
+                self.stats.hint_bytes_sent += section as u64;
+                self.stats.bytes_sent += section as u64;
+            }
             out.push((to, wire));
         }
     }
@@ -536,6 +559,9 @@ impl VmEndpoint {
         self.completed.clear();
         self.ack_owed.clear();
         self.in_datagram = 0;
+        // Hints are advisory gossip about pre-crash surplus: stale by
+        // definition now, so they die with the rest of volatile state.
+        self.hints.clear();
         // `next_datagram` survives: it is pure wire-level numbering, and
         // keeping it monotone means datagram ids in a trace never repeat
         // for a (site, peer) pair across crashes.
@@ -1088,6 +1114,39 @@ mod tests {
             }
         }
         assert!(!s.has_outstanding());
+    }
+
+    #[test]
+    fn hints_ride_every_datagram_and_die_on_crash() {
+        let mut s = VmEndpoint::new(0, coalescing_cfg());
+        s.set_hints(vec![(7, 40), (9, 3)]);
+        let _ = s.create(1, b("a"));
+        let _ = s.create(2, b("b"));
+        let mut dgrams = Vec::new();
+        s.drain_datagrams_into(&mut dgrams);
+        assert_eq!(dgrams.len(), 2);
+        for (_, wire) in &dgrams {
+            assert_eq!(wire.decode().hints, vec![(7, 40), (9, 3)]);
+        }
+        let per_dgram = (4 + 2 * HINT_ENTRY_LEN) as u64;
+        assert_eq!(
+            s.stats().hints_sent,
+            4,
+            "two hints on each of two datagrams"
+        );
+        assert_eq!(s.stats().hint_bytes_sent, 2 * per_dgram);
+        // Crash wipes the gossip along with the rest of volatile state.
+        s.crash_reset();
+        s.tick();
+        dgrams.clear();
+        s.drain_datagrams_into(&mut dgrams);
+        assert!(dgrams.is_empty(), "crash_reset also dropped the outbox");
+        let op = s.create(1, b("again"));
+        let _ = op;
+        dgrams.clear();
+        s.drain_datagrams_into(&mut dgrams);
+        assert_eq!(dgrams[0].1.decode().hints, Vec::<(u32, u64)>::new());
+        assert_eq!(s.stats().hints_sent, 4, "no hints sent after the crash");
     }
 
     #[test]

@@ -35,6 +35,12 @@ pub struct VmStats {
     /// Wire bytes *saved* by folding owed standalone acks into outgoing
     /// data datagrams (each fold avoids one encoded ack frame).
     pub bytes_acked_piggyback: u64,
+    /// Availability-hint entries piggybacked on outgoing datagrams
+    /// (adaptive placement gossip; 0 otherwise).
+    pub hints_sent: u64,
+    /// Extra wire bytes the piggybacked hint sections cost (already
+    /// included in `bytes_sent`).
+    pub hint_bytes_sent: u64,
 }
 
 impl VmStats {
@@ -55,6 +61,8 @@ impl VmStats {
         self.datagrams_sent += o.datagrams_sent;
         self.bytes_sent += o.bytes_sent;
         self.bytes_acked_piggyback += o.bytes_acked_piggyback;
+        self.hints_sent += o.hints_sent;
+        self.hint_bytes_sent += o.hint_bytes_sent;
     }
 
     /// Real messages per completed Vm — the paper's "message traffic"

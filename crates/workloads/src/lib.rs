@@ -16,11 +16,13 @@
 pub mod airline;
 pub mod arrivals;
 pub mod banking;
+pub mod hotspot;
 pub mod inventory;
 pub mod zipf;
 
 pub use airline::AirlineWorkload;
 pub use banking::BankingWorkload;
+pub use hotspot::HotspotDriftWorkload;
 pub use inventory::InventoryWorkload;
 pub use zipf::Zipf;
 

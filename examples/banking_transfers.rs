@@ -57,7 +57,7 @@ fn main() {
     }
     cluster.run_to_quiescence();
 
-    let m = cluster.metrics();
+    let m = cluster.stats().txn;
     println!("=== 4-branch bank: partition + branch crash ===\n");
     println!("committed {} / aborted {}", m.committed(), m.aborted());
     for (reason, count) in m.sites.iter().flat_map(|s| s.aborted.iter()) {

@@ -35,7 +35,7 @@ fn part1_distributed() {
         .check_conservation()
         .expect("conservation");
 
-    let m = cluster.metrics();
+    let m = cluster.stats().txn;
     println!(
         "orders: {} committed, {} aborted ({} were local fast-path)",
         m.committed(),

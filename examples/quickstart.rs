@@ -35,7 +35,7 @@ fn main() {
     let mut cluster = scenario.build_dvp();
     cluster.run_to_quiescence();
 
-    let metrics = cluster.metrics();
+    let metrics = cluster.stats().txn;
     println!("=== DvP quickstart: airline reservation (paper Section 3) ===\n");
     println!(
         "transactions: {} committed, {} aborted",

@@ -49,7 +49,7 @@
 //! let mut cluster = Cluster::build(cfg);
 //! cluster.run_to_quiescence();
 //!
-//! assert_eq!(cluster.metrics().committed(), 1);
+//! assert_eq!(cluster.stats().txn.committed(), 1);
 //! cluster.auditor().check_conservation().unwrap(); // N = ΣNᵢ + N_M
 //! ```
 
@@ -70,8 +70,10 @@ pub mod prelude {
     pub use dvp_bench::{EngineKind, RunReport, Scenario};
     pub use dvp_core::item::{Catalog, ItemDef, Split};
     pub use dvp_core::{
-        AbortReason, Cluster, ClusterConfig, ConcMode, Crashpoint, Fanout, FaultPlan, InjectConfig,
-        ItemId, Op, Qty, RefillPolicy, SiteConfig, TxnOutcome, TxnSpec,
+        AbortReason, AdaptivePlacement, Cluster, ClusterConfig, ConcMode, Crashpoint, Fanout,
+        FaultPlan, HintChaos, InjectConfig, ItemId, Op, Placement, PlacementStats, Qty,
+        ReactivePlacement, RefillPolicy, SiteConfig, SiteConfigBuilder, StatsView, TxnOutcome,
+        TxnSpec,
     };
     pub use dvp_simnet::prelude::*;
     pub use dvp_storage::TornWrite;

@@ -41,7 +41,7 @@ fn run(
     let frags: Vec<Vec<u64>> = (0..4)
         .map(|s| cl.sim.node(s).fragments().snapshot())
         .collect();
-    (cl.metrics().committed(), frags)
+    (cl.stats().txn.committed(), frags)
 }
 
 proptest! {
@@ -88,7 +88,7 @@ fn repeated_crashes_through_checkpoints() {
     let mut cl = Cluster::build(cfg);
     cl.run_until(ms(60_000));
     cl.auditor().check_conservation().unwrap();
-    let m = cl.metrics();
+    let m = cl.stats().txn;
     assert_eq!(m.sites[1].recoveries, 2);
     assert_eq!(m.sites[2].recoveries, 1);
     assert!(m.sites.iter().map(|s| s.checkpoints).sum::<u64>() > 5);
@@ -131,7 +131,7 @@ fn run_injected(
     let frags: Vec<Vec<u64>> = (0..4)
         .map(|s| cl.sim.node(s).fragments().snapshot())
         .collect();
-    (cl.metrics().committed(), frags)
+    (cl.stats().txn.committed(), frags)
 }
 
 /// A crash that tears the unforced log tail recovers to the same state
@@ -202,7 +202,7 @@ fn mid_checkpoint_crash_recovers_exactly() {
         let mut cl = Cluster::build(cfg);
         cl.run_until(ms(60_000));
         cl.auditor().check_conservation().unwrap();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         (m.crashpoint_trips(), m.sites[1].recoveries)
     };
     let (trips, recoveries) = run(InjectConfig::crashpoint_at(1, Crashpoint::MidCheckpoint));
@@ -245,7 +245,7 @@ fn mid_checkpoint_crash_with_a_rotten_slot_falls_back_losslessly() {
         let frags: Vec<Vec<u64>> = (0..4)
             .map(|s| cl.sim.node(s).fragments().snapshot())
             .collect();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         (m.committed(), frags, m.checkpoint_fallbacks())
     };
     let clean = run(None);
@@ -365,7 +365,7 @@ fn every_crashpoint_fires_once_and_recovery_holds() {
         let mut cl = Cluster::build(cfg);
         cl.run_until(ms(60_000));
         cl.auditor().check_conservation().unwrap();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         assert_eq!(m.crashpoint_trips(), 1, "{point:?} must fire exactly once");
         assert_eq!(m.sites[1].recoveries, 1, "{point:?}: victim recovers");
     }

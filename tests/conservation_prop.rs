@@ -116,7 +116,7 @@ fn run_scenario(sc: &Scenario) -> Result<(), TestCaseError> {
         .map_err(|e| TestCaseError::fail(format!("at end: {e}")))?;
 
     // Read exactness for whatever reads committed.
-    let m = cl.metrics();
+    let m = cl.stats().txn;
     cl.auditor()
         .check_reads(&m)
         .map_err(|e| TestCaseError::fail(format!("reads: {e}")))?;

@@ -74,7 +74,7 @@ fn both_engines_agree_on_final_totals_when_everything_commits() {
     }
     let mut dvp = dvp_scn.build_dvp();
     dvp.run_until(horizon());
-    let dm = dvp.metrics();
+    let dm = dvp.stats().txn;
     assert_eq!(dm.committed(), 4);
     let dvp_a: u64 = (0..4).map(|s| dvp.sim.node(s).fragments().get(a)).sum();
     let dvp_b: u64 = (0..4).map(|s| dvp.sim.node(s).fragments().get(b)).sum();

@@ -66,7 +66,7 @@ fn all_sites_crash_then_one_recovers_and_works() {
         .build_dvp();
     cl.run_to_quiescence();
 
-    let m = cl.metrics();
+    let m = cl.stats().txn;
     assert_eq!(m.sites[1].recovery_remote_messages, 0);
     // Site 1's post-recovery reservation committed even though every
     // other site is still down.
@@ -128,7 +128,7 @@ proptest! {
         cl.run_to_quiescence();
         cl.auditor().check_conservation()
             .map_err(|e| TestCaseError::fail(e.to_string()))?;
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         prop_assert_eq!(m.sites[crash_site].recovery_remote_messages, 0);
     }
 }

@@ -33,7 +33,7 @@ fn stale_lease_timer_cannot_release_a_newer_lease() {
     let mut cl = Cluster::build(cfg);
     cl.run_until(SimTime::ZERO + SimDuration::secs(120));
     cl.auditor().check_conservation().unwrap();
-    let m = cl.metrics();
+    let m = cl.stats().txn;
     cl.auditor()
         .check_reads(&m)
         .expect("every committed read must be exact");
@@ -65,7 +65,10 @@ fn ablating_the_read_drain_gate_breaks_read_exactness() {
         let mut catalog = Catalog::new();
         let item = catalog.add("pool", 100, Split::Even); // 34/33/33
         let mut cfg = ClusterConfig::new(3, catalog);
-        cfg.site.fanout = Fanout::One;
+        cfg.site.placement = Placement::Reactive(ReactivePlacement {
+            fanout: Fanout::One,
+            ..Default::default()
+        });
         cfg.site.unsafe_skip_read_drain_gate = skip_gate;
         // The 2→1 data path crawls; everything else is normal, so the
         // Vm's acks and retransmissions do not resolve it quickly.
@@ -85,7 +88,7 @@ fn ablating_the_read_drain_gate_breaks_read_exactness() {
         let mut cl = Cluster::build(cfg);
         cl.run_until(ms(5_000));
         cl.auditor().check_conservation().unwrap();
-        let m = cl.metrics();
+        let m = cl.stats().txn;
         (m.clone(), cl.auditor().check_reads(&m).is_ok())
     };
 
@@ -117,5 +120,58 @@ fn ablating_the_read_drain_gate_breaks_read_exactness() {
     assert!(
         !reads_ok,
         "check_reads must flag the miss — the §5 rule is load-bearing"
+    );
+}
+
+/// **`Fanout::One` must not round-robin into a known-dead donor.**
+///
+/// Pre-fix, the single-target rotation blindly included every peer, so a
+/// site soliciting near a crashed donor burned a full transaction
+/// timeout each time the pointer came back around — under Conc1's
+/// silent declines there is no nack to learn from, only the timeout.
+/// The fix marks the target of an unanswered single-target solicitation
+/// *suspect* for two timeout spans and skips suspects in both the
+/// round-robin and hint-directed picks (any message from the peer
+/// clears the suspicion).
+///
+/// Pinned sequence (3 sites, 1000 units each, site 2 crashed, fanout
+/// one, rotation visits 1, 2, 1, 2, ...):
+///   t1 drains site 0 and solicits site 1   → commit;
+///   t2 rotates to dead site 2              → timeout abort, 2 suspect;
+///   t3 rotates back to site 1              → commit;
+///   t4 would rotate to site 2 again — the suspicion redirects it to
+///      site 1 → commit. (Pre-fix: a second timeout abort.)
+#[test]
+fn fanout_one_skips_a_suspect_donor_while_the_suspicion_is_fresh() {
+    fn ms(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::millis(n)
+    }
+    let mut catalog = Catalog::new();
+    let item = catalog.add("pool", 3_000, Split::Even); // 1000 per site
+    let mut cfg = ClusterConfig::new(3, catalog);
+    cfg.site.placement = Placement::Reactive(ReactivePlacement {
+        fanout: Fanout::One,
+        refill: RefillPolicy::DemandExact,
+        rebalance: None,
+    });
+    cfg.faults = FaultPlan::none().crash(ms(0), 2);
+    let cfg = cfg
+        .at(0, ms(1), TxnSpec::reserve(item, 1_050)) // solicits site 1
+        .at(0, ms(70), TxnSpec::reserve(item, 100)) // solicits dead site 2
+        .at(0, ms(140), TxnSpec::reserve(item, 100)) // rotates to site 1
+        .at(0, ms(180), TxnSpec::reserve(item, 100)); // 2 again — must skip
+    let mut cl = Cluster::build(cfg);
+    cl.run_to_quiescence();
+    cl.auditor().check_conservation().unwrap();
+    let m = cl.stats().txn;
+    assert_eq!(
+        m.aborted_for(AbortReason::Timeout),
+        1,
+        "only the first probe of the dead donor may time out"
+    );
+    assert_eq!(m.committed(), 3, "t1, t3 and t4 all commit");
+    assert_eq!(
+        m.sites[2].donations, 0,
+        "the crashed site never donates anything"
     );
 }

@@ -25,7 +25,7 @@ fn run_and_check(w: &Workload, conc2: bool, seed: u64) -> Result<(), TestCaseErr
     cl.auditor()
         .check_conservation()
         .map_err(|e| TestCaseError::fail(e.to_string()))?;
-    let m = cl.metrics();
+    let m = cl.stats().txn;
     cl.auditor()
         .check_reads(&m)
         .map_err(|e| TestCaseError::fail(e.to_string()))?;

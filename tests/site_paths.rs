@@ -20,8 +20,11 @@ fn seats(total: u64, n: usize) -> (Catalog, ItemId) {
 fn fanout_one_rotates_across_donors() {
     let (catalog, item) = seats(4_000, 4); // 1000 per site
     let mut cfg = ClusterConfig::new(4, catalog);
-    cfg.site.fanout = Fanout::One;
-    cfg.site.refill = RefillPolicy::DemandExact;
+    cfg.site.placement = Placement::Reactive(ReactivePlacement {
+        fanout: Fanout::One,
+        refill: RefillPolicy::DemandExact,
+        rebalance: None,
+    });
     // Site 0 sells its pool one quota at a time, far apart in time: the
     // first reservation is covered locally; the second and third each
     // drain site 0 and must solicit one donor.
@@ -30,7 +33,7 @@ fn fanout_one_rotates_across_donors() {
     }
     let mut cl = Cluster::build(cfg);
     cl.run_to_quiescence();
-    let m = cl.metrics();
+    let m = cl.stats().txn;
     assert_eq!(m.committed(), 3);
     cl.auditor().check_conservation().unwrap();
     // Round-robin: the two solicitations hit two *different* donors.
@@ -58,7 +61,7 @@ fn conc2_skips_timed_out_waiters() {
         .at(0, ms(3), TxnSpec::reserve(item, 10)); // satisfiable once granted
     let mut cl = Cluster::build(cfg);
     cl.run_to_quiescence();
-    let m = cl.metrics();
+    let m = cl.stats().txn;
     cl.auditor().check_conservation().unwrap();
     // T1 commits; T2 aborts (insufficient value → timeout); T3 must still
     // get the lock after T2's ghost is skipped, and commits.
@@ -99,7 +102,7 @@ fn lease_timer_fallback_frees_item_when_release_is_lost() {
         .at(1, ms(150), TxnSpec::release(item, 5));
     let mut cl = Cluster::build(cfg);
     cl.run_to_quiescence();
-    let m = cl.metrics();
+    let m = cl.stats().txn;
     cl.auditor().check_conservation().unwrap();
     cl.auditor().check_reads(&m).unwrap();
     // The read committed (grant arrived before the partition).
@@ -125,7 +128,7 @@ fn retries_do_not_extend_the_decision_bound() {
     let cfg = cfg.at(0, ms(1), TxnSpec::reserve(item, 1_000)); // impossible
     let mut cl = Cluster::build(cfg);
     cl.run_to_quiescence();
-    let m = cl.metrics();
+    let m = cl.stats().txn;
     assert_eq!(m.aborted_for(AbortReason::Timeout), 1);
     let bound = cl.sim.node(0).config().txn_timeout.as_micros() + 1_000;
     assert!(m.sites[0].abort_latency.max() <= bound);
