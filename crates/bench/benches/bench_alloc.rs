@@ -1,0 +1,83 @@
+//! Allocation-focused benchmarks for the data-oriented hot paths
+//! (DESIGN.md §4i): times the fully-local fast-path commit loop and a
+//! recovery scan, the two paths the dense-index and zero-copy work
+//! targets.
+//!
+//! Built with `--features alloc-audit` the group also prints the
+//! measured run-phase allocations per transaction (the regression *gate*
+//! is `tests/alloc_steady_state.rs`; the print here keeps the number
+//! visible in bench output):
+//!
+//! ```console
+//! $ cargo bench -p dvp-bench --features alloc-audit --bench bench_alloc
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvp_core::item::{Catalog, Split};
+use dvp_core::{Cluster, ClusterConfig, TxnSpec};
+use dvp_simnet::time::{SimDuration, SimTime};
+
+const TXNS: u64 = 1_000;
+
+/// A single-site cluster scripted with `TXNS` alternating reserve /
+/// release transactions — every one commits on the fast path.
+fn fast_path_cluster() -> Cluster {
+    let mut catalog = Catalog::new();
+    let acct = catalog.add("acct", 1_000_000, Split::Even);
+    let mut cfg = ClusterConfig::new(1, catalog);
+    cfg.site.checkpoint_every = None;
+    for k in 0..TXNS {
+        let when = SimTime::ZERO + SimDuration::micros(1 + k * 10);
+        let spec = if k % 2 == 0 {
+            TxnSpec::reserve(acct, 1)
+        } else {
+            TxnSpec::release(acct, 1)
+        };
+        cfg = cfg.at(0, when, spec);
+    }
+    Cluster::build(cfg)
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bench_alloc");
+
+    #[cfg(feature = "alloc-audit")]
+    {
+        let mut cl = fast_path_cluster();
+        let before = dvp_bench::alloc_audit::alloc_count();
+        cl.run_to_quiescence();
+        let during = dvp_bench::alloc_audit::alloc_count() - before;
+        assert_eq!(cl.stats().txn.committed(), TXNS);
+        eprintln!(
+            "[bench_alloc] fast-path run-phase: {:.3} allocs/txn over {TXNS} txns \
+             (steady state is zero; the residue is container warmup)",
+            during as f64 / TXNS as f64
+        );
+    }
+
+    g.bench_function("fast_path_1k_commits", |b| {
+        b.iter(|| {
+            let mut cl = fast_path_cluster();
+            cl.run_to_quiescence();
+            cl.stats().txn.committed()
+        })
+    });
+
+    // The zero-copy recovery scan: run the workload once, then replay
+    // the surviving site's stable log (slicing the cached frozen image
+    // rather than copying every record).
+    let mut cl = fast_path_cluster();
+    cl.run_to_quiescence();
+    g.bench_function("recover_scan_1k_txns", |b| {
+        b.iter(|| cl.sim.node(0).log().recover().unwrap().len())
+    });
+
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_alloc
+);
+criterion_main!(benches);

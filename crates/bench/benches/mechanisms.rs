@@ -8,7 +8,7 @@ use dvp_core::clock::{LamportClock, Ts};
 use dvp_core::domain::{Domain, Multiset, SumQty};
 use dvp_core::item::ItemId;
 use dvp_core::locks::{Holder, LockTable};
-use dvp_core::record::SiteRecord;
+use dvp_core::record::{DbActions, SiteRecord};
 use dvp_core::transfer::{Transfer, TransferKind};
 use dvp_simnet::partition::PartitionSchedule;
 use dvp_simnet::rng::SimRng;
@@ -49,7 +49,7 @@ fn bench_log(c: &mut Criterion) {
         for i in 0..1_000u64 {
             log.append(SiteRecord::Commit {
                 txn: Ts(i),
-                actions: vec![(ItemId(0), -1), (ItemId(1), 1)],
+                actions: DbActions::from_slice(&[(ItemId(0), -1), (ItemId(1), 1)]),
             });
         }
         log.force();
@@ -74,7 +74,7 @@ fn bench_codec(c: &mut Criterion) {
     });
     let rec = SiteRecord::Rds {
         txn: Ts(9),
-        actions: vec![(ItemId(0), -5)],
+        actions: DbActions::from_slice(&[(ItemId(0), -5)]),
         vm_ops: vec![dvp_vmsg::VmLogOp::Created {
             to: 1,
             seq: 7,

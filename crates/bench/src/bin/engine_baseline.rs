@@ -28,6 +28,20 @@
 //!
 //! Scale via `DVP_SCALE=quick|full` or `--quick`; compare runs at
 //! identical scales only.
+//!
+//! The `allocs_per_txn` column needs the counting allocator
+//! (`--features alloc-audit`), but that allocator taxes wall-clock
+//! throughput (~2 atomics per allocation event), so the canonical file
+//! is produced in two passes: an audit build writes a scratch JSON, then
+//! a default build re-runs for honest timings and merges the measured
+//! allocation column with `--allocs-from=<scratch.json>`:
+//!
+//! ```text
+//! DVP_SCALE=full cargo run --release --features alloc-audit \
+//!     --bin engine_baseline /tmp/engine_allocs.json
+//! DVP_SCALE=full cargo run --release --bin engine_baseline \
+//!     BENCH_engine.json --allocs-from=/tmp/engine_allocs.json
+//! ```
 
 use dvp_bench::{Scale, Scenario};
 use dvp_core::{Placement, SiteConfig};
@@ -65,6 +79,20 @@ struct Row {
     hint_hits: u64,
     /// Hint entries piggybacked on Vm datagrams (adaptive only).
     hints_sent: u64,
+    /// Allocation events during the run (0 without `alloc-audit`).
+    allocs: u64,
+}
+
+/// Allocation counter snapshot; 0 when the audit feature is off.
+fn alloc_snapshot() -> u64 {
+    #[cfg(feature = "alloc-audit")]
+    {
+        dvp_bench::alloc_audit::alloc_count()
+    }
+    #[cfg(not(feature = "alloc-audit"))]
+    {
+        0
+    }
 }
 
 impl Row {
@@ -91,6 +119,15 @@ impl Row {
     }
     fn hint_hit_rate(&self) -> f64 {
         self.hint_hits as f64 / self.hinted_solicits.max(1) as f64
+    }
+    /// Allocation events per decided transaction; -1 when the binary was
+    /// built without `--features alloc-audit` (not measured).
+    fn allocs_per_txn(&self) -> f64 {
+        if cfg!(feature = "alloc-audit") {
+            self.allocs as f64 / self.decided.max(1) as f64
+        } else {
+            -1.0
+        }
     }
 }
 
@@ -141,9 +178,11 @@ fn hotspot(scale: Scale) -> Workload {
 /// Run a DvP scenario closed-loop (to quiescence) and harvest the row.
 fn run_dvp(name: &'static str, w: &Workload, site: SiteConfig) -> Row {
     let mut cl = Scenario::dvp(w).name(name).site(site).build_dvp();
+    let allocs_before = alloc_snapshot();
     let t = Instant::now();
     cl.run_to_quiescence();
     let wall_secs = t.elapsed().as_secs_f64();
+    let allocs = alloc_snapshot() - allocs_before;
     cl.auditor()
         .check_conservation()
         .expect("conservation must hold in every benchmark run");
@@ -173,6 +212,7 @@ fn run_dvp(name: &'static str, w: &Workload, site: SiteConfig) -> Row {
         hinted_solicits: stats.placement.hinted_solicits,
         hint_hits: stats.placement.hint_hits,
         hints_sent: stats.placement.hints_sent,
+        allocs,
     }
 }
 
@@ -181,9 +221,11 @@ fn run_dvp(name: &'static str, w: &Workload, site: SiteConfig) -> Row {
 fn run_trad(name: &'static str, w: &Workload) -> Row {
     let mut cl = Scenario::trad(w).name(name).build_trad();
     let deadline = SimTime::ZERO + SimDuration::secs(3_600);
+    let allocs_before = alloc_snapshot();
     let t = Instant::now();
     cl.run_until(deadline);
     let wall_secs = t.elapsed().as_secs_f64();
+    let allocs = alloc_snapshot() - allocs_before;
     let m = cl.metrics();
     let LogStats {
         forces,
@@ -209,7 +251,39 @@ fn run_trad(name: &'static str, w: &Workload) -> Row {
         hinted_solicits: 0,
         hint_hits: 0,
         hints_sent: 0,
+        allocs,
     }
+}
+
+/// Pull per-scenario `allocs_per_txn` values out of a previous run's
+/// JSON (the scratch file an `alloc-audit` build wrote). The format is
+/// our own one-row-per-line output, so a plain string scan suffices.
+fn load_alloc_overrides(path: &str) -> Vec<(String, f64)> {
+    let contents =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--allocs-from={path}: {e}"));
+    let mut out = Vec::new();
+    for line in contents.lines() {
+        let Some(name) = line
+            .split("\"name\": \"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+        else {
+            continue;
+        };
+        let Some(val) = line
+            .split("\"allocs_per_txn\": ")
+            .nth(1)
+            .and_then(|rest| rest.trim_end_matches(['}', ',', ' ']).parse::<f64>().ok())
+        else {
+            continue;
+        };
+        out.push((name.to_string(), val));
+    }
+    assert!(
+        !out.is_empty(),
+        "--allocs-from={path}: no allocs_per_txn rows found"
+    );
+    out
 }
 
 fn main() {
@@ -222,6 +296,9 @@ fn main() {
     } else {
         Scale::from_env()
     };
+    let alloc_overrides: Vec<(String, f64)> = std::env::args()
+        .find_map(|a| a.strip_prefix("--allocs-from=").map(load_alloc_overrides))
+        .unwrap_or_default();
 
     let reactive = SiteConfig::default();
     let adaptive = SiteConfig::builder()
@@ -243,8 +320,13 @@ fn main() {
 
     let mut json = String::from("{\n  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let apt = alloc_overrides
+            .iter()
+            .find(|(n, _)| n == r.name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| r.allocs_per_txn());
         println!(
-            "{:<22} {:>7} decided  {:>8.3} s  {:>10.0} txns/s  {:>6.3} forces/txn  {:>7.3} frames/txn  {:>6.3} dgrams/txn  {:>6.3} solicits/txn  {:>5.1}% fast-path  {}/{} hint hits",
+            "{:<22} {:>7} decided  {:>8.3} s  {:>10.0} txns/s  {:>6.3} forces/txn  {:>7.3} frames/txn  {:>6.3} dgrams/txn  {:>6.3} solicits/txn  {:>5.1}% fast-path  {}/{} hint hits  {:>7.2} allocs/txn",
             r.name,
             r.decided,
             r.wall_secs,
@@ -256,6 +338,7 @@ fn main() {
             100.0 * r.fast_path_rate(),
             r.hint_hits,
             r.hinted_solicits,
+            apt,
         );
         let _ = write!(
             json,
@@ -267,7 +350,8 @@ fn main() {
              \"wire_bytes_per_txn\": {:.4}, \"bytes_acked_piggyback\": {}, \
              \"solicits\": {}, \"solicits_per_txn\": {:.4}, \"fast_path\": {}, \
              \"fast_path_rate\": {:.4}, \"hinted_solicits\": {}, \"hint_hits\": {}, \
-             \"hint_hit_rate\": {:.4}, \"hints_sent\": {}}}",
+             \"hint_hit_rate\": {:.4}, \"hints_sent\": {}, \
+             \"allocs_per_txn\": {:.4}}}",
             r.name,
             r.decided,
             r.committed,
@@ -293,6 +377,7 @@ fn main() {
             r.hint_hits,
             r.hint_hit_rate(),
             r.hints_sent,
+            apt,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

@@ -9,9 +9,14 @@
 //! default) and `full` (the numbers recorded in `EXPERIMENTS.md`).
 //! Select with the `DVP_SCALE` environment variable (`quick`/`full`).
 
-#![forbid(unsafe_code)]
+// The alloc-audit feature needs one `unsafe impl GlobalAlloc`; every
+// other configuration keeps the hard forbid.
+#![cfg_attr(not(feature = "alloc-audit"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-audit", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+#[cfg(feature = "alloc-audit")]
+pub mod alloc_audit;
 pub mod exp_f1_quota;
 pub mod exp_f2_readcost;
 pub mod exp_f3_vm;

@@ -1,0 +1,339 @@
+//! Interned dense indices and small-vector storage for hot-path tables.
+//!
+//! The steady-state dispatch path used to thread every per-item and
+//! per-peer lookup through a `BTreeMap`. Those maps are replaced by
+//! `Vec`-backed tables addressed with the dense indices defined here:
+//!
+//! * [`ItemIdx`] / [`PeerIdx`] — `u32` newtypes naming a slot in a
+//!   per-site table. They are *internal*: public APIs and observability
+//!   payloads keep `ItemId` / site numbers.
+//! * [`Interner`] — maps a key universe (the item catalog, the cluster
+//!   topology) to dense indices by **sorted rank**. Because the rank of a
+//!   key depends only on the key *set*, the assignment is independent of
+//!   insertion order, and iterating a dense table `0..len` visits keys in
+//!   exactly the order the replaced `BTreeMap` iterated them. That is the
+//!   property that keeps golden obs traces byte-identical.
+//! * [`SVec`] — an inline small vector for record payloads that are
+//!   almost always tiny (a transaction touches 1–2 items), so committing
+//!   a transaction does not allocate a fresh `Vec` per log record.
+
+use std::fmt;
+
+/// Dense index of an item in a site's tables (interned from the catalog).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemIdx(pub u32);
+
+/// Dense index of a peer site in a site's tables (interned from the
+/// cluster topology).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerIdx(pub u32);
+
+/// A type usable as a dense table index.
+pub trait DenseIdx: Copy {
+    /// Wrap a raw slot number.
+    fn from_raw(raw: u32) -> Self;
+    /// The raw slot number.
+    fn raw(self) -> u32;
+    /// The slot number as a `usize` (for indexing).
+    fn as_usize(self) -> usize {
+        self.raw() as usize
+    }
+}
+
+impl DenseIdx for ItemIdx {
+    fn from_raw(raw: u32) -> Self {
+        ItemIdx(raw)
+    }
+    fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl DenseIdx for PeerIdx {
+    fn from_raw(raw: u32) -> Self {
+        PeerIdx(raw)
+    }
+    fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+// The default index type (for callers that don't need a newtype).
+impl DenseIdx for u32 {
+    fn from_raw(raw: u32) -> Self {
+        raw
+    }
+    fn raw(self) -> u32 {
+        self
+    }
+}
+
+/// Sorted-rank interner: assigns each key of a fixed universe the dense
+/// index equal to its rank in the sorted key set.
+///
+/// The contract replacing a `BTreeMap<K, V>` with `Vec<V>` relies on:
+///
+/// 1. **Order-independence** — the assignment depends only on the key
+///    *set*, never on insertion order, so an interner rebuilt after a
+///    crash (from the catalog and topology, which are stable) assigns
+///    identical indices.
+/// 2. **Sorted iteration** — `iter()` (and any dense table walked
+///    `0..len()`) visits keys in ascending key order, exactly the
+///    iteration order of the `BTreeMap` it replaced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Interner<K, I = u32> {
+    keys: Vec<K>,
+    _marker: std::marker::PhantomData<I>,
+}
+
+/// Interner over the item universe.
+pub type ItemInterner = Interner<crate::item::ItemId, ItemIdx>;
+
+impl<K: Ord + Copy, I: DenseIdx> Interner<K, I> {
+    /// Build from the key universe in any order; duplicates collapse.
+    pub fn from_universe(keys: impl IntoIterator<Item = K>) -> Self {
+        let mut keys: Vec<K> = keys.into_iter().collect();
+        keys.sort_unstable();
+        keys.dedup();
+        Interner {
+            keys,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of interned keys (the dense table length).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The dense index of `key`, or `None` for a key outside the universe.
+    pub fn idx(&self, key: K) -> Option<I> {
+        self.keys
+            .binary_search(&key)
+            .ok()
+            .map(|i| I::from_raw(i as u32))
+    }
+
+    /// The key at dense index `idx` (panics when out of range).
+    pub fn key(&self, idx: I) -> K {
+        self.keys[idx.as_usize()]
+    }
+
+    /// `(index, key)` pairs in index order — which is ascending key
+    /// order, matching `BTreeMap` iteration.
+    pub fn iter(&self) -> impl Iterator<Item = (I, K)> + '_ {
+        self.keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (I::from_raw(i as u32), k))
+    }
+}
+
+/// A small vector that stores up to `N` elements inline and spills to a
+/// heap `Vec` beyond that. Used for log-record and commit-journal
+/// payloads, where the common case (1–2 entries) must not allocate.
+///
+/// When spilled, `spill` holds *all* elements (the inline array is dead);
+/// `T: Copy + Default` keeps the implementation free of `unsafe`.
+#[derive(Clone, Debug)]
+pub struct SVec<T: Copy + Default, const N: usize> {
+    inline: [T; N],
+    len: usize,
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> SVec<T, N> {
+    /// An empty vector (no allocation).
+    pub fn new() -> Self {
+        SVec {
+            inline: [T::default(); N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// A one-element vector (no allocation while `N >= 1`).
+    pub fn one(v: T) -> Self {
+        let mut s = Self::new();
+        s.push(v);
+        s
+    }
+
+    /// Copy a slice in (allocates only when `s.len() > N`).
+    pub fn from_slice(s: &[T]) -> Self {
+        let mut out = Self::new();
+        for &v in s {
+            out.push(v);
+        }
+        out
+    }
+
+    /// Append an element, spilling to the heap past `N`.
+    pub fn push(&mut self, v: T) {
+        if self.len < N {
+            self.inline[self.len] = v;
+        } else {
+            if self.len == N {
+                self.spill.reserve(N + 1);
+                self.spill.extend_from_slice(&self.inline[..N]);
+            }
+            self.spill.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.len <= N {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Iterate the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+
+    /// Copy the elements into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for SVec<T, N> {}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for SVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for v in iter {
+            s.push(v);
+        }
+        s
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<Vec<T>> for SVec<T, N> {
+    fn from(v: Vec<T>) -> Self {
+        Self::from_slice(&v)
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> IntoIterator for SVec<T, N> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(mut self) -> Self::IntoIter {
+        if self.len <= N {
+            // Inline case: `spill` is empty, so this is the one
+            // unavoidable allocation of a consuming iteration.
+            self.spill.extend_from_slice(&self.inline[..self.len]);
+        }
+        self.spill.into_iter()
+    }
+}
+
+impl<T: Copy + Default + fmt::Display, const N: usize> fmt::Display for SVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::ItemId;
+
+    #[test]
+    fn interner_assignment_is_sorted_rank() {
+        let i: ItemInterner = Interner::from_universe([ItemId(5), ItemId(1), ItemId(3)]);
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.idx(ItemId(1)), Some(ItemIdx(0)));
+        assert_eq!(i.idx(ItemId(3)), Some(ItemIdx(1)));
+        assert_eq!(i.idx(ItemId(5)), Some(ItemIdx(2)));
+        assert_eq!(i.idx(ItemId(2)), None);
+        assert_eq!(i.key(ItemIdx(1)), ItemId(3));
+    }
+
+    #[test]
+    fn interner_iterates_in_key_order() {
+        let i: Interner<u64, u32> = Interner::from_universe([9u64, 2, 7, 2]);
+        let keys: Vec<u64> = i.iter().map(|(_, k)| k).collect();
+        assert_eq!(keys, vec![2, 7, 9]);
+    }
+
+    #[test]
+    fn svec_stays_inline_then_spills() {
+        let mut s: SVec<u32, 2> = SVec::new();
+        assert!(s.is_empty());
+        s.push(10);
+        s.push(20);
+        assert_eq!(s.as_slice(), &[10, 20]);
+        s.push(30);
+        s.push(40);
+        assert_eq!(s.as_slice(), &[10, 20, 30, 40]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.to_vec(), vec![10, 20, 30, 40]);
+        assert_eq!(s.into_iter().collect::<Vec<_>>(), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn svec_equality_and_construction() {
+        let a: SVec<u8, 4> = SVec::from_slice(&[1, 2, 3]);
+        let b: SVec<u8, 4> = vec![1, 2, 3].into();
+        let c: SVec<u8, 4> = [1u8, 2, 3].into_iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(SVec::<u8, 2>::one(9).as_slice(), &[9]);
+        assert_eq!(&a[..2], &[1, 2], "deref to slice");
+    }
+}

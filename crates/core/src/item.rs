@@ -9,7 +9,7 @@ use crate::Qty;
 use std::fmt;
 
 /// Identifier of a data item.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ItemId(pub u32);
 
 impl fmt::Debug for ItemId {

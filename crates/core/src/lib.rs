@@ -32,6 +32,7 @@
 pub mod audit;
 pub mod clock;
 pub mod cluster;
+pub mod dense;
 pub mod domain;
 pub mod fragment;
 pub mod item;
@@ -46,6 +47,7 @@ pub mod txn;
 
 pub use clock::{LamportClock, Ts, TxnId};
 pub use cluster::{Cluster, ClusterConfig, FaultPlan, PlacementStats, StatsView};
+pub use dense::{Interner, ItemIdx, PeerIdx, SVec};
 pub use item::{Catalog, ItemId};
 pub use metrics::{AbortReason, ClusterMetrics, SiteMetrics};
 pub use ops::Op;

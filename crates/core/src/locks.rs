@@ -81,17 +81,25 @@ impl LockTable {
     /// per instance — unsorted, identical runs could grant locks in
     /// different interleavings.
     pub fn release_all(&mut self, txn: Ts) -> Vec<ItemId> {
-        let mut items: Vec<ItemId> = self
-            .held
-            .iter()
-            .filter(|(_, h)| h.txn() == txn)
-            .map(|(i, _)| *i)
-            .collect();
-        items.sort_unstable();
-        for i in &items {
+        let mut items = Vec::new();
+        self.release_all_into(txn, &mut items);
+        items
+    }
+
+    /// [`release_all`](Self::release_all) into a caller-owned scratch
+    /// buffer, so the commit path can release without allocating.
+    pub fn release_all_into(&mut self, txn: Ts, out: &mut Vec<ItemId>) {
+        out.clear();
+        out.extend(
+            self.held
+                .iter()
+                .filter(|(_, h)| h.txn() == txn)
+                .map(|(i, _)| *i),
+        );
+        out.sort_unstable();
+        for i in out.iter() {
             self.held.remove(i);
         }
-        items
     }
 
     /// Forget all locks — Section 7: "the information regarding the locks

@@ -6,6 +6,7 @@
 //! and the committed-operation journal the auditors replay.
 
 use crate::clock::Ts;
+use crate::dense::SVec;
 use crate::item::ItemId;
 use crate::Qty;
 use dvp_obs::{Hist, PhaseHists};
@@ -53,10 +54,11 @@ pub struct CommitEntry {
     pub txn: Ts,
     /// Commit instant.
     pub at: SimTime,
-    /// Net delta per item.
-    pub deltas: Vec<(ItemId, i64)>,
+    /// Net delta per item (inline — journaling a commit is on the
+    /// steady-state path and must not allocate).
+    pub deltas: SVec<(ItemId, i64), 2>,
     /// Full-value read results, if any.
-    pub reads: Vec<(ItemId, Qty)>,
+    pub reads: SVec<(ItemId, Qty), 2>,
 }
 
 /// Counters and journals for one site.
@@ -358,8 +360,8 @@ mod tests {
             CommitEntry {
                 txn: Ts(1),
                 at: SimTime(99),
-                deltas: vec![(ItemId(0), -2)],
-                reads: vec![],
+                deltas: SVec::one((ItemId(0), -2)),
+                reads: SVec::new(),
             },
             77,
             true,
@@ -377,8 +379,8 @@ mod tests {
             CommitEntry {
                 txn: Ts(2),
                 at: SimTime(5),
-                deltas: vec![],
-                reads: vec![],
+                deltas: SVec::new(),
+                reads: SVec::new(),
             },
             10,
             false,
@@ -400,8 +402,8 @@ mod tests {
             CommitEntry {
                 txn: Ts(9),
                 at: SimTime(20),
-                deltas: vec![],
-                reads: vec![],
+                deltas: SVec::new(),
+                reads: SVec::new(),
             },
             1,
             false,
@@ -411,8 +413,8 @@ mod tests {
             CommitEntry {
                 txn: Ts(3),
                 at: SimTime(10),
-                deltas: vec![],
-                reads: vec![],
+                deltas: SVec::new(),
+                reads: SVec::new(),
             },
             1,
             false,

@@ -13,6 +13,7 @@
 //!   (each record applied exactly once ⇒ idempotence for free).
 
 use crate::clock::Ts;
+use crate::dense::SVec;
 use crate::item::ItemId;
 use crate::Qty;
 use dvp_storage::{DecodeError, Record, RecordReader, RecordWriter};
@@ -20,6 +21,11 @@ use dvp_vmsg::VmLogOp;
 
 /// A `(item, signed delta)` database action.
 pub type DbAction = (ItemId, i64);
+
+/// The database-action list of a log record. Almost every transaction
+/// touches 1–2 items, so the list is stored inline ([`SVec`]) and the
+/// commit fast path writes records without heap allocation.
+pub type DbActions = SVec<DbAction, 2>;
 
 /// One record in a site's stable log.
 #[derive(Clone, Debug, PartialEq)]
@@ -39,7 +45,7 @@ pub enum SiteRecord {
         /// Responsible transaction (for Conc1 timestamp recovery).
         txn: Ts,
         /// Fragment deltas.
-        actions: Vec<DbAction>,
+        actions: DbActions,
         /// Embedded Vm lifecycle ops.
         vm_ops: Vec<VmLogOp>,
     },
@@ -49,7 +55,7 @@ pub enum SiteRecord {
         /// The committing transaction.
         txn: Ts,
         /// Net fragment deltas to apply.
-        actions: Vec<DbAction>,
+        actions: DbActions,
     },
     /// The commit's changes have been installed in the database image.
     Applied {
@@ -66,12 +72,12 @@ fn encode_actions(w: &mut RecordWriter<'_>, actions: &[DbAction]) {
     }
 }
 
-fn decode_actions(r: &mut RecordReader<'_>) -> Result<Vec<DbAction>, DecodeError> {
+fn decode_actions(r: &mut RecordReader<'_>) -> Result<DbActions, DecodeError> {
     let n = r.u32()? as usize;
     if n > 1 << 20 {
         return Err(DecodeError::Invalid("action count implausibly large"));
     }
-    let mut out = Vec::with_capacity(n);
+    let mut out = DbActions::new();
     for _ in 0..n {
         out.push((ItemId(r.u32()?), r.i64()?));
     }
@@ -170,7 +176,7 @@ mod tests {
     fn rds_roundtrips_with_vm_ops() {
         roundtrip(SiteRecord::Rds {
             txn: Ts(0xABC),
-            actions: vec![(ItemId(0), -5), (ItemId(1), 5)],
+            actions: DbActions::from_slice(&[(ItemId(0), -5), (ItemId(1), 5)]),
             vm_ops: vec![
                 VmLogOp::Created {
                     to: 2,
@@ -187,7 +193,7 @@ mod tests {
     fn commit_roundtrips() {
         roundtrip(SiteRecord::Commit {
             txn: Ts(77),
-            actions: vec![(ItemId(9), 123), (ItemId(10), -1)],
+            actions: DbActions::from_slice(&[(ItemId(9), 123), (ItemId(10), -1)]),
         });
     }
 
@@ -200,12 +206,12 @@ mod tests {
     fn empty_vectors_roundtrip() {
         roundtrip(SiteRecord::Rds {
             txn: Ts::ZERO,
-            actions: vec![],
+            actions: DbActions::new(),
             vm_ops: vec![],
         });
         roundtrip(SiteRecord::Commit {
             txn: Ts(1),
-            actions: vec![],
+            actions: DbActions::new(),
         });
     }
 

@@ -28,6 +28,7 @@
 //! value", Section 8).
 
 use crate::clock::{LamportClock, Ts};
+use crate::dense::{DenseIdx, ItemInterner, SVec};
 use crate::fragment::FragmentStore;
 use crate::item::ItemId;
 use crate::locks::{Holder, LockTable};
@@ -35,7 +36,7 @@ use crate::metrics::{AbortReason, CommitEntry, SiteMetrics};
 use crate::policy::{
     AdaptivePlacement, ConcMode, Crashpoint, Fanout, HintChaos, Placement, SiteConfig,
 };
-use crate::record::SiteRecord;
+use crate::record::{DbActions, SiteRecord};
 use crate::transfer::{Transfer, TransferKind};
 use crate::txn::TxnSpec;
 use crate::Qty;
@@ -48,8 +49,9 @@ use dvp_storage::{
     CheckpointSlot, DecodeError, Lsn, Record, RecordReader, RecordWriter, SalvageOutcome,
     StableLog, TornWrite,
 };
+use dvp_vmsg::codec::HINT_ENTRY_LEN;
 use dvp_vmsg::{ChannelSnapshot, Frame, Receipt, Seq, VmConfig, VmEndpoint, VmLogOp, WireDatagram};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 // Timer-tag kinds (top byte).
 const TAG_KIND_SHIFT: u64 = 56;
@@ -137,22 +139,22 @@ struct ActiveTxn {
     timeout_timer: TimerId,
     /// Items still to lock (Conc2 queueing); empty ⇒ all locks held.
     pending_locks: Vec<ItemId>,
-    /// Remaining deficit per solicited item.
-    deficits: BTreeMap<ItemId, Qty>,
-    /// Per read item: donors not yet heard from.
-    read_pending: BTreeMap<ItemId, BTreeSet<NodeId>>,
-    /// Read items waiting for our *own* outstanding Vms to clear first.
-    reads_blocked_on_self: BTreeSet<ItemId>,
+    /// Remaining deficit per solicited item, sorted by item.
+    deficits: Vec<(ItemId, Qty)>,
+    /// Per read item (sorted): donors not yet heard from.
+    read_pending: Vec<(ItemId, Vec<NodeId>)>,
+    /// Read items (sorted) waiting for our *own* outstanding Vms to clear.
+    reads_blocked_on_self: Vec<ItemId>,
     /// When the first solicited credit arrived (phase breakdown).
     first_credit_at: Option<SimTime>,
     /// Whether this transaction ever solicited (false ⇒ fast path).
     solicited: bool,
     /// Remaining solicitation retries (see `SiteConfig::solicit_retries`).
     retries_left: u32,
-    /// Per item: the single peer a `One`/`Hinted` solicitation targeted
-    /// (`true` = hint-selected). Feeds hint-hit accounting and, on a
-    /// timeout abort, peer suspicion.
-    single_targets: BTreeMap<ItemId, (NodeId, bool)>,
+    /// Per item (sorted): the single peer a `One`/`Hinted` solicitation
+    /// targeted (`true` = hint-selected). Feeds hint-hit accounting and,
+    /// on a timeout abort, peer suspicion.
+    single_targets: Vec<(ItemId, NodeId, bool)>,
 }
 
 impl ActiveTxn {
@@ -162,9 +164,25 @@ impl ActiveTxn {
 
     fn ready(&self) -> bool {
         self.locks_held()
-            && self.deficits.values().all(|&d| d == 0)
-            && self.read_pending.values().all(|s| s.is_empty())
+            && self.deficits.iter().all(|&(_, d)| d == 0)
+            && self.read_pending.iter().all(|(_, s)| s.is_empty())
             && self.reads_blocked_on_self.is_empty()
+    }
+
+    fn new(spec: TxnSpec, started: SimTime, timeout_timer: TimerId) -> Self {
+        ActiveTxn {
+            spec,
+            started,
+            timeout_timer,
+            pending_locks: Vec::new(),
+            deficits: Vec::new(),
+            read_pending: Vec::new(),
+            reads_blocked_on_self: Vec::new(),
+            first_credit_at: None,
+            solicited: false,
+            retries_left: 0,
+            single_targets: Vec::new(),
+        }
     }
 }
 
@@ -255,37 +273,55 @@ pub struct SiteNode {
     /// Crash-surviving checkpoint slot (stable storage, like the log).
     checkpoint: CheckpointSlot<SiteSnapshot>,
     script: Vec<TxnSpec>,
-    active: BTreeMap<Ts, ActiveTxn>,
-    /// Conc2 FIFO lock queues.
-    lock_queue: BTreeMap<ItemId, VecDeque<Waiter>>,
+    /// Interner pinning the dense-index contract: every per-item table
+    /// below is indexed by the item's sorted rank in the catalog, which
+    /// (because `Catalog` assigns contiguous ids) is `item.0` itself —
+    /// asserted once at construction. Iterating any table `0..len`
+    /// visits items in ascending `ItemId` order, exactly the iteration
+    /// order of the `BTreeMap`s these tables replaced.
+    items: ItemInterner,
+    /// In-flight local transactions, sorted by (monotonic) timestamp.
+    /// Timestamps are issued in increasing order, so insertion is a
+    /// push-at-end and the `Vec` iterates in the same order the old
+    /// `BTreeMap` did.
+    active: Vec<(Ts, ActiveTxn)>,
+    /// Conc2 FIFO lock queues, per item.
+    lock_queue: Vec<VecDeque<Waiter>>,
     /// Outgoing unacked Vms per item (read-donation gate).
-    outstanding_out: BTreeMap<ItemId, u64>,
+    outstanding_out: Vec<u64>,
+    /// Items with a non-zero `outstanding_out` slot.
+    outstanding_items: usize,
     /// The live lease-expiry timer per item. A firing that does not match
     /// the stored id is stale (the lease it was armed for was released
     /// early and a newer lease may be in force) and must be ignored.
-    lease_timers: BTreeMap<ItemId, TimerId>,
+    lease_timers: Vec<Option<TimerId>>,
     /// Map from outgoing Vm `(peer, seq)` to the item it carries.
     vm_item: BTreeMap<(NodeId, Seq), ItemId>,
     /// Initial per-item quota (the rebalancer's target level).
     initial_quotas: Vec<Qty>,
     /// Last site to solicit each item — where demand lives (the
     /// reactive fixed-threshold rebalancer's targeting signal).
-    demand_hint: BTreeMap<ItemId, NodeId>,
+    demand_hint: Vec<Option<NodeId>>,
     /// Adaptive placement: this site's own per-item demand EWMA, fed by
     /// local transaction demands and timeout deficits. Volatile.
-    own_demand: BTreeMap<ItemId, f64>,
+    own_demand: Vec<f64>,
     /// Adaptive placement: per-(item, peer) solicited-demand EWMA, fed
     /// by incoming requests (the demand-driven rebalancer's targeting
-    /// and sizing signal). Volatile.
-    peer_demand: BTreeMap<(ItemId, NodeId), f64>,
+    /// and sizing signal). Volatile. Indexed `item.0 * n + peer`
+    /// (item-major), so a full scan visits `(item, peer)` pairs in the
+    /// lexicographic order the old `BTreeMap<(ItemId, NodeId), _>` used.
+    peer_demand: Vec<f64>,
     /// Adaptive placement: advertised-surplus hints received from peers,
     /// with their arrival instant (expired by `hint_ttl`). Volatile
-    /// gossip — never consulted by anything safety-bearing.
-    hint_table: BTreeMap<(ItemId, NodeId), (Qty, SimTime)>,
+    /// gossip — never consulted by anything safety-bearing. Indexed
+    /// `item.0 * n + peer` like `peer_demand`.
+    hint_table: Vec<Option<(Qty, SimTime)>>,
     /// Peers suspected unresponsive after an unanswered single-target
     /// solicitation, until the stored instant. Any message from the
     /// peer clears it. Volatile.
-    suspect_until: BTreeMap<NodeId, SimTime>,
+    suspect_until: Vec<Option<SimTime>>,
+    /// Peers with a `Some` slot in `suspect_until` (fast emptiness test).
+    suspect_count: usize,
     /// Round-robin pointer for `Fanout::One`.
     rr: usize,
     retransmit_armed: bool,
@@ -323,9 +359,21 @@ pub struct SiteNode {
     outbox_scratch: Vec<(NodeId, Frame)>,
     completed_scratch: Vec<(NodeId, Seq)>,
     datagram_scratch: Vec<(NodeId, WireDatagram)>,
-    /// Peers with an armed delayed-ack timer. A firing for a peer not in
-    /// this set is stale (crash cleared it) and must be ignored.
-    ack_timers: BTreeSet<NodeId>,
+    freed_scratch: Vec<ItemId>,
+    /// Reusable per-dispatch scratch (the steady-state transaction path
+    /// must not allocate): access sets, net deltas, demands, released
+    /// locks. Taken with `mem::take` for the duration of a call and
+    /// restored before returning, so reentrant dispatches (Conc2 waiter
+    /// wake-ups committing nested transactions) fall back to a fresh
+    /// allocation instead of corrupting the outer borrow.
+    access_scratch: Vec<ItemId>,
+    deltas_scratch: Vec<(ItemId, i64)>,
+    demands_scratch: Vec<(ItemId, Qty)>,
+    deficits_scratch: Vec<(ItemId, Qty)>,
+    released_scratch: Vec<ItemId>,
+    /// Peers with an armed delayed-ack timer (`true` slots). A firing for
+    /// a peer not in this set is stale (crash cleared it), ignored.
+    ack_timers: Vec<bool>,
     /// Group commit: a record that per-record forcing would have forced
     /// inline was appended during this dispatch, so the flush boundary
     /// owes one coalesced force. Stays `false` across ack-only dispatches
@@ -357,6 +405,15 @@ impl SiteNode {
             frags.credit(item, q);
         }
         log.force();
+        let items = ItemInterner::from_universe((0..quotas.len()).map(|i| ItemId(i as u32)));
+        // The dense-index contract: because the catalog assigns contiguous
+        // ids, the interner's sorted-rank assignment is the identity, so
+        // the hot paths below may index tables with `item.0` directly.
+        debug_assert!(
+            items.iter().all(|(idx, key)| idx.raw() == key.0),
+            "catalog ids must intern to identity indices"
+        );
+        let k = quotas.len();
         SiteNode {
             id,
             n,
@@ -368,16 +425,19 @@ impl SiteNode {
             log,
             checkpoint: CheckpointSlot::new(),
             script,
-            active: BTreeMap::new(),
+            items,
+            active: Vec::new(),
             initial_quotas: quotas,
-            demand_hint: BTreeMap::new(),
-            own_demand: BTreeMap::new(),
-            peer_demand: BTreeMap::new(),
-            hint_table: BTreeMap::new(),
-            suspect_until: BTreeMap::new(),
-            lock_queue: BTreeMap::new(),
-            outstanding_out: BTreeMap::new(),
-            lease_timers: BTreeMap::new(),
+            demand_hint: vec![None; k],
+            own_demand: vec![0.0; k],
+            peer_demand: vec![0.0; k * n],
+            hint_table: vec![None; k * n],
+            suspect_until: vec![None; n],
+            suspect_count: 0,
+            lock_queue: vec![VecDeque::new(); k],
+            outstanding_out: vec![0; k],
+            outstanding_items: 0,
+            lease_timers: vec![None; k],
             vm_item: BTreeMap::new(),
             rr: (id + 1) % n.max(1),
             retransmit_armed: false,
@@ -394,8 +454,55 @@ impl SiteNode {
             outbox_scratch: Vec::new(),
             completed_scratch: Vec::new(),
             datagram_scratch: Vec::new(),
-            ack_timers: BTreeSet::new(),
+            freed_scratch: Vec::new(),
+            access_scratch: Vec::new(),
+            deltas_scratch: Vec::new(),
+            demands_scratch: Vec::new(),
+            deficits_scratch: Vec::new(),
+            released_scratch: Vec::new(),
+            ack_timers: vec![false; n],
             needs_flush: false,
+        }
+    }
+
+    /// Dense table index of `item` — the interner's sorted-rank
+    /// assignment, which is the identity for the contiguous catalog
+    /// (asserted in [`SiteNode::new`]).
+    #[inline]
+    fn di(item: ItemId) -> usize {
+        item.0 as usize
+    }
+
+    // ---- dense `active` table (sorted by monotonic Ts) -------------------
+
+    fn active_get(&self, ts: Ts) -> Option<&ActiveTxn> {
+        self.active
+            .binary_search_by_key(&ts, |e| e.0)
+            .ok()
+            .map(|i| &self.active[i].1)
+    }
+
+    fn active_get_mut(&mut self, ts: Ts) -> Option<&mut ActiveTxn> {
+        match self.active.binary_search_by_key(&ts, |e| e.0) {
+            Ok(i) => Some(&mut self.active[i].1),
+            Err(_) => None,
+        }
+    }
+
+    fn active_remove(&mut self, ts: Ts) -> Option<ActiveTxn> {
+        match self.active.binary_search_by_key(&ts, |e| e.0) {
+            Ok(i) => Some(self.active.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    fn active_insert(&mut self, ts: Ts, txn: ActiveTxn) {
+        // Timestamps are monotonic per site, so this is a push-at-end in
+        // the steady state; the binary search keeps the table sorted even
+        // if an interleaving ever violates that.
+        match self.active.binary_search_by_key(&ts, |e| e.0) {
+            Ok(_) => debug_assert!(false, "duplicate active txn {ts:?}"),
+            Err(i) => self.active.insert(i, (ts, txn)),
         }
     }
 
@@ -403,11 +510,26 @@ impl SiteNode {
     /// link-level coalescing flag merged in (`SiteConfig::coalesce` is
     /// the host-facing switch; the endpoint default keeps the layer
     /// standalone).
+    ///
+    /// Under adaptive placement the hint-gossip knobs are derived from
+    /// the placement parameters unless the host set them explicitly: a
+    /// hint stays useful for `hint_ttl`, so re-sending an unchanged hint
+    /// more often than every `hint_ttl / 2` wastes wire bytes, and a
+    /// datagram never needs to carry more than `max_hints` entries.
     fn vm_config(cfg: &SiteConfig) -> VmConfig {
-        VmConfig {
+        let mut vm = VmConfig {
             coalesce: cfg.coalesce,
             ..cfg.vm
+        };
+        if let Some(a) = cfg.placement.adaptive_params() {
+            if vm.hint_resend_after_us == 0 {
+                vm.hint_resend_after_us = a.hint_ttl.as_micros() / 2;
+            }
+            if vm.hint_budget_bytes == usize::MAX {
+                vm.hint_budget_bytes = 4 + a.max_hints as usize * HINT_ENTRY_LEN;
+            }
         }
+        vm
     }
 
     /// Attach a trace handle, shared down into the Vm endpoint and the
@@ -443,6 +565,12 @@ impl SiteNode {
     /// Instrumentation counters.
     pub fn metrics(&self) -> &SiteMetrics {
         &self.metrics
+    }
+
+    /// The interner backing the dense per-item tables (see
+    /// [`crate::dense::Interner`] for the index-stability contract).
+    pub fn item_interner(&self) -> &ItemInterner {
+        &self.items
     }
 
     /// Number of in-flight local transactions.
@@ -503,7 +631,7 @@ impl SiteNode {
             Some(a) => a.gain,
             None => return,
         };
-        let e = self.own_demand.entry(item).or_insert(0.0);
+        let e = &mut self.own_demand[Self::di(item)];
         *e += gain * (qty as f64 - *e);
     }
 
@@ -513,7 +641,7 @@ impl SiteNode {
             Some(a) => a.gain,
             None => return,
         };
-        let e = self.peer_demand.entry((item, from)).or_insert(0.0);
+        let e = &mut self.peer_demand[Self::di(item) * self.n + from];
         *e += gain * (qty as f64 - *e);
     }
 
@@ -522,7 +650,7 @@ impl SiteNode {
     /// proactively rebalance away.
     fn spare(&self, item: ItemId, a: &AdaptivePlacement) -> Qty {
         let have = self.frags.get(item);
-        let own = self.own_demand.get(&item).copied().unwrap_or(0.0);
+        let own = self.own_demand[Self::di(item)];
         have.saturating_sub((a.headroom * own).ceil() as Qty)
     }
 
@@ -533,7 +661,7 @@ impl SiteNode {
         if !self.cfg.placement.is_adaptive() {
             return 0;
         }
-        let e = self.own_demand.get(&item).copied().unwrap_or(0.0);
+        let e = self.own_demand[Self::di(item)];
         need.max(e.ceil() as Qty)
     }
 
@@ -570,7 +698,12 @@ impl SiteNode {
         let reps = if chaos == HintChaos::Duplicate { 2 } else { 1 };
         for _ in 0..reps {
             for &(item, surplus) in hints {
-                self.hint_table.insert((ItemId(item), from), (surplus, now));
+                // Hints arrive off the wire: an id outside the catalog
+                // has no table slot (and could never match a
+                // solicitation), so it is dropped rather than trusted.
+                if (item as usize) < self.initial_quotas.len() {
+                    self.hint_table[item as usize * self.n + from] = Some((surplus, now));
+                }
             }
         }
     }
@@ -584,11 +717,16 @@ impl SiteNode {
             return None; // chaos: every hint is treated as expired
         }
         let mut best: Option<(NodeId, Qty)> = None;
-        for (&(i, peer), &(surplus, at)) in &self.hint_table {
+        let base = Self::di(item) * self.n;
+        for peer in 0..self.n {
+            let (surplus, at) = match self.hint_table[base + peer] {
+                Some(h) => h,
+                None => continue,
+            };
             // A hint below the need would aim the whole solicitation at a
             // donor that cannot cover it — under Conc1's silent declines
             // that burns the full timeout, so such hints don't qualify.
-            if i != item || peer == self.id || surplus < need.max(1) {
+            if peer == self.id || surplus < need.max(1) {
                 continue;
             }
             if now.since(at) > a.hint_ttl || self.is_suspect(peer, now) {
@@ -603,9 +741,7 @@ impl SiteNode {
 
     /// Whether `peer` is currently suspected unresponsive.
     fn is_suspect(&self, peer: NodeId, now: SimTime) -> bool {
-        self.suspect_until
-            .get(&peer)
-            .is_some_and(|&until| now < until)
+        self.suspect_until[peer].is_some_and(|until| now < until)
     }
 
     /// A record that per-record forcing hardened inline was just appended:
@@ -623,7 +759,8 @@ impl SiteNode {
     /// them on the wire (coalescing mode only).
     fn send_vm_datagrams(&mut self, ctx: &mut Context<'_, ProtoMsg>) {
         let mut dgrams = std::mem::take(&mut self.datagram_scratch);
-        self.vm.drain_datagrams_into(&mut dgrams);
+        self.vm
+            .drain_datagrams_into(ctx.now().micros(), &mut dgrams);
         for (to, wire) in dgrams.drain(..) {
             let frames = u64::from(wire.frame_count());
             let lamport = self.clock.counter();
@@ -682,11 +819,14 @@ impl SiteNode {
                     self.send_vm_datagrams(ctx);
                 }
             } else {
+                let mut armed = std::mem::take(&mut self.ack_timers);
                 for peer in self.vm.owed_ack_peers() {
-                    if self.ack_timers.insert(peer) {
+                    if !armed[peer] {
+                        armed[peer] = true;
                         ctx.set_timer(self.cfg.ack_delay, TAG_DELAYED_ACK | peer as u64);
                     }
                 }
+                self.ack_timers = armed;
             }
         } else {
             let mut outbox = std::mem::take(&mut self.outbox_scratch);
@@ -698,28 +838,31 @@ impl SiteNode {
         }
         let mut completed = std::mem::take(&mut self.completed_scratch);
         self.vm.drain_completed_into(&mut completed);
-        let mut freed_items: Vec<ItemId> = Vec::new();
+        let mut freed_items = std::mem::take(&mut self.freed_scratch);
+        freed_items.clear();
         for (peer, seq) in completed.drain(..) {
             if let Some(item) = self.vm_item.remove(&(peer, seq)) {
-                if let Some(c) = self.outstanding_out.get_mut(&item) {
+                let c = &mut self.outstanding_out[Self::di(item)];
+                if *c > 0 {
                     *c -= 1;
                     if *c == 0 {
-                        self.outstanding_out.remove(&item);
+                        self.outstanding_items -= 1;
                         freed_items.push(item);
                     }
                 }
                 // Lazy durable note so recovery forgets completed Vms too.
                 self.log.append(SiteRecord::Rds {
                     txn: Ts::ZERO,
-                    actions: vec![],
+                    actions: DbActions::new(),
                     vm_ops: vec![VmLogOp::AckObserved { to: peer, seq }],
                 });
             }
         }
         self.completed_scratch = completed;
-        for item in freed_items {
+        for &item in &freed_items {
             self.unblock_reads(item, ctx);
         }
+        self.freed_scratch = freed_items;
         if !self.retransmit_armed && self.vm.has_outstanding() {
             ctx.set_timer(self.cfg.retransmit_every, TAG_RETRANSMIT);
             self.retransmit_armed = true;
@@ -788,45 +931,41 @@ impl SiteNode {
             ts.0 <= TAG_PAYLOAD_MASK,
             "timestamp exceeds timer-tag space"
         );
-        let items = spec.access_set();
+        let mut items = std::mem::take(&mut self.access_scratch);
+        spec.access_set_into(&mut items);
         self.obs.emit_with(self.id as u32, || EventKind::TxnStart {
             txn: ts.0,
             ops: items.len() as u32,
         });
-        let mut txn = ActiveTxn {
-            spec,
-            started: ctx.now(),
-            timeout_timer: timer,
-            pending_locks: Vec::new(),
-            deficits: BTreeMap::new(),
-            read_pending: BTreeMap::new(),
-            reads_blocked_on_self: BTreeSet::new(),
-            first_credit_at: None,
-            solicited: false,
-            retries_left: 0,
-            single_targets: BTreeMap::new(),
-        };
+        let mut txn = ActiveTxn::new(spec, ctx.now(), timer);
 
         match self.cfg.conc {
             ConcMode::Conc1 => {
                 // Step 1: all locks atomically, with the TS(t) > TS(d) check.
-                for &item in &items {
+                let mut conflict = None;
+                for &item in items.iter() {
                     if self.locks.is_locked(item) {
-                        self.finish_abort_unstarted(ts, txn, AbortReason::LockConflict, ctx);
-                        return;
+                        conflict = Some(AbortReason::LockConflict);
+                        break;
                     }
                     if ts <= self.frags.ts(item) {
-                        self.finish_abort_unstarted(ts, txn, AbortReason::TsConflict, ctx);
-                        return;
+                        conflict = Some(AbortReason::TsConflict);
+                        break;
                     }
                 }
-                for &item in &items {
+                if let Some(reason) = conflict {
+                    self.access_scratch = items;
+                    self.finish_abort_unstarted(ts, txn, reason, ctx);
+                    return;
+                }
+                for &item in items.iter() {
                     self.locks
                         .try_lock(item, Holder::Txn(ts))
                         .expect("checked free above");
                     self.frags.bump_ts(item, ts);
                 }
-                self.active.insert(ts, txn);
+                self.access_scratch = items;
+                self.active_insert(ts, txn);
                 self.locks_granted(ts, ctx);
             }
             ConcMode::Conc2 => {
@@ -836,10 +975,7 @@ impl SiteNode {
                     match self.locks.try_lock(item, Holder::Txn(ts)) {
                         Ok(()) => {}
                         Err(_) => {
-                            self.lock_queue
-                                .entry(item)
-                                .or_default()
-                                .push_back(Waiter::LocalTxn(ts));
+                            self.lock_queue[Self::di(item)].push_back(Waiter::LocalTxn(ts));
                             self.obs.emit_with(self.id as u32, || EventKind::TxnQueued {
                                 txn: ts.0,
                                 item: item.0,
@@ -849,9 +985,10 @@ impl SiteNode {
                         }
                     }
                 }
+                self.access_scratch = items;
                 txn.pending_locks = pending;
                 let held = txn.locks_held();
-                self.active.insert(ts, txn);
+                self.active_insert(ts, txn);
                 if held {
                     self.locks_granted(ts, ctx);
                 }
@@ -880,14 +1017,19 @@ impl SiteNode {
     /// All local locks are held: enter the solicitation phase (Step 2) or
     /// commit immediately on the write-only fast path.
     fn locks_granted(&mut self, ts: Ts, ctx: &mut Context<'_, ProtoMsg>) {
-        let (demands, reads) = {
-            let t = &self.active[&ts];
-            (t.spec.demands(), t.spec.reads())
+        let mut demands = std::mem::take(&mut self.demands_scratch);
+        let reads = {
+            let t = self.active_get(ts).expect("active");
+            t.spec.demands_into(&mut demands);
+            // Empty for write-only transactions (no allocation); read
+            // transactions are off the fast path and may allocate.
+            t.spec.reads()
         };
 
         // Deficits after counting what is already local.
-        let mut deficits = BTreeMap::new();
-        for (item, demand) in demands {
+        let mut deficits = std::mem::take(&mut self.deficits_scratch);
+        deficits.clear();
+        for &(item, demand) in demands.iter() {
             // Every local demand feeds the estimator, satisfied or not —
             // a hot site with enough local value still wants the
             // rebalancer (and its own headroom) to keep it stocked.
@@ -895,30 +1037,34 @@ impl SiteNode {
             let have = self.frags.get(item);
             let deficit = demand.saturating_sub(have);
             if deficit > 0 {
-                deficits.insert(item, deficit);
+                deficits.push((item, deficit));
             }
         }
+        self.demands_scratch = demands;
 
-        let mut read_pending: BTreeMap<ItemId, BTreeSet<NodeId>> = BTreeMap::new();
-        let mut blocked: BTreeSet<ItemId> = BTreeSet::new();
+        let mut read_pending: Vec<(ItemId, Vec<NodeId>)> = Vec::new();
+        let mut blocked: Vec<ItemId> = Vec::new();
         for item in reads {
-            if self.outstanding_out.get(&item).copied().unwrap_or(0) > 0 {
+            if self.outstanding_out[Self::di(item)] > 0 {
                 // Our own outgoing Vms must complete before the read can be
                 // exact (they would double-count or escape otherwise).
-                blocked.insert(item);
+                blocked.push(item);
             } else {
-                read_pending.insert(item, self.others().collect());
+                read_pending.push((item, self.others().collect()));
             }
         }
 
-        {
-            let t = self.active.get_mut(&ts).expect("active");
-            t.deficits = deficits;
+        let ready = {
+            let t = self.active_get_mut(ts).expect("active");
+            t.deficits.clear();
+            t.deficits.extend_from_slice(&deficits);
             t.read_pending = read_pending;
             t.reads_blocked_on_self = blocked;
-        }
+            t.ready()
+        };
+        self.deficits_scratch = deficits;
 
-        if self.active[&ts].ready() {
+        if ready {
             self.commit_txn(ts, ctx);
             return;
         }
@@ -928,12 +1074,13 @@ impl SiteNode {
     /// Step 2: send solicitations for every unmet need, arming the
     /// retry schedule on the first round.
     fn solicit(&mut self, ts: Ts, ctx: &mut Context<'_, ProtoMsg>) {
+        let retries = self.cfg.solicit_retries;
         let first_round = {
-            let t = self.active.get_mut(&ts).expect("active");
+            let t = self.active_get_mut(ts).expect("active");
             let first = !t.solicited;
             t.solicited = true;
             if first {
-                t.retries_left = self.cfg.solicit_retries;
+                t.retries_left = retries;
             }
             first
         };
@@ -951,20 +1098,20 @@ impl SiteNode {
     /// Transmit requests for the transaction's *current* unmet needs.
     fn send_solicitations(&mut self, ts: Ts, ctx: &mut Context<'_, ProtoMsg>) {
         let (deficits, read_items): (Vec<(ItemId, Qty)>, Vec<ItemId>) = {
-            let t = match self.active.get(&ts) {
+            let t = match self.active_get(ts) {
                 Some(t) => t,
                 None => return,
             };
             (
                 t.deficits
                     .iter()
-                    .filter(|(_, &d)| d > 0)
-                    .map(|(&i, &d)| (i, d))
+                    .filter(|&&(_, d)| d > 0)
+                    .copied()
                     .collect(),
                 t.read_pending
                     .iter()
                     .filter(|(_, pending)| !pending.is_empty())
-                    .map(|(&i, _)| i)
+                    .map(|&(i, _)| i)
                     .collect(),
             )
         };
@@ -991,7 +1138,7 @@ impl SiteNode {
                         // advertised surplus, so back-to-back deficits
                         // don't all pile onto the same (now drained)
                         // donor before its next gossip refresh.
-                        if let Some(h) = self.hint_table.get_mut(&(item, to)) {
+                        if let Some(h) = self.hint_table[Self::di(item) * self.n + to].as_mut() {
                             h.0 = h.0.saturating_sub(need);
                         }
                     }
@@ -1092,8 +1239,11 @@ impl SiteNode {
                 to: to as u32,
                 qty: need as i64,
             });
-        if let Some(t) = self.active.get_mut(&ts) {
-            t.single_targets.insert(item, (to, hinted));
+        if let Some(t) = self.active_get_mut(ts) {
+            match t.single_targets.binary_search_by_key(&item, |e| e.0) {
+                Ok(i) => t.single_targets[i] = (item, to, hinted),
+                Err(i) => t.single_targets.insert(i, (item, to, hinted)),
+            }
         }
     }
 
@@ -1123,15 +1273,20 @@ impl SiteNode {
         let waiting: Vec<Ts> = self
             .active
             .iter()
-            .filter(|(_, t)| t.reads_blocked_on_self.contains(&item))
-            .map(|(&ts, _)| ts)
+            .filter(|(_, t)| t.reads_blocked_on_self.binary_search(&item).is_ok())
+            .map(|&(ts, _)| ts)
             .collect();
         for ts in waiting {
-            let donors: BTreeSet<NodeId> = self.others().collect();
+            let donors: Vec<NodeId> = self.others().collect();
             {
-                let t = self.active.get_mut(&ts).expect("active");
-                t.reads_blocked_on_self.remove(&item);
-                t.read_pending.insert(item, donors);
+                let t = self.active_get_mut(ts).expect("active");
+                if let Ok(i) = t.reads_blocked_on_self.binary_search(&item) {
+                    t.reads_blocked_on_self.remove(i);
+                }
+                match t.read_pending.binary_search_by_key(&item, |e| e.0) {
+                    Ok(i) => t.read_pending[i] = (item, donors),
+                    Err(i) => t.read_pending.insert(i, (item, donors)),
+                }
             }
             for to in self.others().collect::<Vec<_>>() {
                 self.send(
@@ -1165,12 +1320,15 @@ impl SiteNode {
         if self.crash_pending {
             return; // the impending crash will abort it as Crashed
         }
-        let t = self.active.remove(&ts).expect("active");
+        let t = self.active_remove(ts).expect("active");
         ctx.cancel_timer(t.timeout_timer);
         self.release_read_leases(ts, &t.spec, ctx);
 
-        let deltas: Vec<(ItemId, i64)> = t.spec.deltas().into_iter().collect();
-        let reads: Vec<(ItemId, Qty)> = t
+        let mut deltas = std::mem::take(&mut self.deltas_scratch);
+        t.spec.deltas_into(&mut deltas);
+        // `reads()` is empty (and allocation-free) for write-only
+        // transactions; 1–2 entries stay inline in the journal `SVec`s.
+        let reads: SVec<(ItemId, Qty), 2> = t
             .spec
             .reads()
             .into_iter()
@@ -1195,7 +1353,7 @@ impl SiteNode {
         }
         self.log.append(SiteRecord::Commit {
             txn: ts,
-            actions: deltas.clone(),
+            actions: DbActions::from_slice(&deltas),
         });
         if self.crashpoint(ctx, Crashpoint::AfterAppendBeforeForce) {
             // Crash with the Commit record appended but unforced: the
@@ -1203,29 +1361,35 @@ impl SiteNode {
             // survive recovery (it never reached its commit point). Under
             // group commit `crash_pending` makes the flush skip its force,
             // preserving exactly this outcome.
+            self.deltas_scratch = deltas;
             return;
         }
         self.force_record();
 
         // Step 6: install and note installation.
-        for &(item, delta) in &deltas {
+        for &(item, delta) in deltas.iter() {
             self.frags.apply_delta(item, delta);
             self.frags.bump_ts(item, ts);
         }
         self.log.append(SiteRecord::Applied { txn: ts });
 
+        let journal = SVec::from_slice(&deltas);
+        self.deltas_scratch = deltas;
+
         // Step 7: release locks (and wake Conc2 waiters).
-        let items = self.locks.release_all(ts);
-        for item in items {
+        let mut released = std::mem::take(&mut self.released_scratch);
+        self.locks.release_all_into(ts, &mut released);
+        for &item in &released {
             self.grant_waiters(item, ctx);
         }
+        self.released_scratch = released;
 
         let latency = ctx.now().since(t.started).as_micros();
         self.metrics.record_commit(
             CommitEntry {
                 txn: ts,
                 at: ctx.now(),
-                deltas,
+                deltas: journal,
                 reads,
             },
             latency,
@@ -1251,7 +1415,7 @@ impl SiteNode {
     }
 
     fn abort_txn(&mut self, ts: Ts, reason: AbortReason, ctx: &mut Context<'_, ProtoMsg>) {
-        let t = match self.active.remove(&ts) {
+        let t = match self.active_remove(ts) {
             Some(t) => t,
             None => return,
         };
@@ -1262,22 +1426,26 @@ impl SiteNode {
             // hinted pick skips it (any message from the peer clears
             // the suspicion — see `on_message`).
             let until = ctx.now() + self.cfg.txn_timeout.saturating_mul(2);
-            for &(peer, _) in t.single_targets.values() {
-                self.suspect_until.insert(peer, until);
+            for &(_, peer, _) in &t.single_targets {
+                if self.suspect_until[peer].replace(until).is_none() {
+                    self.suspect_count += 1;
+                }
             }
             // Unmet deficits are demand the estimator under-called:
             // re-emphasize them so the next advertisement asks higher.
-            for (&item, &d) in &t.deficits {
+            for &(item, d) in &t.deficits {
                 if d > 0 {
                     self.note_own_demand(item, d);
                 }
             }
         }
         self.release_read_leases(ts, &t.spec, ctx);
-        let items = self.locks.release_all(ts);
-        for item in items {
+        let mut released = std::mem::take(&mut self.released_scratch);
+        self.locks.release_all_into(ts, &mut released);
+        for &item in &released {
             self.grant_waiters(item, ctx);
         }
+        self.released_scratch = released;
         let latency = ctx.now().since(t.started).as_micros();
         self.metrics.record_abort(reason, latency);
         self.obs.emit_with(self.id as u32, || EventKind::TxnAbort {
@@ -1295,13 +1463,13 @@ impl SiteNode {
             if self.locks.is_locked(item) {
                 return;
             }
-            let waiter = match self.lock_queue.get_mut(&item).and_then(|q| q.pop_front()) {
+            let waiter = match self.lock_queue[Self::di(item)].pop_front() {
                 Some(w) => w,
                 None => return,
             };
             match waiter {
                 Waiter::LocalTxn(ts) => {
-                    if !self.active.contains_key(&ts) {
+                    if self.active_get(ts).is_none() {
                         continue; // timed out while waiting
                     }
                     self.locks
@@ -1309,7 +1477,7 @@ impl SiteNode {
                         .expect("item is free");
                     // Continue ordered acquisition from after this item.
                     let mut rest: Vec<ItemId> = {
-                        let t = self.active.get_mut(&ts).expect("active");
+                        let t = self.active_get_mut(ts).expect("active");
                         debug_assert_eq!(t.pending_locks.first(), Some(&item));
                         t.pending_locks.drain(..1).count();
                         t.pending_locks.clone()
@@ -1319,10 +1487,7 @@ impl SiteNode {
                         match self.locks.try_lock(next, Holder::Txn(ts)) {
                             Ok(()) => {}
                             Err(_) => {
-                                self.lock_queue
-                                    .entry(next)
-                                    .or_default()
-                                    .push_back(Waiter::LocalTxn(ts));
+                                self.lock_queue[Self::di(next)].push_back(Waiter::LocalTxn(ts));
                                 blocked_at = Some(idx);
                                 break;
                             }
@@ -1331,10 +1496,10 @@ impl SiteNode {
                     match blocked_at {
                         Some(idx) => {
                             rest.drain(..idx);
-                            self.active.get_mut(&ts).expect("active").pending_locks = rest;
+                            self.active_get_mut(ts).expect("active").pending_locks = rest;
                         }
                         None => {
-                            self.active.get_mut(&ts).expect("active").pending_locks = Vec::new();
+                            self.active_get_mut(ts).expect("active").pending_locks = Vec::new();
                             self.locks_granted(ts, ctx);
                         }
                     }
@@ -1368,7 +1533,7 @@ impl SiteNode {
         read: bool,
         ctx: &mut Context<'_, ProtoMsg>,
     ) {
-        self.demand_hint.insert(item, from);
+        self.demand_hint[Self::di(item)] = Some(from);
         if !read {
             // Every incoming solicitation is observed demand at `from`
             // (the demand-driven rebalancer's targeting signal).
@@ -1386,16 +1551,13 @@ impl SiteNode {
                         });
                 }
                 ConcMode::Conc2 => {
-                    self.lock_queue
-                        .entry(item)
-                        .or_default()
-                        .push_back(Waiter::Request {
-                            from,
-                            txn,
-                            need,
-                            demand,
-                            read,
-                        });
+                    self.lock_queue[Self::di(item)].push_back(Waiter::Request {
+                        from,
+                        txn,
+                        need,
+                        demand,
+                        read,
+                    });
                 }
             }
             return;
@@ -1430,9 +1592,7 @@ impl SiteNode {
         }
         let have = self.frags.get(item);
         let (amount, kind) = if read {
-            if !self.cfg.unsafe_skip_read_drain_gate
-                && self.outstanding_out.get(&item).copied().unwrap_or(0) > 0
-            {
+            if !self.cfg.unsafe_skip_read_drain_gate && self.outstanding_out[Self::di(item)] > 0 {
                 // Cannot certify quiescence: our own Vms for this item are
                 // still in flight. Ignore; the read will abort or retry.
                 self.metrics.requests_ignored += 1;
@@ -1489,7 +1649,7 @@ impl SiteNode {
         // dispatch's flush boundary, still ahead of the frame).
         self.log.append(SiteRecord::Rds {
             txn,
-            actions: vec![(item, -(amount as i64))],
+            actions: DbActions::one((item, -(amount as i64))),
             vm_ops: vec![op],
         });
         if self.cfg.group_commit
@@ -1513,7 +1673,7 @@ impl SiteNode {
         }
         self.frags.debit(item, amount);
         self.frags.bump_ts(item, txn);
-        *self.outstanding_out.entry(item).or_insert(0) += 1;
+        self.bump_outstanding(item);
         self.vm_item.insert((from, seq), item);
         self.metrics.donations += 1;
         self.obs.emit_with(self.id as u32, || EventKind::TxnDonate {
@@ -1529,9 +1689,18 @@ impl SiteNode {
                 .try_lock(item, Holder::Lease(txn))
                 .expect("item was free");
             let timer = ctx.set_timer(self.cfg.read_lease, TAG_LEASE | item.0 as u64);
-            self.lease_timers.insert(item, timer);
+            self.lease_timers[Self::di(item)] = Some(timer);
         }
         self.flush_vm(ctx);
+    }
+
+    /// One more unacked outgoing Vm for `item`.
+    fn bump_outstanding(&mut self, item: ItemId) {
+        let c = &mut self.outstanding_out[Self::di(item)];
+        if *c == 0 {
+            self.outstanding_items += 1;
+        }
+        *c += 1;
     }
 
     /// Arm the periodic rebalance timer unless one is already pending
@@ -1575,8 +1744,8 @@ impl SiteNode {
                     if have <= threshold {
                         continue;
                     }
-                    let to = match self.demand_hint.get(&item) {
-                        Some(&to) if to != self.id => to,
+                    let to = match self.demand_hint[idx] {
+                        Some(to) if to != self.id => to,
                         _ => continue, // no demand signal: leave the value be
                     };
                     // Ship the excess above the threshold (keep `threshold`).
@@ -1600,7 +1769,11 @@ impl SiteNode {
         // every item at once (which was measured to *raise* frames/txn
         // past what hint-directed solicitation saves).
         let mut best: Option<(ItemId, NodeId, f64)> = None;
-        for (&(item, peer), &e) in &self.peer_demand {
+        // Item-major scan: visits (item, peer) pairs in the lexicographic
+        // order the old `BTreeMap` iterated, so ties break identically.
+        for (slot, &e) in self.peer_demand.iter().enumerate() {
+            let item = ItemId((slot / self.n) as u32);
+            let peer = slot % self.n;
             if peer == self.id || self.is_suspect(peer, now) {
                 continue;
             }
@@ -1625,16 +1798,17 @@ impl SiteNode {
                 // The shipped block covers the demand we knew about;
                 // zeroing the estimate keeps the next tick from shipping
                 // again before fresh solicitations justify it.
-                self.peer_demand.insert((item, to), 0.0);
+                self.peer_demand[Self::di(item) * self.n + to] = 0.0;
             }
         }
         // Demand estimates fade unless refreshed: without decay, a
         // once-hot site would keep attracting value forever after the
-        // hotspot drifts elsewhere.
-        for e in self.own_demand.values_mut() {
+        // hotspot drifts elsewhere. (Decaying a zero slot keeps it zero,
+        // so sweeping the dense tables matches decaying map entries.)
+        for e in self.own_demand.iter_mut() {
             *e *= 1.0 - a.gain;
         }
-        for e in self.peer_demand.values_mut() {
+        for e in self.peer_demand.iter_mut() {
             *e *= 1.0 - a.gain;
         }
     }
@@ -1657,12 +1831,12 @@ impl SiteNode {
         };
         self.log.append(SiteRecord::Rds {
             txn: Ts::ZERO,
-            actions: vec![(item, -(amount as i64))],
+            actions: DbActions::one((item, -(amount as i64))),
             vm_ops: vec![op],
         });
         self.force_record();
         self.frags.debit(item, amount);
-        *self.outstanding_out.entry(item).or_insert(0) += 1;
+        self.bump_outstanding(item);
         self.vm_item.insert((to, seq), item);
         self.metrics.rebalances += 1;
     }
@@ -1740,7 +1914,7 @@ impl SiteNode {
         let op = self.vm.commit_accept(from, seq);
         self.log.append(SiteRecord::Rds {
             txn: transfer.for_txn,
-            actions: vec![(transfer.item, transfer.amount as i64)],
+            actions: DbActions::one((transfer.item, transfer.amount as i64)),
             vm_ops: vec![op],
         });
         // The acceptance must be durable before our ack frame leaves —
@@ -1761,28 +1935,36 @@ impl SiteNode {
     /// Track an absorbed transfer against the waiting transaction's needs.
     fn credit_to_txn(&mut self, holder: Ts, transfer: &Transfer, ctx: &mut Context<'_, ProtoMsg>) {
         let mut hinted_hit = false;
+        let now = ctx.now();
         let ready = {
-            let now = ctx.now();
-            let t = match self.active.get_mut(&holder) {
+            let t = match self.active_get_mut(holder) {
                 Some(t) => t,
                 None => return,
             };
             if t.first_credit_at.is_none() {
                 t.first_credit_at = Some(now);
             }
-            if let Some(d) = t.deficits.get_mut(&transfer.item) {
+            if let Ok(i) = t.deficits.binary_search_by_key(&transfer.item, |e| e.0) {
+                let d = &mut t.deficits[i].1;
                 *d = d.saturating_sub(transfer.amount);
             }
-            if let Some(&(peer, hinted)) = t.single_targets.get(&transfer.item) {
+            if let Ok(i) = t
+                .single_targets
+                .binary_search_by_key(&transfer.item, |e| e.0)
+            {
+                let (_, peer, hinted) = t.single_targets[i];
                 if hinted && peer == transfer.donor {
                     // The hint-selected donor answered: the hint paid off.
-                    t.single_targets.remove(&transfer.item);
+                    t.single_targets.remove(i);
                     hinted_hit = true;
                 }
             }
             if transfer.kind == TransferKind::ReadGrant && transfer.for_txn == holder {
-                if let Some(pending) = t.read_pending.get_mut(&transfer.item) {
-                    pending.remove(&transfer.donor);
+                if let Ok(i) = t.read_pending.binary_search_by_key(&transfer.item, |e| e.0) {
+                    let pending = &mut t.read_pending[i].1;
+                    if let Some(p) = pending.iter().position(|&d| d == transfer.donor) {
+                        pending.remove(p);
+                    }
                 }
             }
             t.ready()
@@ -1897,7 +2079,11 @@ impl SiteNode {
             for (seq, payload) in self.vm.outgoing_toward(peer) {
                 if let Ok(t) = Transfer::from_bytes(&payload) {
                     self.vm_item.insert((peer, seq), t.item);
-                    *self.outstanding_out.entry(t.item).or_insert(0) += 1;
+                    let c = &mut self.outstanding_out[Self::di(t.item)];
+                    if *c == 0 {
+                        self.outstanding_items += 1;
+                    }
+                    *c += 1;
                 }
             }
         }
@@ -2026,8 +2212,8 @@ impl Node for SiteNode {
         }
         self.clock.observe_counter(msg.lamport);
         // Any message from a suspected peer proves it alive again.
-        if !self.suspect_until.is_empty() {
-            self.suspect_until.remove(&from);
+        if self.suspect_count > 0 && self.suspect_until[from].take().is_some() {
+            self.suspect_count -= 1;
         }
         // Traffic can change what the next rebalance tick would ship.
         self.arm_rebalance(ctx);
@@ -2046,7 +2232,7 @@ impl Node for SiteNode {
             Body::ReleaseLease { txn, item } => {
                 if self.locks.holder(item) == Some(Holder::Lease(txn)) {
                     self.locks.unlock(item, txn);
-                    if let Some(timer) = self.lease_timers.remove(&item) {
+                    if let Some(timer) = self.lease_timers[Self::di(item)].take() {
                         ctx.cancel_timer(timer);
                     }
                     self.grant_waiters(item, ctx);
@@ -2062,7 +2248,16 @@ impl Node for SiteNode {
         if self.media_failed {
             return; // quarantined: no new transactions ever start here
         }
-        if let Some(spec) = self.script.get(tag as usize).cloned() {
+        let idx = tag as usize;
+        if idx < self.script.len() {
+            // Each external tag arrives exactly once, so the scripted
+            // spec is *taken* (not cloned): starting a transaction on the
+            // steady-state path allocates nothing.
+            let spec = std::mem::replace(&mut self.script[idx], TxnSpec { ops: Vec::new() });
+            if spec.ops.is_empty() {
+                debug_assert!(false, "external tag {tag} replayed or scripted empty");
+                return;
+            }
             self.arm_rebalance(ctx);
             self.begin_txn(spec, ctx);
             self.flush_vm(ctx);
@@ -2087,7 +2282,7 @@ impl Node for SiteNode {
             }
             TAG_DELAYED_ACK => {
                 let peer = payload as NodeId;
-                if !self.ack_timers.remove(&peer) {
+                if !std::mem::replace(&mut self.ack_timers[peer], false) {
                     return; // stale timer from before a crash
                 }
                 // The ack-delay window closed without reverse data traffic
@@ -2106,8 +2301,7 @@ impl Node for SiteNode {
             TAG_SOLICIT_RETRY => {
                 let ts = Ts(payload);
                 let retry = self
-                    .active
-                    .get_mut(&ts)
+                    .active_get_mut(ts)
                     .filter(|t| t.locks_held() && !t.ready() && t.retries_left > 0)
                     .map(|t| {
                         t.retries_left -= 1;
@@ -2129,16 +2323,16 @@ impl Node for SiteNode {
                 self.run_rebalance(ctx);
                 // Keep the cadence while this site still has local work;
                 // an idle site's next arrival or message re-arms it.
-                if !self.active.is_empty() || !self.outstanding_out.is_empty() {
+                if !self.active.is_empty() || self.outstanding_items > 0 {
                     self.arm_rebalance(ctx);
                 }
             }
             TAG_LEASE => {
                 let item = ItemId(payload as u32);
-                if self.lease_timers.get(&item) != Some(&_id) {
+                if self.lease_timers[Self::di(item)] != Some(_id) {
                     return; // stale timer from an earlier, already-released lease
                 }
-                self.lease_timers.remove(&item);
+                self.lease_timers[Self::di(item)] = None;
                 if matches!(self.locks.holder(item), Some(Holder::Lease(_))) {
                     let holder = self.locks.holder(item).expect("just matched").txn();
                     self.locks.unlock(item, holder);
@@ -2194,7 +2388,7 @@ impl Node for SiteNode {
         }
         self.vm.crash_reset();
         self.locks.clear();
-        for (_, t) in std::mem::take(&mut self.active) {
+        for (_, t) in self.active.drain(..) {
             let _ = t; // in-flight transactions simply vanish
             *self
                 .metrics
@@ -2202,19 +2396,23 @@ impl Node for SiteNode {
                 .entry(AbortReason::Crashed)
                 .or_insert(0) += 1;
         }
-        self.lock_queue.clear();
-        self.outstanding_out.clear();
-        self.lease_timers.clear();
+        for q in self.lock_queue.iter_mut() {
+            q.clear();
+        }
+        self.outstanding_out.fill(0);
+        self.outstanding_items = 0;
+        self.lease_timers.fill(None);
         self.vm_item.clear();
         // The adaptive subsystem's entire memory is volatile by design:
         // demand estimates, received hints, and peer suspicion all
         // describe a pre-crash world and die here (the endpoint's
         // outgoing hints died in `crash_reset` above). Recovery never
         // consults any of it — hints must stay safety-inert.
-        self.own_demand.clear();
-        self.peer_demand.clear();
-        self.hint_table.clear();
-        self.suspect_until.clear();
+        self.own_demand.fill(0.0);
+        self.peer_demand.fill(0.0);
+        self.hint_table.fill(None);
+        self.suspect_until.fill(None);
+        self.suspect_count = 0;
         self.clock.crash_reset();
         self.retransmit_armed = false;
         // A pre-crash rebalance timer may still fire after recovery; the
@@ -2222,7 +2420,7 @@ impl Node for SiteNode {
         self.rebalance_armed = false;
         // Owed acks died with the endpoint's volatile state; pre-crash
         // delayed-ack timers become stale (the firing checks this set).
-        self.ack_timers.clear();
+        self.ack_timers.fill(false);
         // What remains of the site *is* its durable log; materialize that
         // view immediately so the site's observable state (fragments, Vm
         // cursors) equals stable storage for the whole downtime. This is

@@ -84,6 +84,43 @@ impl TxnSpec {
         m
     }
 
+    /// [`access_set`](Self::access_set) into a caller-owned scratch
+    /// buffer (the steady-state path must not allocate per transaction).
+    pub fn access_set_into(&self, out: &mut Vec<ItemId>) {
+        out.clear();
+        out.extend(self.ops.iter().map(|(i, _)| *i));
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// [`deltas`](Self::deltas) into a caller-owned scratch buffer,
+    /// sorted by item; repeated items accumulate exactly as the map
+    /// variant does (including explicit zero entries for reads).
+    pub fn deltas_into(&self, out: &mut Vec<(ItemId, i64)>) {
+        out.clear();
+        for (item, op) in &self.ops {
+            match out.binary_search_by_key(item, |e| e.0) {
+                Ok(i) => out[i].1 += op.delta(),
+                Err(i) => out.insert(i, (*item, op.delta())),
+            }
+        }
+    }
+
+    /// [`demands`](Self::demands) into a caller-owned scratch buffer,
+    /// sorted by item; only items with positive demand appear.
+    pub fn demands_into(&self, out: &mut Vec<(ItemId, Qty)>) {
+        out.clear();
+        for (item, op) in &self.ops {
+            let d = op.demand();
+            if d > 0 {
+                match out.binary_search_by_key(item, |e| e.0) {
+                    Ok(i) => out[i].1 += d,
+                    Err(i) => out.insert(i, (*item, d)),
+                }
+            }
+        }
+    }
+
     /// Items read in full.
     pub fn reads(&self) -> Vec<ItemId> {
         let mut items: Vec<ItemId> = self
@@ -176,6 +213,28 @@ mod tests {
         assert_eq!(t.access_set(), vec![A]);
         assert_eq!(t.demands().get(&A), Some(&5));
         assert_eq!(t.deltas().get(&A), Some(&-4));
+    }
+
+    #[test]
+    fn into_variants_match_map_variants() {
+        let t = TxnSpec {
+            ops: vec![
+                (B, Op::Decr(2)),
+                (A, Op::Read),
+                (B, Op::Decr(3)),
+                (A, Op::Incr(1)),
+            ],
+        };
+        let mut items = vec![ItemId(99)];
+        t.access_set_into(&mut items);
+        assert_eq!(items, t.access_set());
+        let mut deltas = Vec::new();
+        t.deltas_into(&mut deltas);
+        assert_eq!(deltas, t.deltas().into_iter().collect::<Vec<_>>());
+        let mut demands = Vec::new();
+        t.demands_into(&mut demands);
+        assert_eq!(demands, t.demands().into_iter().collect::<Vec<_>>());
+        assert_eq!(demands, vec![(B, 5)]);
     }
 
     #[test]

@@ -92,18 +92,19 @@ impl<S: Record> Default for CheckpointSlot<S> {
 }
 
 fn encode_slot<S: Record>(meta: &CheckpointMeta<S>) -> BytesMut {
-    let mut payload = BytesMut::new();
-    {
-        let mut w = RecordWriter::wrap(&mut payload);
-        w.u64(meta.generation);
-        w.u64(meta.redo_from.0);
-        meta.snapshot.encode(&mut w);
-    }
-    let mut image = BytesMut::with_capacity(payload.len() + 8);
-    image.put_u32(payload.len() as u32);
-    image.put_u32(crc32(&payload));
-    image.put_slice(&payload);
-    image
+    crate::codec::with_payload_buf(|payload| {
+        {
+            let mut w = RecordWriter::wrap(payload);
+            w.u64(meta.generation);
+            w.u64(meta.redo_from.0);
+            meta.snapshot.encode(&mut w);
+        }
+        let mut image = BytesMut::with_capacity(payload.len() + 8);
+        image.put_u32(payload.len() as u32);
+        image.put_u32(crc32(payload));
+        image.put_slice(payload);
+        image
+    })
 }
 
 fn decode_slot<S: Record>(image: &[u8]) -> Result<CheckpointMeta<S>, DecodeError> {

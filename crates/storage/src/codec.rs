@@ -13,7 +13,29 @@
 //! [`DecodeError`] instead of silently wrong state.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::cell::RefCell;
 use std::fmt;
+
+thread_local! {
+    /// Reusable payload scratch shared by every frame encoder on the
+    /// thread — log appends, checkpoint installs, and Vm payload builds
+    /// all stage their payload here before the framed copy, so the
+    /// steady-state encode path performs no per-record allocation.
+    static ENCODE_POOL: RefCell<BytesMut> = RefCell::new(BytesMut::new());
+}
+
+/// Run `f` with a cleared, reusable payload buffer from the thread-local
+/// encode pool. Reentrant calls (an encoder that encodes) fall back to a
+/// fresh buffer instead of aliasing the outer borrow.
+pub fn with_payload_buf<T>(f: impl FnOnce(&mut BytesMut) -> T) -> T {
+    ENCODE_POOL.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buf) => {
+            buf.clear();
+            f(&mut buf)
+        }
+        Err(_) => f(&mut BytesMut::new()),
+    })
+}
 
 /// Failure while decoding a frame or a record payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -144,11 +166,12 @@ impl<'a> RecordReader<'a> {
 
 /// Encode one record into a framed byte string.
 pub fn encode_frame<R: Record>(record: &R, out: &mut BytesMut) {
-    let mut payload = BytesMut::new();
-    record.encode(&mut RecordWriter { buf: &mut payload });
-    out.put_u32(payload.len() as u32);
-    out.put_u32(crc32(&payload));
-    out.put_slice(&payload);
+    with_payload_buf(|payload| {
+        record.encode(&mut RecordWriter { buf: payload });
+        out.put_u32(payload.len() as u32);
+        out.put_u32(crc32(payload));
+        out.put_slice(payload);
+    })
 }
 
 /// Decode one frame from the front of `buf`, verifying length and CRC.

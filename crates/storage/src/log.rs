@@ -20,10 +20,11 @@
 //! bytes, so a recovery scan can position every record against a
 //! checkpoint's `redo_from` without trusting volatile state.
 
-use crate::codec::{crc32, DecodeError, Record, RecordReader, RecordWriter};
+use crate::codec::{crc32, with_payload_buf, DecodeError, Record, RecordReader, RecordWriter};
 use crate::lsn::Lsn;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dvp_obs::{EventKind, Obs};
+use std::cell::RefCell;
 
 /// Counters describing log activity (used by the mechanism benchmarks and
 /// by experiments that report "log forces per transaction").
@@ -163,15 +164,16 @@ pub enum SalvageOutcome<R> {
 
 /// Encode `(lsn, rec)` as one frame: `len | crc | lsn ++ record payload`.
 fn encode_entry<R: Record>(lsn: Lsn, rec: &R, out: &mut BytesMut) {
-    let mut payload = BytesMut::new();
-    {
-        let mut w = RecordWriter::wrap(&mut payload);
-        w.u64(lsn.0);
-        rec.encode(&mut w);
-    }
-    out.put_u32(payload.len() as u32);
-    out.put_u32(crc32(&payload));
-    out.put_slice(&payload);
+    with_payload_buf(|payload| {
+        {
+            let mut w = RecordWriter::wrap(payload);
+            w.u64(lsn.0);
+            rec.encode(&mut w);
+        }
+        out.put_u32(payload.len() as u32);
+        out.put_u32(crc32(payload));
+        out.put_slice(payload);
+    })
 }
 
 /// Decode one `(lsn, rec)` frame from the front of `buf`.
@@ -225,6 +227,11 @@ fn decode_entry<R: Record>(buf: &mut Bytes) -> Result<(Lsn, R), DecodeError> {
 pub struct StableLog<R> {
     /// Authoritative durable image (what "the disk" holds).
     stable_image: BytesMut,
+    /// Lazily frozen copy of `stable_image`, shared by recovery scans:
+    /// `Bytes::split_to` on an `Arc`-backed image is zero-copy, so a scan
+    /// decodes frames as slicing views instead of materializing the whole
+    /// image per call. Invalidated whenever `stable_image` changes.
+    frozen: RefCell<Option<Bytes>>,
     /// Decoded cache of the durable records, kept in sync with the image.
     stable: Vec<(Lsn, R)>,
     /// Appended but not yet forced.
@@ -248,6 +255,7 @@ impl<R: Record> StableLog<R> {
     pub fn new() -> Self {
         StableLog {
             stable_image: BytesMut::new(),
+            frozen: RefCell::new(None),
             stable: Vec::new(),
             tail: Vec::new(),
             next: Lsn::FIRST,
@@ -264,6 +272,21 @@ impl<R: Record> StableLog<R> {
         self.obs_site = site;
     }
 
+    /// The durable image as zero-copy [`Bytes`], frozen lazily and cached
+    /// until the next image mutation. Recovery scans `split_to` slicing
+    /// views of the shared buffer instead of copying the image per scan.
+    fn frozen_image(&self) -> Bytes {
+        self.frozen
+            .borrow_mut()
+            .get_or_insert_with(|| Bytes::copy_from_slice(&self.stable_image))
+            .clone()
+    }
+
+    /// Drop the frozen cache after an image mutation.
+    fn invalidate_frozen(&mut self) {
+        *self.frozen.get_mut() = None;
+    }
+
     /// Append `record` to the volatile tail; returns its LSN.
     ///
     /// The record is **not durable** until [`force`](Self::force).
@@ -277,6 +300,7 @@ impl<R: Record> StableLog<R> {
 
     /// Make every appended record durable. Idempotent.
     pub fn force(&mut self) {
+        self.invalidate_frozen();
         self.stats.forces += 1;
         self.stats.max_force_batch = self.stats.max_force_batch.max(self.tail.len() as u64);
         for (lsn, rec) in self.tail.drain(..) {
@@ -328,6 +352,7 @@ impl<R: Record> StableLog<R> {
     /// by definition — so recovery state after repair always equals a
     /// clean crash's.
     pub fn crash_torn(&mut self, mode: TornWrite) -> bool {
+        self.invalidate_frozen();
         let torn = match (mode, self.tail.first()) {
             (TornWrite::None, _) | (_, None) => false,
             (mode, Some((lsn, rec))) => {
@@ -375,7 +400,7 @@ impl<R: Record> StableLog<R> {
     /// Strict recovery scan that also yields each record's LSN (needed to
     /// position records against a checkpoint's `redo_from`).
     pub fn recover_entries(&self) -> Result<Vec<(Lsn, R)>, DecodeError> {
-        let mut bytes = Bytes::copy_from_slice(&self.stable_image);
+        let mut bytes = self.frozen_image();
         let mut out = Vec::with_capacity(self.stable.len());
         while !bytes.is_empty() {
             out.push(decode_entry::<R>(&mut bytes)?);
@@ -391,7 +416,7 @@ impl<R: Record> StableLog<R> {
     /// [`crash_torn`](Self::crash_torn) tearing the unforced write, so the
     /// dropped suffix is exactly what a clean crash would have lost anyway.
     pub fn recover_lenient(&self) -> RecoveredLog<R> {
-        let mut bytes = Bytes::copy_from_slice(&self.stable_image);
+        let mut bytes = self.frozen_image();
         let total = bytes.remaining();
         let mut entries = Vec::with_capacity(self.stable.len());
         let mut clean_bytes = 0usize;
@@ -426,6 +451,7 @@ impl<R: Record> StableLog<R> {
         let clean = self.recover_lenient().clean_bytes;
         let dropped = (self.stable_image.len() - clean) as u64;
         self.stable_image.truncate(clean);
+        self.invalidate_frozen();
         self.stats.stable_bytes = self.stable_image.len() as u64;
         dropped
     }
@@ -439,6 +465,7 @@ impl<R: Record> StableLog<R> {
     /// [`recover_salvage`](Self::recover_salvage) name the first corrupt
     /// record's LSN instead of guessing from damaged bytes.
     pub fn corrupt_stable(&mut self, region: std::ops::Range<usize>) -> u64 {
+        self.invalidate_frozen();
         let end = region.end.min(self.stable_image.len());
         let start = region.start.min(end);
         for b in &mut self.stable_image[start..end] {
@@ -476,6 +503,7 @@ impl<R: Record> StableLog<R> {
             // All durable records verified: the bad bytes are the torn
             // remnant of an unforced write, beyond everything durable.
             self.stable_image.truncate(scan.clean_bytes);
+            self.invalidate_frozen();
             self.stats.stable_bytes = self.stable_image.len() as u64;
             return SalvageOutcome::TailTear {
                 entries: scan.entries,
@@ -491,6 +519,7 @@ impl<R: Record> StableLog<R> {
             error: torn.error,
         };
         self.stable_image.truncate(scan.clean_bytes);
+        self.invalidate_frozen();
         self.stats.stable_bytes = self.stable_image.len() as u64;
         self.stats.media_salvages += 1;
         self.stats.salvaged_records += report.records_lost;
@@ -548,6 +577,7 @@ impl<R: Record> StableLog<R> {
             encode_entry(*l, r, &mut img);
         }
         self.stable_image = img;
+        self.invalidate_frozen();
         self.stats.stable_bytes = self.stable_image.len() as u64;
     }
 }

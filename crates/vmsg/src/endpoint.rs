@@ -10,7 +10,6 @@ use crate::stats::VmStats;
 use crate::SiteId;
 use bytes::Bytes;
 use dvp_obs::{EventKind, Obs};
-use std::collections::{BTreeMap, BTreeSet};
 
 /// Tuning knobs for the Vm protocol.
 #[derive(Clone, Copy, Debug)]
@@ -32,6 +31,17 @@ pub struct VmConfig {
     /// [`flush_owed_ack`](VmEndpoint::flush_owed_ack)). Off by default at
     /// this layer so the endpoint stands alone; hosts that batch opt in.
     pub coalesce: bool,
+    /// Hint-gossip dedupe window in microseconds: an availability hint
+    /// whose advertised surplus is *unchanged* since it was last sent to
+    /// a peer is suppressed for this long (per peer, per item). `0`
+    /// (the default) resends every hint on every datagram — the
+    /// pre-dedupe behaviour.
+    pub hint_resend_after_us: u64,
+    /// Per-datagram budget for the encoded hint section (section header
+    /// plus entries), in bytes. Hints beyond the budget are dropped for
+    /// that datagram (they are advisory gossip; the next refresh
+    /// re-offers them). `usize::MAX` (the default) means no cap.
+    pub hint_budget_bytes: usize,
 }
 
 impl Default for VmConfig {
@@ -40,6 +50,8 @@ impl Default for VmConfig {
             window: 16,
             eager_acks: true,
             coalesce: false,
+            hint_resend_after_us: 0,
+            hint_budget_bytes: usize::MAX,
         }
     }
 }
@@ -71,6 +83,12 @@ pub enum Receipt {
 /// Owns volatile channel state; durability is delegated to the host's log
 /// via [`VmLogOp`] (see the crate docs for the full contract).
 ///
+/// Channel state is **index-dense**: site ids are small dense integers,
+/// so every per-peer table is a `Vec` indexed by peer id rather than a
+/// tree keyed by it. Iteration in index order is exactly the sorted-key
+/// order the previous `BTreeMap` layout produced, which keeps every draw
+/// sequence (and hence the golden obs traces) byte-identical.
+///
 /// ```
 /// use dvp_vmsg::{Receipt, VmConfig, VmEndpoint};
 /// use bytes::Bytes;
@@ -97,21 +115,33 @@ pub enum Receipt {
 pub struct VmEndpoint {
     me: SiteId,
     cfg: VmConfig,
-    chans: BTreeMap<SiteId, Channel>,
+    /// Channel state per peer, indexed by peer id. `None` means the
+    /// channel was never touched (the dense equivalent of "absent from
+    /// the map"); slots materialize on first use and are emptied — but
+    /// never shrunk — by `crash_reset`.
+    chans: Vec<Option<Channel>>,
+    /// Number of materialized (`Some`) entries in `chans`.
+    chan_count: usize,
     /// Peers whose channel has unacked outgoing Vms. Kept exactly in sync
-    /// with `chans` (`in_flight() > 0` ⇔ present) so `tick` and
+    /// with `chans` (`in_flight() > 0` ⇔ set) so `tick` and
     /// `has_outstanding` never scan idle channels.
-    dirty: BTreeSet<SiteId>,
+    dirty: Vec<bool>,
+    /// Number of set entries in `dirty`.
+    dirty_count: usize,
     /// Frames ready to put on the wire.
     outbox: Vec<(SiteId, Frame)>,
     /// Vms whose lifecycle completed since the last drain (peer, seq).
     completed: Vec<(SiteId, Seq)>,
     /// Peers owed a standalone ack (coalesce mode only): the ack rides
     /// the next data datagram that way, or a delayed-ack flush.
-    ack_owed: BTreeSet<SiteId>,
+    ack_owed: Vec<bool>,
     /// Next outgoing datagram id per peer (coalesce mode only; ids are
-    /// 1-based and per-(site, peer)).
-    next_datagram: BTreeMap<SiteId, u64>,
+    /// 1-based and per-(site, peer)). Survives `crash_reset`.
+    next_datagram: Vec<u64>,
+    /// Per-peer regroup buffers for `drain_datagrams_into`: frames are
+    /// bucketed here per flush and the buffers' allocations are kept
+    /// across flushes (always empty between calls).
+    groups: Vec<Vec<Frame>>,
     /// Id of the incoming datagram currently being processed (set by
     /// [`begin_datagram`](Self::begin_datagram); 0 = non-coalesced frame).
     in_datagram: u64,
@@ -120,6 +150,14 @@ pub struct VmEndpoint {
     /// the host via [`set_hints`](Self::set_hints), wiped on crash, and
     /// never consulted by the Vm protocol itself.
     hints: Vec<(u32, u64)>,
+    /// Per-peer dedupe memory: `(item, surplus, sent_at)` for each hint
+    /// last sent to that peer. Volatile (advisory gossip dies with a
+    /// crash). Small linear lists — a site gossips at most a handful of
+    /// hints at a time.
+    hint_sent: Vec<Vec<(u32, u64, u64)>>,
+    /// Reused per-datagram buffer for the hints that survive dedupe and
+    /// the byte budget.
+    hint_scratch: Vec<(u32, u64)>,
     stats: VmStats,
     /// Structured-observability handle (disabled by default; the host
     /// shares the cluster-wide handle via [`VmEndpoint::set_obs`]).
@@ -132,14 +170,19 @@ impl VmEndpoint {
         VmEndpoint {
             me,
             cfg,
-            chans: BTreeMap::new(),
-            dirty: BTreeSet::new(),
+            chans: Vec::new(),
+            chan_count: 0,
+            dirty: Vec::new(),
+            dirty_count: 0,
             outbox: Vec::new(),
             completed: Vec::new(),
-            ack_owed: BTreeSet::new(),
-            next_datagram: BTreeMap::new(),
+            ack_owed: Vec::new(),
+            next_datagram: Vec::new(),
+            groups: Vec::new(),
             in_datagram: 0,
             hints: Vec::new(),
+            hint_sent: Vec::new(),
+            hint_scratch: Vec::new(),
             stats: VmStats::default(),
             obs: Obs::disabled(),
         }
@@ -170,8 +213,50 @@ impl VmEndpoint {
         self.hints = hints;
     }
 
+    /// Grow every peer-indexed table to cover `peer`. `next_datagram` is
+    /// grown but never cleared — its contents outlive crashes.
+    fn ensure_peer(&mut self, peer: SiteId) {
+        if peer < self.chans.len() {
+            return;
+        }
+        let n = peer + 1;
+        self.chans.resize_with(n, || None);
+        self.dirty.resize(n, false);
+        self.ack_owed.resize(n, false);
+        self.groups.resize_with(n, Vec::new);
+        self.hint_sent.resize_with(n, Vec::new);
+        if n > self.next_datagram.len() {
+            self.next_datagram.resize(n, 0);
+        }
+    }
+
     fn chan(&mut self, peer: SiteId) -> &mut Channel {
-        self.chans.entry(peer).or_default()
+        self.ensure_peer(peer);
+        let slot = &mut self.chans[peer];
+        if slot.is_none() {
+            *slot = Some(Channel::default());
+            self.chan_count += 1;
+        }
+        slot.as_mut().expect("just materialized")
+    }
+
+    fn chan_ref(&self, peer: SiteId) -> Option<&Channel> {
+        self.chans.get(peer).and_then(|c| c.as_ref())
+    }
+
+    fn mark_dirty(&mut self, peer: SiteId) {
+        self.ensure_peer(peer);
+        if !self.dirty[peer] {
+            self.dirty[peer] = true;
+            self.dirty_count += 1;
+        }
+    }
+
+    fn clear_dirty(&mut self, peer: SiteId) {
+        if peer < self.dirty.len() && self.dirty[peer] {
+            self.dirty[peer] = false;
+            self.dirty_count -= 1;
+        }
     }
 
     // ---- sending ---------------------------------------------------------
@@ -185,7 +270,7 @@ impl VmEndpoint {
     pub fn create(&mut self, to: SiteId, payload: Bytes) -> VmLogOp {
         assert_ne!(to, self.me, "a site does not send Vms to itself");
         let seq = self.chan(to).create(payload.clone());
-        self.dirty.insert(to);
+        self.mark_dirty(to);
         self.stats.created += 1;
         let ack = self.chan(to).accepted_in;
         // Transmit immediately only if within the window.
@@ -213,12 +298,12 @@ impl VmEndpoint {
 
     /// Number of created-but-unacked Vms toward `peer`.
     pub fn in_flight_to(&self, peer: SiteId) -> usize {
-        self.chans.get(&peer).map_or(0, |c| c.in_flight())
+        self.chan_ref(peer).map_or(0, |c| c.in_flight())
     }
 
     /// Total created-but-unacked Vms across all peers.
     pub fn in_flight_total(&self) -> usize {
-        self.chans.values().map(|c| c.in_flight()).sum()
+        self.chans.iter().flatten().map(|c| c.in_flight()).sum()
     }
 
     // ---- receiving -------------------------------------------------------
@@ -229,7 +314,7 @@ impl VmEndpoint {
         let released = self.chan(from).on_ack(frame.ack());
         if !released.is_empty() {
             if self.chan(from).in_flight() == 0 {
-                self.dirty.remove(&from);
+                self.clear_dirty(from);
             }
             self.stats.acks_effective += 1;
             self.stats.completed += released.len() as u64;
@@ -294,7 +379,7 @@ impl VmEndpoint {
 
     /// The cumulative ack currently advertised to `peer`.
     pub fn ack_for(&self, peer: SiteId) -> Seq {
-        self.chans.get(&peer).map_or(0, |c| c.accepted_in)
+        self.chan_ref(peer).map_or(0, |c| c.accepted_in)
     }
 
     fn queue_ack(&mut self, peer: SiteId) {
@@ -303,7 +388,16 @@ impl VmEndpoint {
             // next outgoing datagram toward `peer` (data frames always
             // carry the current cumulative ack), or the host's delayed-
             // ack timer flushes it standalone via `flush_owed_ack`.
-            self.ack_owed.insert(peer);
+            self.ensure_peer(peer);
+            if self.ack_owed[peer] {
+                // Already owed: the cumulative cursor covers both
+                // obligations, so this second ack rides the pending one
+                // for free — one standalone frame (or one fold) now
+                // services two acks. Count the avoided frame.
+                self.stats.bytes_acked_piggyback += ACK_FRAME_LEN as u64;
+            } else {
+                self.ack_owed[peer] = true;
+            }
             return;
         }
         let ack = self.chan(peer).accepted_in;
@@ -330,20 +424,25 @@ impl VmEndpoint {
             me,
             cfg,
             chans,
+            chan_count,
             dirty,
+            dirty_count,
             outbox,
             next_datagram,
             stats,
             obs,
             ..
         } = self;
-        stats.idle_channels_skipped += (chans.len() - dirty.len()) as u64;
-        for &peer in dirty.iter() {
-            let chan = chans.get_mut(&peer).expect("dirty channels exist");
+        stats.idle_channels_skipped += (*chan_count - *dirty_count) as u64;
+        for (peer, slot) in chans.iter_mut().enumerate() {
+            if !dirty[peer] {
+                continue;
+            }
+            let chan = slot.as_mut().expect("dirty channels exist");
             let base = chan.acked_out;
             let ack = chan.accepted_in;
             let datagram = if cfg.coalesce {
-                next_datagram.get(&peer).copied().unwrap_or(0) + 1
+                next_datagram[peer] + 1
             } else {
                 0
             };
@@ -412,35 +511,43 @@ impl VmEndpoint {
         if !self.cfg.coalesce {
             return 0;
         }
-        self.next_datagram.get(&peer).copied().unwrap_or(0) + 1
+        self.next_datagram.get(peer).copied().unwrap_or(0) + 1
     }
 
     /// Drain all queued frames as **one encoded datagram per peer**,
-    /// appending `(peer, datagram)` pairs to `out`. Per-peer frame order
-    /// is preserved; each data frame's piggybacked ack is refreshed to
-    /// the current cumulative cursor, and any *owed* standalone ack
-    /// toward a peer with outgoing data is folded away (counted in
-    /// [`VmStats::bytes_acked_piggyback`]). Owed acks toward peers with
-    /// no outgoing data stay owed — the host's delayed-ack timer flushes
-    /// them via [`flush_owed_ack`](Self::flush_owed_ack).
-    pub fn drain_datagrams_into(&mut self, out: &mut Vec<(SiteId, WireDatagram)>) {
+    /// appending `(peer, datagram)` pairs to `out` in ascending peer
+    /// order. Per-peer frame order is preserved; each data frame's
+    /// piggybacked ack is refreshed to the current cumulative cursor, and
+    /// any *owed* standalone ack toward a peer with outgoing data is
+    /// folded away (counted in [`VmStats::bytes_acked_piggyback`]). Owed
+    /// acks toward peers with no outgoing data stay owed — the host's
+    /// delayed-ack timer flushes them via
+    /// [`flush_owed_ack`](Self::flush_owed_ack).
+    ///
+    /// `now` (microseconds, the host's clock) drives the hint-gossip
+    /// dedupe window ([`VmConfig::hint_resend_after_us`]); pass `0` when
+    /// no hints are in play.
+    pub fn drain_datagrams_into(&mut self, now: u64, out: &mut Vec<(SiteId, WireDatagram)>) {
         if self.outbox.is_empty() {
             return;
         }
+        // Bucket per peer into the persistent regroup buffers, preserving
+        // per-peer FIFO order; peers are then visited in index order —
+        // the same ascending-peer order the old BTreeMap regroup gave.
         let mut frames = std::mem::take(&mut self.outbox);
-        // Group per peer, preserving per-peer FIFO order.
-        let mut by_peer: BTreeMap<SiteId, Vec<Frame>> = BTreeMap::new();
         for (to, f) in frames.drain(..) {
-            by_peer.entry(to).or_default().push(f);
+            self.ensure_peer(to);
+            self.groups[to].push(f);
         }
         self.outbox = frames; // keep the allocation
-        for (to, mut group) in by_peer {
-            let id = {
-                let c = self.next_datagram.entry(to).or_insert(0);
-                *c += 1;
-                *c
-            };
-            let ack_now = self.chans.get(&to).map_or(0, |c| c.accepted_in);
+        for to in 0..self.groups.len() {
+            if self.groups[to].is_empty() {
+                continue;
+            }
+            let mut group = std::mem::take(&mut self.groups[to]);
+            self.next_datagram[to] += 1;
+            let id = self.next_datagram[to];
+            let ack_now = self.chan_ref(to).map_or(0, |c| c.accepted_in);
             let mut has_data = false;
             for f in &mut group {
                 if let Frame::Data { ack, .. } = f {
@@ -448,8 +555,9 @@ impl VmEndpoint {
                     has_data = true;
                 }
             }
-            if has_data && self.ack_owed.remove(&to) {
+            if has_data && self.ack_owed[to] {
                 // The owed standalone ack rides the data frames for free.
+                self.ack_owed[to] = false;
                 self.stats.bytes_acked_piggyback += ACK_FRAME_LEN as u64;
                 self.obs.emit_with(self.me as u32, || EventKind::VmAck {
                     to: to as u32,
@@ -457,17 +565,63 @@ impl VmEndpoint {
                     datagram: id,
                 });
             }
-            let wire = WireDatagram::encode_with_hints(id, &group, &self.hints);
+            self.select_hints(to, now);
+            let wire = WireDatagram::encode_with_hints(id, &group, &self.hint_scratch);
             self.stats.datagrams_sent += 1;
             self.stats.bytes_sent += DATAGRAM_HEADER_LEN as u64;
-            if !self.hints.is_empty() {
-                let section = 4 + self.hints.len() * HINT_ENTRY_LEN;
-                self.stats.hints_sent += self.hints.len() as u64;
+            if !self.hint_scratch.is_empty() {
+                let section = 4 + self.hint_scratch.len() * HINT_ENTRY_LEN;
+                self.stats.hints_sent += self.hint_scratch.len() as u64;
                 self.stats.hint_bytes_sent += section as u64;
                 self.stats.bytes_sent += section as u64;
             }
+            group.clear();
+            self.groups[to] = group; // keep the allocation
             out.push((to, wire));
         }
+    }
+
+    /// Fill `hint_scratch` with the hints worth sending to `to` now:
+    /// drop entries whose surplus is unchanged since the last send to
+    /// this peer within the dedupe window, then cap the section at the
+    /// byte budget.
+    fn select_hints(&mut self, to: SiteId, now: u64) {
+        self.hint_scratch.clear();
+        if self.hints.is_empty() {
+            return;
+        }
+        let budget = self.cfg.hint_budget_bytes;
+        let max_entries = if budget == usize::MAX {
+            usize::MAX
+        } else if budget < 4 + HINT_ENTRY_LEN {
+            0
+        } else {
+            (budget - 4) / HINT_ENTRY_LEN
+        };
+        let ttl = self.cfg.hint_resend_after_us;
+        let mut sent = std::mem::take(&mut self.hint_sent[to]);
+        for i in 0..self.hints.len() {
+            let (item, surplus) = self.hints[i];
+            if self.hint_scratch.len() >= max_entries {
+                self.stats.hints_suppressed += (self.hints.len() - i) as u64;
+                break;
+            }
+            match sent.iter_mut().find(|e| e.0 == item) {
+                Some(e) if ttl > 0 && e.1 == surplus && now.saturating_sub(e.2) < ttl => {
+                    self.stats.hints_suppressed += 1;
+                }
+                Some(e) => {
+                    e.1 = surplus;
+                    e.2 = now;
+                    self.hint_scratch.push((item, surplus));
+                }
+                None => {
+                    sent.push((item, surplus, now));
+                    self.hint_scratch.push((item, surplus));
+                }
+            }
+        }
+        self.hint_sent[to] = sent;
     }
 
     /// Flush an owed ack toward `peer` as a standalone `Ack` frame
@@ -476,9 +630,10 @@ impl VmEndpoint {
     /// actually owed. The host calls this when its delayed-ack window
     /// expires without reverse data traffic having piggybacked the ack.
     pub fn flush_owed_ack(&mut self, peer: SiteId) -> bool {
-        if !self.ack_owed.remove(&peer) {
+        if peer >= self.ack_owed.len() || !self.ack_owed[peer] {
             return false;
         }
+        self.ack_owed[peer] = false;
         let ack = self.chan(peer).accepted_in;
         self.outbox.push((peer, Frame::Ack { ack }));
         self.stats.ack_frames_sent += 1;
@@ -492,15 +647,18 @@ impl VmEndpoint {
         true
     }
 
-    /// Peers currently owed a standalone ack (the host arms one delayed-
-    /// ack timer per owed peer after each flush).
+    /// Peers currently owed a standalone ack, in ascending order (the
+    /// host arms one delayed-ack timer per owed peer after each flush).
     pub fn owed_ack_peers(&self) -> impl Iterator<Item = SiteId> + '_ {
-        self.ack_owed.iter().copied()
+        self.ack_owed
+            .iter()
+            .enumerate()
+            .filter_map(|(peer, &owed)| owed.then_some(peer))
     }
 
     /// Whether `peer` is owed a standalone ack.
     pub fn has_owed_ack(&self, peer: SiteId) -> bool {
-        self.ack_owed.contains(&peer)
+        self.ack_owed.get(peer).copied().unwrap_or(false)
     }
 
     /// Mark the start of processing an incoming datagram: subsequent
@@ -525,26 +683,29 @@ impl VmEndpoint {
     /// Unacked outgoing Vms toward `peer` as `(seq, payload)`, ascending.
     /// The conservation auditor uses this to value in-flight Vms.
     ///
-    /// Lazily iterates the channel map — no `Vec` is built. The yielded
+    /// Lazily iterates the channel state — no `Vec` is built. The yielded
     /// `Bytes` payloads are refcounted slices, so each "clone" is a
     /// pointer copy plus a counter bump, never a payload copy.
     pub fn outgoing_toward(&self, peer: SiteId) -> impl Iterator<Item = (Seq, Bytes)> + '_ {
-        self.chans
-            .get(&peer)
+        self.chan_ref(peer)
             .into_iter()
             .flat_map(|c| c.outgoing.iter().map(|(&s, p)| (s, p.clone())))
     }
 
-    /// Peers this endpoint has channel state with.
+    /// Peers this endpoint has channel state with, in ascending order.
     pub fn peers(&self) -> Vec<SiteId> {
-        self.chans.keys().copied().collect()
+        self.chans
+            .iter()
+            .enumerate()
+            .filter_map(|(peer, c)| c.as_ref().map(|_| peer))
+            .collect()
     }
 
     /// Whether any channel still has unacked outgoing Vms (i.e. `tick`
-    /// still has work to do). O(1): the dirty set tracks exactly the
+    /// still has work to do). O(1): the dirty count tracks exactly the
     /// channels with in-flight Vms.
     pub fn has_outstanding(&self) -> bool {
-        !self.dirty.is_empty()
+        self.dirty_count > 0
     }
 
     // ---- crash / recovery --------------------------------------------------
@@ -553,15 +714,27 @@ impl VmEndpoint {
     /// [`replay`](Self::replay); queued frames are simply lost (they were
     /// only real messages).
     pub fn crash_reset(&mut self) {
-        self.chans.clear();
-        self.dirty.clear();
+        for c in &mut self.chans {
+            *c = None;
+        }
+        self.chan_count = 0;
+        for d in &mut self.dirty {
+            *d = false;
+        }
+        self.dirty_count = 0;
         self.outbox.clear();
         self.completed.clear();
-        self.ack_owed.clear();
+        for a in &mut self.ack_owed {
+            *a = false;
+        }
         self.in_datagram = 0;
         // Hints are advisory gossip about pre-crash surplus: stale by
-        // definition now, so they die with the rest of volatile state.
+        // definition now, so they die with the rest of volatile state —
+        // the per-peer dedupe memory included.
         self.hints.clear();
+        for h in &mut self.hint_sent {
+            h.clear();
+        }
         // `next_datagram` survives: it is pure wire-level numbering, and
         // keeping it monotone means datagram ids in a trace never repeat
         // for a (site, peer) pair across crashes.
@@ -576,7 +749,7 @@ impl VmEndpoint {
                 let c = self.chan(*to);
                 c.last_created = (*seq).max(c.last_created);
                 c.outgoing.insert(*seq, payload.clone());
-                self.dirty.insert(*to);
+                self.mark_dirty(*to);
             }
             VmLogOp::Accepted { from, seq } => {
                 let c = self.chan(*from);
@@ -587,7 +760,7 @@ impl VmEndpoint {
                 let c = self.chan(*to);
                 c.on_ack(*seq);
                 if c.in_flight() == 0 {
-                    self.dirty.remove(to);
+                    self.clear_dirty(*to);
                 }
             }
         }
@@ -595,13 +768,13 @@ impl VmEndpoint {
 
     /// Highest ack observed from `peer` (for emitting `AckObserved` ops).
     pub fn acked_out(&self, peer: SiteId) -> Seq {
-        self.chans.get(&peer).map_or(0, |c| c.acked_out)
+        self.chan_ref(peer).map_or(0, |c| c.acked_out)
     }
 
     /// Highest sequence number ever created toward `peer` (channel-oracle
     /// input: together with `acked_out` it bounds the live window).
     pub fn last_created(&self, peer: SiteId) -> Seq {
-        self.chans.get(&peer).map_or(0, |c| c.last_created)
+        self.chan_ref(peer).map_or(0, |c| c.last_created)
     }
 
     // ---- checkpointing -----------------------------------------------------
@@ -616,7 +789,9 @@ impl VmEndpoint {
     pub fn snapshot(&self) -> Vec<ChannelSnapshot> {
         self.chans
             .iter()
-            .map(|(&peer, c)| ChannelSnapshot {
+            .enumerate()
+            .filter_map(|(peer, c)| c.as_ref().map(|c| (peer, c)))
+            .map(|(peer, c)| ChannelSnapshot {
                 peer,
                 last_created: c.last_created,
                 acked_out: c.acked_out,
@@ -635,9 +810,9 @@ impl VmEndpoint {
             c.accepted_in = s.accepted_in;
             c.outgoing = s.outgoing.iter().cloned().collect();
             if c.in_flight() > 0 {
-                self.dirty.insert(s.peer);
+                self.mark_dirty(s.peer);
             } else {
-                self.dirty.remove(&s.peer);
+                self.clear_dirty(s.peer);
             }
         }
     }
@@ -1007,7 +1182,7 @@ mod tests {
     /// Deliver every drained datagram of `a` to `b`, returning receipts.
     fn flush_datagrams(a: &mut VmEndpoint, b: &mut VmEndpoint) -> Vec<Receipt> {
         let mut dgrams = Vec::new();
-        a.drain_datagrams_into(&mut dgrams);
+        a.drain_datagrams_into(0, &mut dgrams);
         let mut receipts = Vec::new();
         for (to, wire) in dgrams {
             assert_eq!(to, b.site());
@@ -1027,8 +1202,12 @@ mod tests {
         let _ = s.create(2, b("b"));
         let _ = s.create(1, b("c"));
         let mut dgrams = Vec::new();
-        s.drain_datagrams_into(&mut dgrams);
+        s.drain_datagrams_into(0, &mut dgrams);
         assert_eq!(dgrams.len(), 2, "one datagram per peer");
+        assert!(
+            dgrams.windows(2).all(|w| w[0].0 < w[1].0),
+            "datagrams come out in ascending peer order"
+        );
         let to1 = &dgrams.iter().find(|(to, _)| *to == 1).unwrap().1;
         assert_eq!(to1.frame_count(), 2, "both frames toward 1 coalesced");
         assert_eq!(to1.decode().id, 1, "ids are 1-based per peer");
@@ -1060,12 +1239,12 @@ mod tests {
         // The eager ack became an *owed* ack — nothing on the wire yet.
         assert!(r.has_owed_ack(0));
         let mut none = Vec::new();
-        r.drain_datagrams_into(&mut none);
+        r.drain_datagrams_into(0, &mut none);
         assert!(none.is_empty(), "owed ack alone does not build a datagram");
         // Reverse data traffic folds it in for free.
         let _ = r.create(0, b("reverse"));
         let mut dgrams = Vec::new();
-        r.drain_datagrams_into(&mut dgrams);
+        r.drain_datagrams_into(0, &mut dgrams);
         assert_eq!(dgrams.len(), 1);
         assert!(!r.has_owed_ack(0), "owed ack folded into the datagram");
         assert_eq!(r.stats().bytes_acked_piggyback, ACK_FRAME_LEN as u64);
@@ -1087,6 +1266,45 @@ mod tests {
     }
 
     #[test]
+    fn second_owed_ack_merges_and_is_counted_as_piggybacked() {
+        // Two accepts from the same peer inside one dispatch: the first
+        // marks the ack owed, the second merges into it. The merge must
+        // be counted as a saved standalone ack frame — this is the
+        // dominant piggyback saving under datagram coalescing, where a
+        // multi-frame datagram produces several accepts back to back.
+        let mut s = VmEndpoint::new(0, coalescing_cfg());
+        let mut r = VmEndpoint::new(1, coalescing_cfg());
+        let _ = s.create(1, b("a"));
+        let _ = s.create(1, b("b"));
+        let mut dgrams = Vec::new();
+        s.drain_datagrams_into(0, &mut dgrams);
+        for (_, wire) in dgrams {
+            let d = wire.decode();
+            r.begin_datagram(d.id);
+            // Commit each accept as it lands — the way a real host
+            // processes a datagram — so the second frame is in order.
+            for f in d.frames {
+                if let Receipt::Fresh { seq, .. } = r.on_frame(0, f) {
+                    r.commit_accept(0, seq);
+                }
+            }
+        }
+        assert!(r.has_owed_ack(0));
+        assert_eq!(
+            r.stats().bytes_acked_piggyback,
+            ACK_FRAME_LEN as u64,
+            "the merged second ack counts as one saved frame"
+        );
+        // The surviving owed ack flushes standalone: one frame acking both.
+        assert!(r.flush_owed_ack(0));
+        let mut dgrams = Vec::new();
+        r.drain_datagrams_into(0, &mut dgrams);
+        let d = dgrams[0].1.decode();
+        assert_eq!(d.frames, vec![Frame::Ack { ack: 2 }]);
+        assert_eq!(r.stats().ack_frames_sent, 1);
+    }
+
+    #[test]
     fn owed_ack_flushes_standalone_on_delayed_ack_timer() {
         let mut s = VmEndpoint::new(0, coalescing_cfg());
         let mut r = VmEndpoint::new(1, coalescing_cfg());
@@ -1101,7 +1319,7 @@ mod tests {
         assert!(r.flush_owed_ack(0));
         assert!(!r.flush_owed_ack(0), "second flush finds nothing owed");
         let mut dgrams = Vec::new();
-        r.drain_datagrams_into(&mut dgrams);
+        r.drain_datagrams_into(0, &mut dgrams);
         assert_eq!(dgrams.len(), 1);
         let d = dgrams[0].1.decode();
         assert_eq!(d.frames, vec![Frame::Ack { ack: 1 }]);
@@ -1123,7 +1341,7 @@ mod tests {
         let _ = s.create(1, b("a"));
         let _ = s.create(2, b("b"));
         let mut dgrams = Vec::new();
-        s.drain_datagrams_into(&mut dgrams);
+        s.drain_datagrams_into(0, &mut dgrams);
         assert_eq!(dgrams.len(), 2);
         for (_, wire) in &dgrams {
             assert_eq!(wire.decode().hints, vec![(7, 40), (9, 3)]);
@@ -1139,14 +1357,89 @@ mod tests {
         s.crash_reset();
         s.tick();
         dgrams.clear();
-        s.drain_datagrams_into(&mut dgrams);
+        s.drain_datagrams_into(0, &mut dgrams);
         assert!(dgrams.is_empty(), "crash_reset also dropped the outbox");
         let op = s.create(1, b("again"));
         let _ = op;
         dgrams.clear();
-        s.drain_datagrams_into(&mut dgrams);
+        s.drain_datagrams_into(0, &mut dgrams);
         assert_eq!(dgrams[0].1.decode().hints, Vec::<(u32, u64)>::new());
         assert_eq!(s.stats().hints_sent, 4, "no hints sent after the crash");
+    }
+
+    #[test]
+    fn unchanged_hints_are_deduped_within_the_resend_window() {
+        let cfg = VmConfig {
+            hint_resend_after_us: 1_000,
+            ..coalescing_cfg()
+        };
+        let mut s = VmEndpoint::new(0, cfg);
+        s.set_hints(vec![(7, 40), (9, 3)]);
+
+        // First datagram carries both hints.
+        let _ = s.create(1, b("a"));
+        let mut dgrams = Vec::new();
+        s.drain_datagrams_into(100, &mut dgrams);
+        assert_eq!(dgrams[0].1.decode().hints, vec![(7, 40), (9, 3)]);
+        assert_eq!(s.stats().hints_sent, 2);
+
+        // Same hints, still inside the window: the section is elided
+        // entirely (byte-identical to a hintless datagram).
+        let _ = s.create(1, b("b"));
+        dgrams.clear();
+        s.drain_datagrams_into(200, &mut dgrams);
+        assert!(dgrams[0].1.decode().hints.is_empty());
+        assert_eq!(s.stats().hints_sent, 2, "nothing new sent");
+        assert_eq!(s.stats().hints_suppressed, 2);
+
+        // One surplus changes: only the changed entry goes out.
+        s.set_hints(vec![(7, 40), (9, 5)]);
+        let _ = s.create(1, b("c"));
+        dgrams.clear();
+        s.drain_datagrams_into(300, &mut dgrams);
+        assert_eq!(dgrams[0].1.decode().hints, vec![(9, 5)]);
+        assert_eq!(s.stats().hints_sent, 3);
+
+        // The window expires: unchanged hints are refreshed again.
+        let _ = s.create(1, b("d"));
+        dgrams.clear();
+        s.drain_datagrams_into(2_000, &mut dgrams);
+        assert_eq!(dgrams[0].1.decode().hints, vec![(7, 40), (9, 5)]);
+
+        // Dedupe memory is per peer: a first datagram toward a new peer
+        // carries everything regardless of what peer 1 already saw.
+        let _ = s.create(2, b("e"));
+        dgrams.clear();
+        s.drain_datagrams_into(2_100, &mut dgrams);
+        assert_eq!(dgrams[0].1.decode().hints, vec![(7, 40), (9, 5)]);
+    }
+
+    #[test]
+    fn hint_byte_budget_caps_the_section() {
+        // Budget for exactly two entries: 4 + 2 * HINT_ENTRY_LEN.
+        let cfg = VmConfig {
+            hint_budget_bytes: 4 + 2 * HINT_ENTRY_LEN,
+            ..coalescing_cfg()
+        };
+        let mut s = VmEndpoint::new(0, cfg);
+        s.set_hints(vec![(1, 10), (2, 20), (3, 30), (4, 40)]);
+        let _ = s.create(1, b("a"));
+        let mut dgrams = Vec::new();
+        s.drain_datagrams_into(0, &mut dgrams);
+        assert_eq!(dgrams[0].1.decode().hints, vec![(1, 10), (2, 20)]);
+        assert_eq!(s.stats().hints_sent, 2);
+        assert_eq!(s.stats().hints_suppressed, 2, "two dropped to the budget");
+        // A budget too small for even one entry elides the section.
+        let cfg = VmConfig {
+            hint_budget_bytes: HINT_ENTRY_LEN, // < 4 + HINT_ENTRY_LEN
+            ..coalescing_cfg()
+        };
+        let mut s = VmEndpoint::new(0, cfg);
+        s.set_hints(vec![(1, 10)]);
+        let _ = s.create(1, b("a"));
+        dgrams.clear();
+        s.drain_datagrams_into(0, &mut dgrams);
+        assert!(dgrams[0].1.decode().hints.is_empty());
     }
 
     #[test]
@@ -1154,13 +1447,13 @@ mod tests {
         let mut s = VmEndpoint::new(0, coalescing_cfg());
         let op = s.create(1, b("a"));
         let mut dgrams = Vec::new();
-        s.drain_datagrams_into(&mut dgrams);
+        s.drain_datagrams_into(0, &mut dgrams);
         assert_eq!(dgrams[0].1.decode().id, 1);
         s.crash_reset();
         s.replay(&op);
         s.tick();
         dgrams.clear();
-        s.drain_datagrams_into(&mut dgrams);
+        s.drain_datagrams_into(0, &mut dgrams);
         assert_eq!(
             dgrams[0].1.decode().id,
             2,

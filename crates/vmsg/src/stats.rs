@@ -32,8 +32,11 @@ pub struct VmStats {
     /// Total encoded wire bytes sent: every frame's encoded size, plus
     /// one datagram header per datagram when coalescing.
     pub bytes_sent: u64,
-    /// Wire bytes *saved* by folding owed standalone acks into outgoing
-    /// data datagrams (each fold avoids one encoded ack frame).
+    /// Wire bytes *saved* by piggybacking acks: folding an owed
+    /// standalone ack into an outgoing data datagram, or merging a
+    /// second ack obligation into one already owed (the cumulative
+    /// cursor covers both, so one frame services two acks). Each saving
+    /// avoids one encoded ack frame.
     pub bytes_acked_piggyback: u64,
     /// Availability-hint entries piggybacked on outgoing datagrams
     /// (adaptive placement gossip; 0 otherwise).
@@ -41,6 +44,10 @@ pub struct VmStats {
     /// Extra wire bytes the piggybacked hint sections cost (already
     /// included in `bytes_sent`).
     pub hint_bytes_sent: u64,
+    /// Hint entries *not* sent: either unchanged since the last send to
+    /// that peer within the dedupe window, or dropped to the
+    /// per-datagram hint-byte budget.
+    pub hints_suppressed: u64,
 }
 
 impl VmStats {
@@ -63,6 +70,7 @@ impl VmStats {
         self.bytes_acked_piggyback += o.bytes_acked_piggyback;
         self.hints_sent += o.hints_sent;
         self.hint_bytes_sent += o.hint_bytes_sent;
+        self.hints_suppressed += o.hints_suppressed;
     }
 
     /// Real messages per completed Vm — the paper's "message traffic"

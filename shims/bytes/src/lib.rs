@@ -221,6 +221,21 @@ impl BytesMut {
     pub fn truncate(&mut self, len: usize) {
         self.buf.truncate(len);
     }
+
+    /// Empty the buffer, keeping its capacity (for reuse pools).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Reserve room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Bytes the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
 }
 
 impl Deref for BytesMut {

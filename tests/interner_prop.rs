@@ -1,0 +1,117 @@
+//! Property and round-trip tests for the sorted-rank [`Interner`] that
+//! backs the dense hot-path tables (see `dvp::core::dense`).
+//!
+//! The dense layout replaced `BTreeMap`s on the dispatch path, and its
+//! correctness contract is exactly two properties:
+//!
+//! 1. **Order-independence** — the index assigned to a key depends only
+//!    on the key *set*, never on insertion order, so any rebuild (e.g.
+//!    after a crash) produces identical indices.
+//! 2. **Sorted iteration** — walking a dense table `0..len` visits keys
+//!    in ascending order, i.e. exactly the iteration order of the
+//!    `BTreeMap` it replaced. This is what keeps golden obs traces
+//!    byte-identical.
+
+use dvp::core::dense::Interner;
+use dvp::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn ms(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::millis(n)
+}
+
+/// Deterministic Fisher–Yates driven by a splitmix-style LCG, so a
+/// proptest-drawn `u64` seed yields an arbitrary insertion order without
+/// needing a shuffle strategy in the harness.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Shuffled insertion produces the same assignment and iteration
+    /// order as the `BTreeMap` the interner replaced.
+    #[test]
+    fn interner_matches_btreemap_under_shuffle(
+        keys in proptest::collection::vec(0u64..10_000, 1..64),
+        seed in any::<u64>(),
+    ) {
+        // The reference: a BTreeMap over the same key set, whose k-th
+        // iterated key must sit at dense index k.
+        let reference: BTreeMap<u64, ()> = keys.iter().map(|&k| (k, ())).collect();
+
+        let mut shuffled = keys.clone();
+        shuffle(&mut shuffled, seed);
+        let interner: Interner<u64> = Interner::from_universe(shuffled);
+        let baseline: Interner<u64> = Interner::from_universe(keys.clone());
+
+        // Order-independence: any insertion order, same interner.
+        prop_assert_eq!(&interner, &baseline);
+        prop_assert_eq!(interner.len(), reference.len());
+
+        // Assignment and iteration match BTreeMap order exactly.
+        for (rank, (&key, _)) in reference.iter().enumerate() {
+            prop_assert_eq!(interner.idx(key), Some(rank as u32));
+            prop_assert_eq!(interner.key(rank as u32), key);
+        }
+        let walked: Vec<u64> = interner.iter().map(|(_, k)| k).collect();
+        let expected: Vec<u64> = reference.keys().copied().collect();
+        prop_assert_eq!(walked, expected);
+
+        // Keys outside the universe never get an index.
+        prop_assert_eq!(interner.idx(10_001), None);
+    }
+}
+
+/// A crashed site rebuilds its item interner bit-identically: the dense
+/// indices its recovered tables use are the same ones its pre-crash
+/// tables used, because the assignment depends only on the (stable)
+/// catalog, not on any volatile insertion history.
+#[test]
+fn crash_recover_rebuilds_identical_indices() {
+    let mut catalog = Catalog::new();
+    let flight = catalog.add("flight", 400, Split::Even);
+    let hotel = catalog.add("hotel", 200, Split::Even);
+    let car = catalog.add("car", 120, Split::Even);
+    let items = [flight, hotel, car];
+
+    let mut cl = Scenario::dvp_sites(4, catalog)
+        .at(2, ms(1), TxnSpec::reserve(flight, 120)) // solicits into site 2
+        .at(2, ms(40), TxnSpec::reserve(hotel, 10))
+        .at(2, ms(300), TxnSpec::reserve(car, 5)) // post-recovery traffic
+        .faults(FaultPlan::none().crash(ms(150), 2).recover(ms(200), 2))
+        .build_dvp();
+
+    // Snapshot the interner before the crash fires.
+    cl.run_until(ms(140));
+    let before = cl.sim.node(2).item_interner().clone();
+
+    cl.run_to_quiescence();
+    let after = cl.sim.node(2).item_interner();
+
+    assert_eq!(
+        &before, after,
+        "recovery must rebuild the identical dense-index assignment"
+    );
+    // The assignment is the catalog's sorted rank, for every item.
+    for item in items {
+        assert_eq!(before.idx(item), after.idx(item));
+    }
+    let walked: Vec<ItemId> = after.iter().map(|(_, k)| k).collect();
+    let mut sorted = items.to_vec();
+    sorted.sort();
+    assert_eq!(walked, sorted, "dense walk order is ascending ItemId");
+
+    // The recovered site keeps working against those indices.
+    let m = cl.stats().txn;
+    assert_eq!(m.committed(), 3, "all three txns commit across the crash");
+    cl.auditor().check_conservation().unwrap();
+}

@@ -52,7 +52,7 @@ proptest! {
     fn adversarial_schedules_never_lose_or_double_value(
         steps in proptest::collection::vec(step_strategy(), 1..120)
     ) {
-        let cfg = VmConfig { window: 4, eager_acks: true, coalesce: false };
+        let cfg = VmConfig { window: 4, eager_acks: true, ..VmConfig::default() };
         let mut sender = VmEndpoint::new(0, cfg);
         let mut receiver = VmEndpoint::new(1, cfg);
         let mut wire = Wire::default();
@@ -147,7 +147,7 @@ proptest! {
         crash_sender_at in 0usize..12,
         crash_receiver_at in 0usize..12,
     ) {
-        let cfg = VmConfig { window: 8, eager_acks: true, coalesce: false };
+        let cfg = VmConfig { window: 8, eager_acks: true, ..VmConfig::default() };
         let mut sender = VmEndpoint::new(0, cfg);
         let mut receiver = VmEndpoint::new(1, cfg);
         let mut sender_log = Vec::new();   // durable Created ops
@@ -219,7 +219,7 @@ proptest! {
         steps in proptest::collection::vec(dgram_step_strategy(), 1..100),
         coalesce in any::<bool>(),
     ) {
-        let cfg = VmConfig { window: 4, eager_acks: true, coalesce };
+        let cfg = VmConfig { window: 4, eager_acks: true, coalesce, ..VmConfig::default() };
         let mut sender = VmEndpoint::new(0, cfg);
         let mut receiver = VmEndpoint::new(1, cfg);
         // The wire: each element is one transmission unit.
@@ -232,7 +232,7 @@ proptest! {
         fn drain(ep: &mut VmEndpoint, expect_to: usize, wire: &mut Vec<Unit>, coalesce: bool) {
             if coalesce {
                 let mut dgrams = Vec::new();
-                ep.drain_datagrams_into(&mut dgrams);
+                ep.drain_datagrams_into(0, &mut dgrams);
                 for (to, wd) in dgrams {
                     assert_eq!(to, expect_to);
                     wire.push(Unit::Dgram(wd));
