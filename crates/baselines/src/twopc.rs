@@ -144,6 +144,47 @@ pub struct TradMsg {
     pub body: TradBody,
 }
 
+impl TradMsg {
+    /// Deterministic encoded-length estimate, in bytes, of the wire shape
+    /// this message would have under a minimal fixed-width codec: an
+    /// 8-byte Lamport stamp plus a 1-byte body tag, then the body's
+    /// fields at their natural widths (`Ts` 8, `ItemId` 4, `u64` 8,
+    /// `bool`/`u8` 1, vectors as a 4-byte count plus elements). The
+    /// traditional engine exchanges in-memory values, so this estimate —
+    /// not a real encoder — is what it declares to
+    /// [`NetStats::wire_bytes`](dvp_simnet::stats::NetStats::wire_bytes)
+    /// for the cross-engine wire-volume comparison. The DvP engine
+    /// declares its *actual* codec output length, so the comparison
+    /// favours neither side: both count every field that would cross the
+    /// wire, once.
+    pub fn wire_len(&self) -> u64 {
+        9 + self.body.wire_len()
+    }
+}
+
+impl TradBody {
+    /// Encoded length of the body's fields (excluding the 9-byte
+    /// lamport+tag header; see [`TradMsg::wire_len`]).
+    fn wire_len(&self) -> u64 {
+        match self {
+            TradBody::LockReq { .. } => 8 + 4,
+            TradBody::LockGrant { .. } => 8 + 4 + 8 + 8,
+            TradBody::Prepare { writes, peers, .. } => {
+                8 + 4 + 20 * writes.len() as u64 + 4 + 8 * peers.len() as u64
+            }
+            TradBody::Vote { .. } | TradBody::Decision { .. } => 8 + 1,
+            TradBody::DecisionAck { .. }
+            | TradBody::DecisionQuery { .. }
+            | TradBody::ReleaseLocks { .. }
+            | TradBody::PreCommit { .. }
+            | TradBody::PreAck { .. }
+            | TradBody::StateQuery { .. } => 8,
+            TradBody::StateReply { .. } => 8 + 1,
+            TradBody::Batch(msgs) => 4 + msgs.iter().map(TradMsg::wire_len).sum::<u64>(),
+        }
+    }
+}
+
 /// Which atomic commit protocol the engine runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CommitProtocol {
@@ -363,7 +404,8 @@ impl TradNode {
         if self.cfg.coalesce {
             self.wire_buf.push((to, msg));
         } else {
-            ctx.send(to, msg);
+            let bytes = msg.wire_len();
+            ctx.send_frames_bytes(to, msg, 1, bytes);
         }
     }
 
@@ -386,11 +428,15 @@ impl TradNode {
         let lamport = self.clock.counter();
         for (to, mut msgs) in groups {
             if msgs.len() == 1 {
-                ctx.send(to, msgs.pop().expect("length checked"));
+                let msg = msgs.pop().expect("length checked");
+                let bytes = msg.wire_len();
+                ctx.send_frames_bytes(to, msg, 1, bytes);
             } else {
                 let frames = msgs.len() as u64;
                 let body = TradBody::Batch(msgs);
-                ctx.send_frames(to, TradMsg { lamport, body }, frames);
+                let msg = TradMsg { lamport, body };
+                let bytes = msg.wire_len();
+                ctx.send_frames_bytes(to, msg, frames, bytes);
             }
         }
     }

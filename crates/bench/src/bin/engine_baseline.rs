@@ -9,7 +9,11 @@
 //! retry loops). Each scenario reports:
 //!
 //! * `txns_per_sec` — decided transactions per wall-clock second, the
-//!   engine-path throughput number to compare across changes;
+//!   engine-path throughput number to compare across changes. Each
+//!   scenario is timed over `DVP_TIME_REPS` repeats (default 3) and the
+//!   fastest counts: the simulation is deterministic, so repeats differ
+//!   only by scheduler/cache noise and the minimum is the robust
+//!   estimator;
 //! * `forces_per_txn` — stable-log force operations per decided
 //!   transaction. Group commit (the default) coalesces every force a
 //!   dispatch owes into one, so this is the headline number the
@@ -18,7 +22,11 @@
 //!   (the paper's message-traffic metric, §9). Under link-level
 //!   coalescing many frames share one wire transmission, so
 //!   `datagrams_per_txn` (Vm wire datagrams) and `wire_bytes_per_txn`
-//!   report what actually hits the network.
+//!   report what actually hits the network. Wire bytes are accounted at
+//!   the simulation kernel on *both* engines — every send (Vm frames
+//!   and datagrams, solicitation requests, lease releases, 2PC
+//!   messages and batches) declares its encoded length — so the DvP
+//!   and `trad2pc_*` figures are directly comparable.
 //! * `solicits_per_txn`, `fast_path_rate`, `hint_hit_rate` — the value-
 //!   placement columns: how often transactions had to solicit remote
 //!   value, how often they committed without leaving their site, and how
@@ -64,9 +72,11 @@ struct Row {
     frames: u64,
     /// Wire transmissions handed to the kernel (datagrams count once).
     messages: u64,
-    /// Vm-layer wire datagrams (0 for the baseline engine).
+    /// Wire datagrams: Vm-layer datagrams for DvP, kernel transmissions
+    /// (one per coalesced batch) for the 2PC baseline.
     datagrams: u64,
-    /// Vm-layer bytes on the wire (0 for the baseline engine).
+    /// Kernel-accounted wire bytes: every send on both engines declares
+    /// its encoded length, so the column compares engines honestly.
     wire_bytes: u64,
     /// Standalone-ack bytes avoided by piggybacking (0 for baseline).
     bytes_acked_piggyback: u64,
@@ -79,6 +89,10 @@ struct Row {
     hint_hits: u64,
     /// Hint entries piggybacked on Vm datagrams (adaptive only).
     hints_sent: u64,
+    /// Value transfers: solicited donations and spontaneous rebalance
+    /// ships (0 for the 2PC baseline, which moves no value).
+    donations: u64,
+    rebalances: u64,
     /// Allocation events during the run (0 without `alloc-audit`).
     allocs: u64,
 }
@@ -175,7 +189,39 @@ fn hotspot(scale: Scale) -> Workload {
     .generate(42)
 }
 
+/// How many timed repeats each scenario gets (one harvest run plus
+/// rep-major timing passes); each row reports the *fastest*. The
+/// simulation is deterministic — every repeat decides the same
+/// transactions and sends the same bytes — so wall-clock spread is pure
+/// scheduler/cache noise and the minimum is the robust estimator.
+/// Override with `DVP_TIME_REPS=n` (e.g. `1` for a smoke run).
+fn time_reps() -> usize {
+    std::env::var("DVP_TIME_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(3)
+}
+
+/// One timed closed-loop DvP run; returns the wall seconds only.
+fn time_dvp(name: &'static str, w: &Workload, site: SiteConfig) -> f64 {
+    let mut cl = Scenario::dvp(w).name(name).site(site).build_dvp();
+    let t = Instant::now();
+    cl.run_to_quiescence();
+    t.elapsed().as_secs_f64()
+}
+
+/// One timed closed-loop 2PC-baseline run; returns the wall seconds only.
+fn time_trad(name: &'static str, w: &Workload) -> f64 {
+    let mut cl = Scenario::trad(w).name(name).build_trad();
+    let t = Instant::now();
+    cl.run_until(SimTime::ZERO + SimDuration::secs(3_600));
+    t.elapsed().as_secs_f64()
+}
+
 /// Run a DvP scenario closed-loop (to quiescence) and harvest the row.
+/// Counters come from this first run; the wall clock is refined by the
+/// rep-major timing passes in `main`.
 fn run_dvp(name: &'static str, w: &Workload, site: SiteConfig) -> Row {
     let mut cl = Scenario::dvp(w).name(name).site(site).build_dvp();
     let allocs_before = alloc_snapshot();
@@ -205,13 +251,17 @@ fn run_dvp(name: &'static str, w: &Workload, site: SiteConfig) -> Row {
         frames: cl.sim.stats().frames_sent,
         messages: cl.sim.stats().sent,
         datagrams: stats.vm.datagrams_sent,
-        wire_bytes: stats.vm.bytes_sent,
+        // Kernel-level: all DvP protocol sends (not just the Vm layer)
+        // declare encoded bytes, making the figure comparable with trad2pc.
+        wire_bytes: cl.sim.stats().wire_bytes,
         bytes_acked_piggyback: stats.vm.bytes_acked_piggyback,
         solicits: stats.placement.requests_sent,
         fast_path: m.fast_path_commits(),
         hinted_solicits: stats.placement.hinted_solicits,
         hint_hits: stats.placement.hint_hits,
         hints_sent: stats.placement.hints_sent,
+        donations: m.donations(),
+        rebalances: stats.placement.rebalances,
         allocs,
     }
 }
@@ -243,14 +293,19 @@ fn run_trad(name: &'static str, w: &Workload) -> Row {
         max_force_batch,
         frames: cl.sim.stats().frames_sent,
         messages: cl.sim.stats().sent,
-        datagrams: 0,
-        wire_bytes: 0,
+        // The baseline coalesces at the link layer too: each kernel
+        // transmission is one wire datagram, and every TradMsg (batched
+        // or not) declares its encoded length on send.
+        datagrams: cl.sim.stats().sent,
+        wire_bytes: cl.sim.stats().wire_bytes,
         bytes_acked_piggyback: 0,
         solicits: 0,
         fast_path: 0,
         hinted_solicits: 0,
         hint_hits: 0,
         hints_sent: 0,
+        donations: 0,
+        rebalances: 0,
         allocs,
     }
 }
@@ -308,7 +363,7 @@ fn main() {
     let bank = banking(scale);
     let air = airline(scale);
     let hot = hotspot(scale);
-    let rows = [
+    let mut rows = [
         run_dvp("dvp_banking", &bank, reactive),
         run_dvp("dvp_banking_adaptive", &bank, adaptive),
         run_dvp("dvp_airline", &air, reactive),
@@ -317,6 +372,26 @@ fn main() {
         run_trad("trad2pc_banking", &bank),
         run_trad("trad2pc_airline", &air),
     ];
+    // Rep-major timing passes: each pass re-times every scenario once and
+    // each row keeps its fastest wall clock. Re-timing A, B, …, A, B, …
+    // (rather than A, A, …, then B, B, …) puts paired scenarios in the
+    // same machine window on every pass, so the cross-row ratios the CI
+    // guard checks (adaptive vs reactive, DvP vs 2PC) are not skewed by
+    // frequency or contention drift between windows.
+    for _ in 1..time_reps() {
+        let times = [
+            time_dvp("dvp_banking", &bank, reactive),
+            time_dvp("dvp_banking_adaptive", &bank, adaptive),
+            time_dvp("dvp_airline", &air, reactive),
+            time_dvp("dvp_hotspot", &hot, reactive),
+            time_dvp("dvp_hotspot_adaptive", &hot, adaptive),
+            time_trad("trad2pc_banking", &bank),
+            time_trad("trad2pc_airline", &air),
+        ];
+        for (row, t) in rows.iter_mut().zip(times) {
+            row.wall_secs = row.wall_secs.min(t);
+        }
+    }
 
     let mut json = String::from("{\n  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -351,6 +426,7 @@ fn main() {
              \"solicits\": {}, \"solicits_per_txn\": {:.4}, \"fast_path\": {}, \
              \"fast_path_rate\": {:.4}, \"hinted_solicits\": {}, \"hint_hits\": {}, \
              \"hint_hit_rate\": {:.4}, \"hints_sent\": {}, \
+             \"donations\": {}, \"rebalances\": {}, \
              \"allocs_per_txn\": {:.4}}}",
             r.name,
             r.decided,
@@ -377,6 +453,8 @@ fn main() {
             r.hint_hits,
             r.hint_hit_rate(),
             r.hints_sent,
+            r.donations,
+            r.rebalances,
             apt,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });

@@ -224,7 +224,11 @@ impl Scenario {
             messages: cl.sim.stats().sent,
             frames: cl.sim.stats().frames_sent,
             datagrams: vm.datagrams_sent,
-            wire_bytes: vm.bytes_sent,
+            // Kernel-level wire accounting: every DvP send (Vm frames,
+            // coalesced datagrams, solicitation requests, lease releases)
+            // declares its encoded length, so this is directly comparable
+            // with the 2PC rows rather than counting only the Vm layer.
+            wire_bytes: cl.sim.stats().wire_bytes,
             bytes_acked_piggyback: vm.bytes_acked_piggyback,
             forces: stats.log.forces,
             requests: stats.placement.requests_sent,
@@ -270,8 +274,11 @@ impl Scenario {
             max_blocked_us: m.max_blocking_us(cl.sim.now()),
             messages: cl.sim.stats().sent,
             frames: cl.sim.stats().frames_sent,
-            datagrams: 0,
-            wire_bytes: 0,
+            // Every baseline send declares its encoded-length estimate
+            // (`TradMsg::wire_len`), so the kernel's counters are the
+            // engine's wire volume: one datagram per transmission.
+            datagrams: cl.sim.stats().sent,
+            wire_bytes: cl.sim.stats().wire_bytes,
             bytes_acked_piggyback: 0,
             forces: cl.log_stats().forces,
             requests: 0,
@@ -325,12 +332,14 @@ pub struct RunReport {
     /// datagram counts its frame total; equals `messages` when nothing
     /// batches).
     pub frames: u64,
-    /// Vm-layer wire datagrams transmitted (0 when coalescing is off or
-    /// for the baseline engine; `datagrams / committed` is the
-    /// coalescing headline metric).
+    /// Wire datagrams transmitted: Vm-layer datagram count for DvP (0
+    /// when coalescing is off), kernel transmissions for the baseline.
+    /// `datagrams / committed` is the coalescing headline metric.
     pub datagrams: u64,
-    /// Vm-layer bytes handed to the wire (frame encodings plus datagram
-    /// headers under coalescing).
+    /// Bytes handed to the wire: actual codec output (frame encodings
+    /// plus datagram headers) for DvP; the deterministic fixed-width
+    /// encoded-length estimate (`TradMsg::wire_len`) for the baseline,
+    /// tallied through the kernel's `NetStats::wire_bytes`.
     pub wire_bytes: u64,
     /// Bytes of standalone ack traffic avoided by piggybacking
     /// cumulative acks on data datagrams.

@@ -1,0 +1,94 @@
+//! Quick-scale regression gate for the adaptive-placement subsystem.
+//!
+//! Pins the three properties the hint flow-control work bought on the
+//! banking workload (the scenario whose hint storm originally regressed
+//! adaptive placement to 338k hints and +13% wire volume over reactive):
+//!
+//! 1. the hint volume stays bounded — demand-delta gating, the global
+//!    per-window budget, and scope-to-budget truncation hold the line;
+//! 2. adaptive costs no more wire than reactive (within 10%) — the
+//!    gossip and the persistence-gated rebalancer pay for themselves;
+//! 3. the run is byte-deterministic — reruns of the same scenario
+//!    produce identical wire and hint counts, so the two ceilings above
+//!    gate real regressions, not seed noise.
+//!
+//! The workload mirrors `engine_baseline`'s quick-scale banking row
+//! (8 sites, 16 accounts, 2 000 transactions, seed 42); the full-scale
+//! ceilings live in the CI engine-baseline guard.
+
+use dvp_bench::{RunReport, Scenario};
+use dvp_core::{Placement, SiteConfig};
+use dvp_workloads::{BankingWorkload, Workload};
+
+/// Fixed hint ceiling for the quick-scale banking run. Currently ~1.9k
+/// hints go out (roughly one per decided transaction); the pre-fix hint
+/// storm was two orders of magnitude above this.
+const HINT_CEILING: u64 = 4_000;
+
+fn banking() -> Workload {
+    BankingWorkload {
+        n_sites: 8,
+        accounts: 16,
+        txns: 2_000,
+        ..Default::default()
+    }
+    .generate(42)
+}
+
+fn run(w: &Workload, site: SiteConfig) -> RunReport {
+    Scenario::dvp(w)
+        .name("adaptive_regression")
+        .site(site)
+        .run()
+}
+
+fn wire_per_txn(r: &RunReport) -> f64 {
+    r.wire_bytes as f64 / (r.committed + r.aborted).max(1) as f64
+}
+
+#[test]
+fn banking_adaptive_hint_and_wire_budgets_hold() {
+    let w = banking();
+    let reactive = run(&w, SiteConfig::default());
+    let adaptive = run(
+        &w,
+        SiteConfig::builder()
+            .placement(Placement::adaptive())
+            .build(),
+    );
+
+    assert!(
+        adaptive.hints_sent < HINT_CEILING,
+        "hint flow control must bound gossip volume: {} hints sent \
+         (ceiling {HINT_CEILING})",
+        adaptive.hints_sent
+    );
+    let (a, r) = (wire_per_txn(&adaptive), wire_per_txn(&reactive));
+    assert!(
+        a <= 1.1 * r,
+        "adaptive wire volume must stay within 10% of reactive: \
+         {a:.1} B/txn adaptive vs {r:.1} B/txn reactive"
+    );
+}
+
+#[test]
+fn banking_adaptive_wire_accounting_is_deterministic() {
+    let w = banking();
+    let site = || {
+        SiteConfig::builder()
+            .placement(Placement::adaptive())
+            .build()
+    };
+    let first = run(&w, site());
+    let second = run(&w, site());
+    assert_eq!(
+        first.wire_bytes, second.wire_bytes,
+        "identical scenario must produce identical wire bytes"
+    );
+    assert_eq!(
+        first.hints_sent, second.hints_sent,
+        "identical scenario must produce identical hint counts"
+    );
+    assert_eq!(first.committed, second.committed);
+    assert_eq!(first.aborted, second.aborted);
+}

@@ -20,7 +20,7 @@
 
 use dvp_bench::alloc_audit;
 use dvp_core::item::{Catalog, Split};
-use dvp_core::{Cluster, ClusterConfig, TxnSpec};
+use dvp_core::{Cluster, ClusterConfig, Placement, TxnSpec};
 use dvp_simnet::time::{SimDuration, SimTime};
 
 /// Warmup+measure sizes: capacities after W pushes and after W+M pushes
@@ -30,11 +30,12 @@ use dvp_simnet::time::{SimDuration, SimTime};
 const W: u64 = 3_000;
 const M: u64 = 500;
 
-fn run_phase_allocs(txns: u64) -> u64 {
+fn run_phase_allocs_with(txns: u64, placement: Placement) -> u64 {
     let mut catalog = Catalog::new();
     let acct = catalog.add("acct", 1_000_000, Split::Even);
     let mut cfg = ClusterConfig::new(1, catalog);
     cfg.site.checkpoint_every = None;
+    cfg.site.placement = placement;
     for k in 0..txns {
         let when = SimTime::ZERO + SimDuration::micros(1 + k * 10);
         // Alternate reserve/release so quotas never drain: every
@@ -59,6 +60,10 @@ fn run_phase_allocs(txns: u64) -> u64 {
     during
 }
 
+fn run_phase_allocs(txns: u64) -> u64 {
+    run_phase_allocs_with(txns, Placement::Static)
+}
+
 #[test]
 fn fast_path_commit_allocates_zero() {
     // Prime process-wide state the measured runs would otherwise pay for
@@ -70,6 +75,25 @@ fn fast_path_commit_allocates_zero() {
         extended,
         base,
         "{M} extra fast-path commits must allocate zero times \
+         (run-phase allocs: {base} for {W} txns, {extended} for {} txns)",
+        W + M
+    );
+}
+
+/// The same gate with the adaptive placement subsystem switched on: the
+/// demand estimators, hint bookkeeping, and rebalancer state ride every
+/// commit, so a committed adaptive fast-path transaction must also
+/// allocate exactly zero times (the estimators are dense tables, the
+/// gossip and solicitation planners run on retained scratch buffers).
+#[test]
+fn adaptive_fast_path_commit_allocates_zero() {
+    run_phase_allocs_with(64, Placement::adaptive());
+    let base = run_phase_allocs_with(W, Placement::adaptive());
+    let extended = run_phase_allocs_with(W + M, Placement::adaptive());
+    assert_eq!(
+        extended,
+        base,
+        "{M} extra adaptive fast-path commits must allocate zero times \
          (run-phase allocs: {base} for {W} txns, {extended} for {} txns)",
         W + M
     );

@@ -190,9 +190,20 @@ impl Default for AdaptivePlacement {
         AdaptivePlacement {
             fanout: Fanout::Hinted,
             refill: RefillPolicy::DemandExact,
-            every: SimDuration::millis(25),
+            // Rebalance cadence. Each tick costs an O(items · peers)
+            // demand scan plus a Vm flush on every site, so the cadence
+            // is sized for drift detection (hotspot epochs are seconds),
+            // not per-transaction reaction — solicitation handles that.
+            every: SimDuration::millis(100),
             gain: 0.25,
-            hint_ttl: SimDuration::millis(100),
+            // Sized against the scope-matched gossip rate: every
+            // advertised (item, peer) pair is re-gossiped well inside
+            // this window, so a longer TTL widens the usable-hint window
+            // (more hinted solicitations per gossiped entry) while the
+            // resend dedupe — half the TTL — cuts the steady resend rate
+            // in step. Confidence scaling shrinks it again wherever the
+            // longer horizon starts admitting stale figures.
+            hint_ttl: SimDuration::millis(250),
             max_hints: 16,
             headroom: 1.5,
             chaos: HintChaos::None,

@@ -49,6 +49,7 @@ use dvp_storage::{
     CheckpointSlot, DecodeError, Lsn, Record, RecordReader, RecordWriter, SalvageOutcome,
     StableLog, TornWrite,
 };
+use dvp_vmsg::codec::frame_wire_len;
 use dvp_vmsg::codec::HINT_ENTRY_LEN;
 use dvp_vmsg::{ChannelSnapshot, Frame, Receipt, Seq, VmConfig, VmEndpoint, VmLogOp, WireDatagram};
 use std::collections::{BTreeMap, VecDeque};
@@ -60,8 +61,20 @@ const TAG_RETRANSMIT: u64 = 2 << TAG_KIND_SHIFT;
 const TAG_LEASE: u64 = 3 << TAG_KIND_SHIFT;
 const TAG_SOLICIT_RETRY: u64 = 4 << TAG_KIND_SHIFT;
 const TAG_REBALANCE: u64 = 5 << TAG_KIND_SHIFT;
+
 const TAG_DELAYED_ACK: u64 = 6 << TAG_KIND_SHIFT;
 const TAG_PAYLOAD_MASK: u64 = (1 << TAG_KIND_SHIFT) - 1;
+
+/// Demand floor for targeted hints: one recent solicitation (EWMA
+/// contribution `gain * qty`) stays above it for roughly the hint TTL
+/// under the per-tick decay, so exactly the peers that asked lately
+/// keep receiving updates.
+const HINT_DEMAND_FLOOR: f64 = 0.1;
+/// Scope-to-budget fanout: each advertised item goes to at most this
+/// many peers — the ones soliciting it hardest (ties to the lower peer
+/// id). Under uniform access every peer clears the bare demand floor,
+/// which would re-spread the per-window hint budget (n-1) ways.
+const HINT_FANOUT: usize = 2;
 
 /// Body of a protocol message.
 #[derive(Clone, Debug)]
@@ -114,6 +127,32 @@ pub struct ProtoMsg {
     pub lamport: u64,
     /// Payload.
     pub body: Body,
+}
+
+impl ProtoMsg {
+    /// Deterministic wire-size estimate: 8-byte lamport + 1-byte body tag
+    /// header plus the body payload. Vm frames and datagrams use their
+    /// actual codec lengths; plain protocol bodies use fixed-width field
+    /// sums. Declared on every send so kernel [`NetStats::wire_bytes`]
+    /// compares engines at the same layer as the 2PC baseline.
+    ///
+    /// [`NetStats::wire_bytes`]: dvp_simnet::stats::NetStats::wire_bytes
+    pub fn wire_len(&self) -> u64 {
+        9 + self.body.wire_len()
+    }
+}
+
+impl Body {
+    fn wire_len(&self) -> u64 {
+        match self {
+            Body::Vm(frame) => frame_wire_len(frame) as u64,
+            Body::VmDatagram(wire) => wire.wire_len() as u64,
+            // txn:8 item:4 need:8 demand:8 read:1
+            Body::Request { .. } => 8 + 4 + 8 + 8 + 1,
+            // txn:8 item:4
+            Body::ReleaseLease { .. } => 8 + 4,
+        }
+    }
 }
 
 /// A party waiting for a lock under Conc2.
@@ -316,6 +355,23 @@ pub struct SiteNode {
     /// gossip — never consulted by anything safety-bearing. Indexed
     /// `item.0 * n + peer` like `peer_demand`.
     hint_table: Vec<Option<(Qty, SimTime)>>,
+    /// Adaptive placement: this site's trust in hint gossip, an EWMA in
+    /// `[0, 1]` fed by hinted-solicitation outcomes (a hit raises it, a
+    /// timeout on a hinted target lowers it). It scales the effective
+    /// hint TTL — when hints keep lying (fast demand drift), borderline-
+    /// stale entries expire sooner and solicitation falls back to
+    /// broadcast instead of burning timeouts on dead ends. Volatile.
+    hint_confidence: f64,
+    /// Sim-instant (µs) of the last hint-table refresh, `None` before
+    /// the first. Recomputing the per-peer gossip lists costs an
+    /// O(items · peers) sweep, so it runs at most once per quarter hint
+    /// TTL instead of on every flush — well inside the endpoint's
+    /// dedupe window, so the wire never sees the difference. Volatile.
+    last_hint_refresh: Option<u64>,
+    /// The rebalancer's current top (item, peer) candidate and how many
+    /// consecutive ticks it has stayed on top (the persistence gate).
+    /// Volatile.
+    rebalance_candidate: Option<(ItemId, NodeId, u32)>,
     /// Peers suspected unresponsive after an unanswered single-target
     /// solicitation, until the stored instant. Any message from the
     /// peer clears it. Volatile.
@@ -371,6 +427,15 @@ pub struct SiteNode {
     demands_scratch: Vec<(ItemId, Qty)>,
     deficits_scratch: Vec<(ItemId, Qty)>,
     released_scratch: Vec<ItemId>,
+    /// Adaptive-path scratch: hint recompute buffer, owed-ack peer list,
+    /// and the solicitation planner's deficit/read work lists — all
+    /// retained so the hinted fast path allocates nothing per dispatch.
+    hint_refresh_scratch: Vec<(u32, u64)>,
+    peer_hint_scratch: Vec<(u32, u64)>,
+    hint_fanout_scratch: Vec<[NodeId; HINT_FANOUT]>,
+    owed_scratch: Vec<NodeId>,
+    solicit_deficits_scratch: Vec<(ItemId, Qty)>,
+    solicit_reads_scratch: Vec<ItemId>,
     /// Peers with an armed delayed-ack timer (`true` slots). A firing for
     /// a peer not in this set is stale (crash cleared it), ignored.
     ack_timers: Vec<bool>,
@@ -432,6 +497,9 @@ impl SiteNode {
             own_demand: vec![0.0; k],
             peer_demand: vec![0.0; k * n],
             hint_table: vec![None; k * n],
+            hint_confidence: 1.0,
+            last_hint_refresh: None,
+            rebalance_candidate: None,
             suspect_until: vec![None; n],
             suspect_count: 0,
             lock_queue: vec![VecDeque::new(); k],
@@ -460,6 +528,12 @@ impl SiteNode {
             demands_scratch: Vec::new(),
             deficits_scratch: Vec::new(),
             released_scratch: Vec::new(),
+            hint_refresh_scratch: Vec::new(),
+            peer_hint_scratch: Vec::new(),
+            hint_fanout_scratch: Vec::new(),
+            owed_scratch: Vec::new(),
+            solicit_deficits_scratch: Vec::new(),
+            solicit_reads_scratch: Vec::new(),
             ack_timers: vec![false; n],
             needs_flush: false,
         }
@@ -527,6 +601,26 @@ impl SiteNode {
             }
             if vm.hint_budget_bytes == usize::MAX {
                 vm.hint_budget_bytes = 4 + a.max_hints as usize * HINT_ENTRY_LEN;
+            }
+            // Demand-delta gate: under a churning workload the surplus
+            // moves by a token or two on every commit, so the
+            // exact-equality dedupe above suppresses almost nothing — a
+            // hint is only news when the figure moved materially.
+            if vm.hint_min_delta_pct == 0 {
+                vm.hint_min_delta_pct = 25;
+            }
+            // Global flow-control budget: at most half a hint section
+            // per dedupe window across all peers. Steady gossip is
+            // bounded per unit time however many datagrams the workload
+            // emits; a genuinely new surplus still goes out promptly
+            // (the window is half the hint TTL, so even a budget-capped
+            // item gets two chances per TTL).
+            if vm.hint_window_budget == u32::MAX {
+                // Sized so a site's whole gossip run-rate stays a small
+                // fraction of its data traffic even when every surplus
+                // churns (measured: under uniform access the budget, not
+                // demand, is the binding constraint).
+                vm.hint_window_budget = (a.max_hints / 4).max(2);
             }
         }
         vm
@@ -620,7 +714,9 @@ impl SiteNode {
 
     fn send(&mut self, ctx: &mut Context<'_, ProtoMsg>, to: NodeId, body: Body) {
         let lamport = self.clock.counter();
-        ctx.send(to, ProtoMsg { lamport, body });
+        let msg = ProtoMsg { lamport, body };
+        let bytes = msg.wire_len();
+        ctx.send_frames_bytes(to, msg, 1, bytes);
     }
 
     // ---- adaptive placement ----------------------------------------------
@@ -666,23 +762,86 @@ impl SiteNode {
     }
 
     /// Recompute the availability hints riding every outgoing datagram:
-    /// the top `max_hints` items by spareable surplus. Advisory gossip —
+    /// the top `max_hints` items by spareable surplus, then targeted per
+    /// peer by observed demand — a peer only receives the hints for
+    /// items it has recently solicited (its `peer_demand` estimate is
+    /// above the noise floor), because a surplus figure for an item a
+    /// peer never asks about is gossip it can never act on. Advisory —
     /// a peer believing a stale figure only wastes a solicitation.
     fn refresh_hints(&mut self) {
         let a = match self.cfg.placement.adaptive_params() {
             Some(a) => *a,
             None => return,
         };
-        let mut hints: Vec<(u32, u64)> = (0..self.initial_quotas.len())
-            .filter_map(|idx| {
-                let item = ItemId(idx as u32);
-                let s = self.spare(item, &a);
-                (s > 0).then_some((item.0, s))
-            })
-            .collect();
+        let mut hints = std::mem::take(&mut self.hint_refresh_scratch);
+        hints.clear();
+        for idx in 0..self.initial_quotas.len() {
+            let item = ItemId(idx as u32);
+            let s = self.spare(item, &a);
+            if s > 0 {
+                hints.push((item.0, s));
+            }
+        }
         hints.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
-        hints.truncate(a.max_hints as usize);
-        self.vm.set_hints(hints);
+        // Scope-to-budget matching: the flow-control budget admits only
+        // ~`max_hints / 4` entries per dedupe window, so gossiping the
+        // full `max_hints` list spreads that budget across far more
+        // (item, peer) pairs than it can keep fresh — every table entry
+        // ends up older than the TTL and the hinted path starves.
+        // Advertise only the few best surpluses (and, below, only to the
+        // couple of peers most likely to act) so each advertised pair is
+        // re-gossiped well inside the TTL.
+        hints.truncate((a.max_hints as usize / 4).max(2));
+        // Second half of scope-to-budget: each advertised item goes only
+        // to its `HINT_FANOUT` hardest-soliciting peers above the demand
+        // floor. Rank once per item — one O(peers) pass filling a top-k
+        // insertion array (ascending peer order, strictly-greater
+        // replacement, so ties keep the lower id) — instead of re-ranking
+        // the whole peer set for every (peer, item) pair.
+        let mut fanout = std::mem::take(&mut self.hint_fanout_scratch);
+        fanout.clear();
+        for &(item, _) in &hints {
+            let base = item as usize * self.n;
+            let mut top = [usize::MAX; HINT_FANOUT];
+            let mut top_d = [0.0f64; HINT_FANOUT];
+            for q in 0..self.n {
+                if q == self.id {
+                    continue;
+                }
+                let mut cand = (self.peer_demand[base + q], q);
+                if cand.0 < HINT_DEMAND_FLOOR {
+                    continue;
+                }
+                for k in 0..HINT_FANOUT {
+                    if top[k] == usize::MAX || cand.0 > top_d[k] {
+                        std::mem::swap(&mut cand.0, &mut top_d[k]);
+                        std::mem::swap(&mut cand.1, &mut top[k]);
+                        if cand.1 == usize::MAX {
+                            break;
+                        }
+                    }
+                }
+            }
+            fanout.push(top);
+        }
+        let mut filtered = std::mem::take(&mut self.peer_hint_scratch);
+        for peer in 0..self.n {
+            if peer == self.id {
+                continue;
+            }
+            filtered.clear();
+            filtered.extend(
+                hints
+                    .iter()
+                    .zip(&fanout)
+                    .filter(|(_, top)| top.contains(&peer))
+                    .map(|(&h, _)| h),
+            );
+            self.vm.set_peer_hints(peer, &filtered);
+        }
+        self.peer_hint_scratch = filtered;
+        self.hint_fanout_scratch = fanout;
+        self.hint_refresh_scratch = hints;
     }
 
     /// Record arriving availability hints (through the chaos knob, for
@@ -708,6 +867,26 @@ impl SiteNode {
         }
     }
 
+    /// Feed the hint-trust estimator with one hinted-solicitation
+    /// outcome: the hinted donor either delivered (`true`) or let the
+    /// transaction time out (`false`).
+    fn note_hint_outcome(&mut self, hit: bool) {
+        let gain = match self.cfg.placement.adaptive_params() {
+            Some(a) => a.gain,
+            None => return,
+        };
+        let target = if hit { 1.0 } else { 0.0 };
+        self.hint_confidence += gain * (target - self.hint_confidence);
+    }
+
+    /// The hint TTL scaled by observed hint trust: full `hint_ttl` while
+    /// hints keep paying off, down to a quarter of it when they keep
+    /// lying (fast drift makes old gossip worthless sooner).
+    fn effective_hint_ttl_us(&self, a: &AdaptivePlacement) -> u64 {
+        let scale = self.hint_confidence.clamp(0.25, 1.0);
+        (a.hint_ttl.as_micros() as f64 * scale) as u64
+    }
+
     /// The peer with the highest fresh advertised surplus for `item`
     /// (suspects and expired hints excluded). `None` ⇒ the `Hinted`
     /// fan-out falls back to broadcast.
@@ -716,6 +895,7 @@ impl SiteNode {
         if a.chaos == HintChaos::Stale {
             return None; // chaos: every hint is treated as expired
         }
+        let ttl_us = self.effective_hint_ttl_us(a);
         let mut best: Option<(NodeId, Qty)> = None;
         let base = Self::di(item) * self.n;
         for peer in 0..self.n {
@@ -729,7 +909,7 @@ impl SiteNode {
             if peer == self.id || surplus < need.max(1) {
                 continue;
             }
-            if now.since(at) > a.hint_ttl || self.is_suspect(peer, now) {
+            if now.since(at).as_micros() > ttl_us || self.is_suspect(peer, now) {
                 continue;
             }
             if best.is_none_or(|(_, s)| surplus > s) {
@@ -764,14 +944,12 @@ impl SiteNode {
         for (to, wire) in dgrams.drain(..) {
             let frames = u64::from(wire.frame_count());
             let lamport = self.clock.counter();
-            ctx.send_frames(
-                to,
-                ProtoMsg {
-                    lamport,
-                    body: Body::VmDatagram(wire),
-                },
-                frames,
-            );
+            let msg = ProtoMsg {
+                lamport,
+                body: Body::VmDatagram(wire),
+            };
+            let bytes = msg.wire_len();
+            ctx.send_frames_bytes(to, msg, frames, bytes);
         }
         self.datagram_scratch = dgrams;
     }
@@ -792,10 +970,23 @@ impl SiteNode {
             self.log.force_if_dirty();
             self.needs_flush = false;
         }
-        if self.cfg.placement.is_adaptive() && self.cfg.coalesce {
+        if let (Some(a), true) = (self.cfg.placement.adaptive_params(), self.cfg.coalesce) {
             // Refresh the availability gossip riding whatever leaves now
-            // (free: hints piggyback on datagrams that exist anyway).
-            self.refresh_hints();
+            // (free: hints piggyback on datagrams that exist anyway) —
+            // but at most once per hint TTL: the endpoint's dedupe window
+            // and demand-delta gate decide what actually goes on the wire,
+            // so recomputing the per-peer lists any faster changes no
+            // bytes (verified identical wire/hint counts at quarter-TTL
+            // cadence) and only costs O(items · peers) sweeps per event.
+            let now_us = ctx.now().micros();
+            let period = a.hint_ttl.as_micros().max(1);
+            if self
+                .last_hint_refresh
+                .is_none_or(|t| now_us.saturating_sub(t) >= period)
+            {
+                self.refresh_hints();
+                self.last_hint_refresh = Some(now_us);
+            }
         }
         if self.cfg.coalesce {
             // One wire datagram per peer per flush: every queued frame
@@ -811,13 +1002,16 @@ impl SiteNode {
             // positive delay instead opens a window in which reverse
             // data traffic may still piggyback the ack for free.
             if self.cfg.ack_delay == SimDuration::ZERO {
-                let owed: Vec<_> = self.vm.owed_ack_peers().collect();
+                let mut owed = std::mem::take(&mut self.owed_scratch);
+                owed.clear();
+                owed.extend(self.vm.owed_ack_peers());
                 if !owed.is_empty() {
-                    for peer in owed {
+                    for &peer in &owed {
                         self.vm.flush_owed_ack(peer);
                     }
                     self.send_vm_datagrams(ctx);
                 }
+                self.owed_scratch = owed;
             } else {
                 let mut armed = std::mem::take(&mut self.ack_timers);
                 for peer in self.vm.owed_ack_peers() {
@@ -1097,25 +1291,28 @@ impl SiteNode {
 
     /// Transmit requests for the transaction's *current* unmet needs.
     fn send_solicitations(&mut self, ts: Ts, ctx: &mut Context<'_, ProtoMsg>) {
-        let (deficits, read_items): (Vec<(ItemId, Qty)>, Vec<ItemId>) = {
+        let mut deficits = std::mem::take(&mut self.solicit_deficits_scratch);
+        let mut read_items = std::mem::take(&mut self.solicit_reads_scratch);
+        deficits.clear();
+        read_items.clear();
+        {
             let t = match self.active_get(ts) {
                 Some(t) => t,
-                None => return,
+                None => {
+                    self.solicit_deficits_scratch = deficits;
+                    self.solicit_reads_scratch = read_items;
+                    return;
+                }
             };
-            (
-                t.deficits
-                    .iter()
-                    .filter(|&&(_, d)| d > 0)
-                    .copied()
-                    .collect(),
+            deficits.extend(t.deficits.iter().filter(|&&(_, d)| d > 0).copied());
+            read_items.extend(
                 t.read_pending
                     .iter()
                     .filter(|(_, pending)| !pending.is_empty())
-                    .map(|&(i, _)| i)
-                    .collect(),
-            )
-        };
-        for (item, need) in deficits {
+                    .map(|&(i, _)| i),
+            );
+        }
+        for &(item, need) in &deficits {
             let demand = self.advertised_demand(item, need);
             match self.cfg.placement.fanout() {
                 Fanout::All => self.broadcast_request(ts, item, need, demand, ctx),
@@ -1150,8 +1347,11 @@ impl SiteNode {
             }
         }
         // Reads always go to every other site: Π needs every fragment.
-        for item in read_items {
-            for to in self.others().collect::<Vec<_>>() {
+        for &item in &read_items {
+            for to in 0..self.n {
+                if to == self.id {
+                    continue;
+                }
                 self.send(
                     ctx,
                     to,
@@ -1173,6 +1373,8 @@ impl SiteNode {
                     });
             }
         }
+        self.solicit_deficits_scratch = deficits;
+        self.solicit_reads_scratch = read_items;
     }
 
     /// Solicit `item` from every other site.
@@ -1184,7 +1386,10 @@ impl SiteNode {
         demand: Qty,
         ctx: &mut Context<'_, ProtoMsg>,
     ) {
-        for to in self.others().collect::<Vec<_>>() {
+        for to in 0..self.n {
+            if to == self.id {
+                continue;
+            }
             self.send(
                 ctx,
                 to,
@@ -1288,7 +1493,10 @@ impl SiteNode {
                     Err(i) => t.read_pending.insert(i, (item, donors)),
                 }
             }
-            for to in self.others().collect::<Vec<_>>() {
+            for to in 0..self.n {
+                if to == self.id {
+                    continue;
+                }
                 self.send(
                     ctx,
                     to,
@@ -1309,8 +1517,10 @@ impl SiteNode {
     /// leases early.
     fn release_read_leases(&mut self, ts: Ts, spec: &TxnSpec, ctx: &mut Context<'_, ProtoMsg>) {
         for item in spec.reads() {
-            for to in self.others().collect::<Vec<_>>() {
-                self.send(ctx, to, Body::ReleaseLease { txn: ts, item });
+            for to in 0..self.n {
+                if to != self.id {
+                    self.send(ctx, to, Body::ReleaseLease { txn: ts, item });
+                }
             }
         }
     }
@@ -1426,9 +1636,19 @@ impl SiteNode {
             // hinted pick skips it (any message from the peer clears
             // the suspicion — see `on_message`).
             let until = ctx.now() + self.cfg.txn_timeout.saturating_mul(2);
-            for &(_, peer, _) in &t.single_targets {
+            for &(item, peer, hinted) in &t.single_targets {
                 if self.suspect_until[peer].replace(until).is_none() {
                     self.suspect_count += 1;
+                }
+                if hinted {
+                    // The hint that aimed this solicitation lied — the
+                    // advertised surplus was gone by the time the request
+                    // landed. Drop the entry so the retry (and every
+                    // other transaction) stops re-targeting the same
+                    // dead end, and lower the site's trust in gossip so
+                    // borderline-stale hints expire sooner.
+                    self.hint_table[Self::di(item) * self.n + peer] = None;
+                    self.note_hint_outcome(false);
                 }
             }
             // Unmet deficits are demand the estimator under-called:
@@ -1752,7 +1972,15 @@ impl SiteNode {
                     self.ship_rebalance(item, to, have - threshold);
                 }
             }
-            Placement::Adaptive(a) => self.run_adaptive_rebalance(&a, ctx.now()),
+            Placement::Adaptive(a) => {
+                // An idle tick (nothing shipped) appended no records and
+                // queued no frames — the trailing flush would be a pure
+                // no-op, and at the rebalance cadence those no-ops add up.
+                // The hint-refresh check rides the next real dispatch.
+                if !self.run_adaptive_rebalance(&a, ctx.now()) {
+                    return;
+                }
+            }
         }
         self.flush_vm(ctx);
     }
@@ -1760,8 +1988,10 @@ impl SiteNode {
     /// The demand-driven rebalancer: for every item with spareable
     /// surplus, ship toward the peer whose solicited-demand estimate is
     /// highest, sized by that estimate — value migrates to where demand
-    /// actually is instead of draining to whoever asked last.
-    fn run_adaptive_rebalance(&mut self, a: &AdaptivePlacement, now: SimTime) {
+    /// actually is instead of draining to whoever asked last. Returns
+    /// whether anything actually shipped (the caller skips the trailing
+    /// flush otherwise).
+    fn run_adaptive_rebalance(&mut self, a: &AdaptivePlacement, now: SimTime) -> bool {
         // One ship per tick, for the (item, peer) pair with the strongest
         // demand signal. Rebalance Rds transfers are not free — each one
         // costs a force and a Vm round trip — so the rebalancer moves the
@@ -1769,26 +1999,70 @@ impl SiteNode {
         // every item at once (which was measured to *raise* frames/txn
         // past what hint-directed solicitation saves).
         let mut best: Option<(ItemId, NodeId, f64)> = None;
-        // Item-major scan: visits (item, peer) pairs in the lexicographic
-        // order the old `BTreeMap` iterated, so ties break identically.
-        for (slot, &e) in self.peer_demand.iter().enumerate() {
-            let item = ItemId((slot / self.n) as u32);
-            let peer = slot % self.n;
-            if peer == self.id || self.is_suspect(peer, now) {
-                continue;
-            }
-            // Noise floor 1.0: a peer must have asked recently and
-            // repeatedly before unsolicited value flows its way.
-            if e >= 1.0 && best.is_none_or(|(_, _, b)| e > b) && !self.locks.is_locked(item) {
-                best = Some((item, peer, e));
+        // Item-major nested scan: visits (item, peer) pairs in the
+        // lexicographic order the old `BTreeMap` iterated, so ties break
+        // identically. The estimate load leads the filter chain because
+        // after decay almost every slot sits below the noise floor — the
+        // common case must be one load and one compare, with the indices
+        // maintained incrementally (a div/mod per slot dominated this
+        // loop's profile at the rebalance cadence).
+        let n = self.n;
+        for item_idx in 0..self.initial_quotas.len() {
+            let base = item_idx * n;
+            let own = a.headroom * self.own_demand[item_idx];
+            for peer in 0..n {
+                let e = self.peer_demand[base + peer];
+                // Noise floor 1.0: a peer must have asked recently and
+                // repeatedly before unsolicited value flows its way. And
+                // demand *contrast*: the peer must want the item materially
+                // more than (a) this site expects to use it itself and
+                // (b) the average of the other peers — both with the donor-
+                // headroom margin. A spontaneous ship only pays for its
+                // force and Vm round trip when demand has genuinely
+                // concentrated somewhere; under a symmetric workload every
+                // site sees comparable solicited demand for every item,
+                // transient EWMA gaps pass any single-estimate test, and
+                // an ungated rebalancer ships value in circles.
+                if e >= 1.0
+                    && peer != self.id
+                    && e > own
+                    && best.is_none_or(|(_, _, b)| e > b)
+                    && !self.is_suspect(peer, now)
+                    && !self.locks.is_locked(ItemId(item_idx as u32))
+                {
+                    let others: f64 = (0..n)
+                        .filter(|&q| q != self.id && q != peer)
+                        .map(|q| self.peer_demand[base + q])
+                        .sum();
+                    let avg_other = others / (n.saturating_sub(2).max(1)) as f64;
+                    if e > a.headroom * avg_other {
+                        best = Some((ItemId(item_idx as u32), peer, e));
+                    }
+                }
             }
         }
-        if let Some((item, to, est)) = best {
+        // Persistence gate: a genuine demand gradient keeps the same
+        // (item, peer) pair on top across ticks, because the hot peer
+        // keeps soliciting faster than the EWMA decays. Request noise
+        // under symmetric load instead rotates the top pair nearly every
+        // tick (whoever asked last wins). Shipping only on the third
+        // consecutive tick costs a hotspot two ticks of latency and
+        // filters out almost every circular ship.
+        const SHIP_PERSISTENCE: u32 = 3;
+        let streak = match (best, self.rebalance_candidate) {
+            (Some((item, to, _)), Some((pi, pp, s))) if item == pi && to == pp => s + 1,
+            (Some(_), _) => 1,
+            (None, _) => 0,
+        };
+        self.rebalance_candidate = best.map(|(item, to, _)| (item, to, streak));
+        let mut shipped = false;
+        if let Some((item, to, est)) = best.filter(|_| streak >= SHIP_PERSISTENCE) {
             // Ship toward the peer's estimated demand (with the same
             // headroom a donor keeps for itself), never more than spare.
             let amount = self.spare(item, a).min((a.headroom * est).ceil() as Qty);
             if amount > 0 {
                 self.ship_rebalance(item, to, amount);
+                shipped = true;
                 self.obs
                     .emit_with(self.id as u32, || EventKind::PlacementShip {
                         item: item.0,
@@ -1811,6 +2085,7 @@ impl SiteNode {
         for e in self.peer_demand.iter_mut() {
             *e *= 1.0 - a.gain;
         }
+        shipped
     }
 
     /// Ship `amount` of `item` to `to` as a spontaneous Rds transaction
@@ -1971,6 +2246,7 @@ impl SiteNode {
         };
         if hinted_hit {
             self.metrics.hint_hits += 1;
+            self.note_hint_outcome(true);
         }
         if ready {
             self.commit_txn(holder, ctx);
@@ -2411,6 +2687,9 @@ impl Node for SiteNode {
         self.own_demand.fill(0.0);
         self.peer_demand.fill(0.0);
         self.hint_table.fill(None);
+        self.hint_confidence = 1.0;
+        self.last_hint_refresh = None;
+        self.rebalance_candidate = None;
         self.suspect_until.fill(None);
         self.suspect_count = 0;
         self.clock.crash_reset();

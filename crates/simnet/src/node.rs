@@ -23,9 +23,20 @@ impl TimerId {
 /// Buffered side effect.
 #[derive(Debug)]
 pub(crate) enum Action<M> {
-    Send { to: NodeId, msg: M, frames: u64 },
-    SetTimer { id: TimerId, at: SimTime, tag: u64 },
-    CancelTimer { id: TimerId },
+    Send {
+        to: NodeId,
+        msg: M,
+        frames: u64,
+        bytes: u64,
+    },
+    SetTimer {
+        id: TimerId,
+        at: SimTime,
+        tag: u64,
+    },
+    CancelTimer {
+        id: TimerId,
+    },
     CrashSelf,
     Halt,
 }
@@ -73,7 +84,12 @@ impl<'a, M> Context<'a, M> {
     /// Send `msg` to `to`. Delivery (or loss) is decided by the network
     /// model; the sender learns nothing either way.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.actions.push(Action::Send { to, msg, frames: 1 });
+        self.actions.push(Action::Send {
+            to,
+            msg,
+            frames: 1,
+            bytes: 0,
+        });
     }
 
     /// Send `msg` to `to`, declaring that it coalesces `frames` logical
@@ -83,7 +99,30 @@ impl<'a, M> Context<'a, M> {
     /// [`NetStats::frames_sent`](crate::stats::NetStats::frames_sent) so
     /// logical message traffic stays comparable across batching modes.
     pub fn send_frames(&mut self, to: NodeId, msg: M, frames: u64) {
-        self.actions.push(Action::Send { to, msg, frames });
+        self.actions.push(Action::Send {
+            to,
+            msg,
+            frames,
+            bytes: 0,
+        });
+    }
+
+    /// Send `msg` to `to`, declaring both its logical frame count and its
+    /// encoded wire length in bytes. The byte figure feeds
+    /// [`NetStats::wire_bytes`](crate::stats::NetStats::wire_bytes) — the
+    /// engine-neutral wire-volume counter the cross-engine benchmarks
+    /// compare — and nothing else: delivery, delay and loss are decided
+    /// exactly as for [`send_frames`](Self::send_frames). Protocols whose
+    /// messages are in-memory values (the 2PC baseline) declare a
+    /// deterministic encoded-length estimate here; byte-codec protocols
+    /// declare their real encoded size. `bytes = 0` means "undeclared".
+    pub fn send_frames_bytes(&mut self, to: NodeId, msg: M, frames: u64, bytes: u64) {
+        self.actions.push(Action::Send {
+            to,
+            msg,
+            frames,
+            bytes,
+        });
     }
 
     /// Send the same message to every listed destination.
@@ -199,7 +238,8 @@ mod tests {
             Action::Send {
                 to: 1,
                 msg: 10,
-                frames: 1
+                frames: 1,
+                bytes: 0
             }
         ));
         assert!(matches!(ctx.actions[1], Action::SetTimer { id, tag: 77, .. } if id == t));

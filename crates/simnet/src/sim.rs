@@ -375,7 +375,12 @@ impl<N: Node> Simulation<N> {
                 continue; // effects requested after the crashpoint never happen
             }
             match a {
-                Action::Send { to, msg, frames } => self.transmit(id, to, msg, frames),
+                Action::Send {
+                    to,
+                    msg,
+                    frames,
+                    bytes,
+                } => self.transmit(id, to, msg, frames, bytes),
                 Action::SetTimer { id: tid, at, tag } => {
                     debug_assert!(at >= self.now, "cannot schedule into the past");
                     self.timers.schedule(TimerEntry {
@@ -421,9 +426,10 @@ impl<N: Node> Simulation<N> {
         self.scratch = actions;
     }
 
-    fn transmit(&mut self, from: NodeId, to: NodeId, msg: N::Msg, frames: u64) {
+    fn transmit(&mut self, from: NodeId, to: NodeId, msg: N::Msg, frames: u64, bytes: u64) {
         self.stats.sent += 1;
         self.stats.frames_sent += frames;
+        self.stats.wire_bytes += bytes;
         self.trace.record(TraceEvent::Sent {
             at: self.now,
             from,

@@ -14,6 +14,12 @@ pub struct NetStats {
     /// 1; a coalesced datagram counts its declared frame total (see
     /// `Context::send_frames`). Equals `sent` when no node batches.
     pub frames_sent: u64,
+    /// Encoded wire bytes declared by senders via
+    /// `Context::send_frames_bytes`. This is the engine-neutral
+    /// wire-volume counter the cross-engine benchmarks compare; sends
+    /// made without a byte declaration contribute 0, so it is a lower
+    /// bound when a protocol mixes declared and undeclared sends.
+    pub wire_bytes: u64,
     /// Message deliveries performed (duplicates count individually).
     pub delivered: u64,
     /// Messages dropped by random loss.

@@ -39,6 +39,13 @@ pub struct Channel {
     /// by a pointless retransmission. Volatile; `0` after recovery means
     /// everything outstanding retransmits promptly.
     pub(crate) retx_before: Seq,
+    /// Highest cumulative ack toward the peer ever put on the wire (by a
+    /// standalone ack frame or piggybacked on a data frame). Lets the
+    /// endpoint tell when a data datagram *advances* the peer's ack view
+    /// for free — the avoided-standalone-ack accounting. Volatile; `0`
+    /// after recovery just means the next transmission counts as an
+    /// advance (it genuinely re-ships the cursor).
+    pub(crate) ack_sent: Seq,
 }
 
 impl Channel {

@@ -42,6 +42,22 @@ pub struct VmConfig {
     /// that datagram (they are advisory gossip; the next refresh
     /// re-offers them). `usize::MAX` (the default) means no cap.
     pub hint_budget_bytes: usize,
+    /// Demand-delta gate: within the dedupe window, a *changed* surplus
+    /// is still suppressed unless it moved by at least this percentage
+    /// of the value last sent to that peer. This is what actually
+    /// contains a hint storm — under a churning workload the surplus
+    /// changes by a token or two on every commit, so exact-equality
+    /// dedupe alone suppresses almost nothing. `0` (the default) keeps
+    /// the pre-gate behaviour: any change is material. A surplus last
+    /// sent as `0` always passes (any recovery from empty is news).
+    pub hint_min_delta_pct: u32,
+    /// Global budget on hint entries sent per dedupe window, across all
+    /// peers and datagrams. Once spent, further hints are suppressed
+    /// until the window rolls (length `hint_resend_after_us`, or per
+    /// flush instant when that is 0). Bounds worst-case gossip volume
+    /// per unit time no matter how many datagrams the workload emits.
+    /// `u32::MAX` (the default) means no cap.
+    pub hint_window_budget: u32,
 }
 
 impl Default for VmConfig {
@@ -52,6 +68,8 @@ impl Default for VmConfig {
             coalesce: false,
             hint_resend_after_us: 0,
             hint_budget_bytes: usize::MAX,
+            hint_min_delta_pct: 0,
+            hint_window_budget: u32::MAX,
         }
     }
 }
@@ -155,9 +173,19 @@ pub struct VmEndpoint {
     /// crash). Small linear lists — a site gossips at most a handful of
     /// hints at a time.
     hint_sent: Vec<Vec<(u32, u64, u64)>>,
+    /// Per-peer targeted hint lists (see
+    /// [`set_peer_hints`](Self::set_peer_hints)); the parallel flag says
+    /// whether the slot overrides the global `hints` list. Volatile.
+    peer_hints: Vec<Vec<(u32, u64)>>,
+    peer_hints_set: Vec<bool>,
     /// Reused per-datagram buffer for the hints that survive dedupe and
     /// the byte budget.
     hint_scratch: Vec<(u32, u64)>,
+    /// Start of the current global hint-budget window (µs; see
+    /// [`VmConfig::hint_window_budget`]). Volatile.
+    hint_window_start: u64,
+    /// Hint entries already sent in the current window, across all peers.
+    hint_window_used: u32,
     stats: VmStats,
     /// Structured-observability handle (disabled by default; the host
     /// shares the cluster-wide handle via [`VmEndpoint::set_obs`]).
@@ -182,7 +210,11 @@ impl VmEndpoint {
             in_datagram: 0,
             hints: Vec::new(),
             hint_sent: Vec::new(),
+            peer_hints: Vec::new(),
+            peer_hints_set: Vec::new(),
             hint_scratch: Vec::new(),
+            hint_window_start: 0,
+            hint_window_used: 0,
             stats: VmStats::default(),
             obs: Obs::disabled(),
         }
@@ -213,6 +245,38 @@ impl VmEndpoint {
         self.hints = hints;
     }
 
+    /// Allocation-free variant of [`set_hints`](Self::set_hints): copy
+    /// the slice into the endpoint's retained hint buffer. Hot-path
+    /// hosts that refresh hints on every flush boundary use this so the
+    /// steady state allocates nothing.
+    pub fn set_hints_from_slice(&mut self, hints: &[(u32, u64)]) {
+        self.hints.clear();
+        self.hints.extend_from_slice(hints);
+    }
+
+    /// Replace the availability hints for one specific peer. A peer with
+    /// a targeted list gets it *instead of* the global list — the host's
+    /// placement layer uses this to gossip an item's surplus only to the
+    /// peers whose observed demand makes the hint actionable, instead of
+    /// broadcasting every surplus to everyone. Pass an empty slice to
+    /// send that peer nothing. Targeted lists are volatile and cleared
+    /// by [`clear_peer_hints`](Self::clear_peer_hints) or a crash.
+    pub fn set_peer_hints(&mut self, peer: SiteId, hints: &[(u32, u64)]) {
+        self.ensure_peer(peer);
+        self.peer_hints[peer].clear();
+        self.peer_hints[peer].extend_from_slice(hints);
+        self.peer_hints_set[peer] = true;
+    }
+
+    /// Drop `peer`'s targeted hint list: it falls back to the global
+    /// [`set_hints`](Self::set_hints) list.
+    pub fn clear_peer_hints(&mut self, peer: SiteId) {
+        if peer < self.peer_hints.len() {
+            self.peer_hints[peer].clear();
+            self.peer_hints_set[peer] = false;
+        }
+    }
+
     /// Grow every peer-indexed table to cover `peer`. `next_datagram` is
     /// grown but never cleared — its contents outlive crashes.
     fn ensure_peer(&mut self, peer: SiteId) {
@@ -225,6 +289,8 @@ impl VmEndpoint {
         self.ack_owed.resize(n, false);
         self.groups.resize_with(n, Vec::new);
         self.hint_sent.resize_with(n, Vec::new);
+        self.peer_hints.resize_with(n, Vec::new);
+        self.peer_hints_set.resize(n, false);
         if n > self.next_datagram.len() {
             self.next_datagram.resize(n, 0);
         }
@@ -400,7 +466,11 @@ impl VmEndpoint {
             }
             return;
         }
-        let ack = self.chan(peer).accepted_in;
+        let ack = {
+            let chan = self.chan(peer);
+            chan.ack_sent = chan.ack_sent.max(chan.accepted_in);
+            chan.accepted_in
+        };
         self.outbox.push((peer, Frame::Ack { ack }));
         self.stats.ack_frames_sent += 1;
         self.stats.bytes_sent += ACK_FRAME_LEN as u64;
@@ -519,10 +589,11 @@ impl VmEndpoint {
     /// order. Per-peer frame order is preserved; each data frame's
     /// piggybacked ack is refreshed to the current cumulative cursor, and
     /// any *owed* standalone ack toward a peer with outgoing data is
-    /// folded away (counted in [`VmStats::bytes_acked_piggyback`]). Owed
-    /// acks toward peers with no outgoing data stay owed — the host's
-    /// delayed-ack timer flushes them via
-    /// [`flush_owed_ack`](Self::flush_owed_ack).
+    /// folded away. A data-bearing datagram that services an owed ack or
+    /// advances the on-wire ack cursor counts one avoided standalone
+    /// frame in [`VmStats::bytes_acked_piggyback`]. Owed acks toward
+    /// peers with no outgoing data stay owed — the host's delayed-ack
+    /// timer flushes them via [`flush_owed_ack`](Self::flush_owed_ack).
     ///
     /// `now` (microseconds, the host's clock) drives the hint-gossip
     /// dedupe window ([`VmConfig::hint_resend_after_us`]); pass `0` when
@@ -555,15 +626,25 @@ impl VmEndpoint {
                     has_data = true;
                 }
             }
-            if has_data && self.ack_owed[to] {
-                // The owed standalone ack rides the data frames for free.
-                self.ack_owed[to] = false;
-                self.stats.bytes_acked_piggyback += ACK_FRAME_LEN as u64;
-                self.obs.emit_with(self.me as u32, || EventKind::VmAck {
-                    to: to as u32,
-                    upto: ack_now,
-                    datagram: id,
-                });
+            if has_data {
+                // A data-bearing datagram services the ack duty for free:
+                // every data frame carries the refreshed cumulative cursor.
+                // Count the avoided standalone frame whenever an ack was
+                // owed *or* the cursor on the wire advances past what this
+                // endpoint last transmitted toward the peer — without the
+                // piggyback, either case costs one encoded `Frame::Ack`.
+                let owed = std::mem::replace(&mut self.ack_owed[to], false);
+                let chan = self.chan(to);
+                let advanced = ack_now > chan.ack_sent;
+                chan.ack_sent = ack_now;
+                if owed || advanced {
+                    self.stats.bytes_acked_piggyback += ACK_FRAME_LEN as u64;
+                    self.obs.emit_with(self.me as u32, || EventKind::VmAck {
+                        to: to as u32,
+                        upto: ack_now,
+                        datagram: id,
+                    });
+                }
             }
             self.select_hints(to, now);
             let wire = WireDatagram::encode_with_hints(id, &group, &self.hint_scratch);
@@ -582,12 +663,19 @@ impl VmEndpoint {
     }
 
     /// Fill `hint_scratch` with the hints worth sending to `to` now:
-    /// drop entries whose surplus is unchanged since the last send to
-    /// this peer within the dedupe window, then cap the section at the
-    /// byte budget.
+    /// drop entries whose surplus is unchanged — or changed by less than
+    /// the demand-delta gate — since the last send to this peer within
+    /// the dedupe window, charge survivors against the global per-window
+    /// budget, then cap the section at the per-datagram byte budget.
     fn select_hints(&mut self, to: SiteId, now: u64) {
         self.hint_scratch.clear();
-        if self.hints.is_empty() {
+        let targeted = self.peer_hints_set.get(to).copied().unwrap_or(false);
+        let hint_count = if targeted {
+            self.peer_hints[to].len()
+        } else {
+            self.hints.len()
+        };
+        if hint_count == 0 {
             return;
         }
         let budget = self.cfg.hint_budget_bytes;
@@ -599,24 +687,49 @@ impl VmEndpoint {
             (budget - 4) / HINT_ENTRY_LEN
         };
         let ttl = self.cfg.hint_resend_after_us;
+        let min_delta_pct = self.cfg.hint_min_delta_pct as u64;
+        let window_budget = self.cfg.hint_window_budget;
+        if window_budget != u32::MAX && now.saturating_sub(self.hint_window_start) >= ttl.max(1) {
+            self.hint_window_start = now;
+            self.hint_window_used = 0;
+        }
         let mut sent = std::mem::take(&mut self.hint_sent[to]);
-        for i in 0..self.hints.len() {
-            let (item, surplus) = self.hints[i];
-            if self.hint_scratch.len() >= max_entries {
-                self.stats.hints_suppressed += (self.hints.len() - i) as u64;
+        for i in 0..hint_count {
+            let (item, surplus) = if targeted {
+                self.peer_hints[to][i]
+            } else {
+                self.hints[i]
+            };
+            if self.hint_scratch.len() >= max_entries || self.hint_window_used >= window_budget {
+                self.stats.hints_suppressed += (hint_count - i) as u64;
                 break;
             }
             match sent.iter_mut().find(|e| e.0 == item) {
                 Some(e) if ttl > 0 && e.1 == surplus && now.saturating_sub(e.2) < ttl => {
                     self.stats.hints_suppressed += 1;
                 }
+                // Demand-delta gate: a changed surplus within the window
+                // is still noise unless it moved materially. The dedupe
+                // memory is deliberately NOT updated — the delta keeps
+                // accumulating against the value the peer actually saw,
+                // so a slow drift eventually crosses the gate.
+                Some(e)
+                    if ttl > 0
+                        && min_delta_pct > 0
+                        && now.saturating_sub(e.2) < ttl
+                        && surplus.abs_diff(e.1) * 100 < e.1 * min_delta_pct =>
+                {
+                    self.stats.hints_suppressed += 1;
+                }
                 Some(e) => {
                     e.1 = surplus;
                     e.2 = now;
+                    self.hint_window_used = self.hint_window_used.saturating_add(1);
                     self.hint_scratch.push((item, surplus));
                 }
                 None => {
                     sent.push((item, surplus, now));
+                    self.hint_window_used = self.hint_window_used.saturating_add(1);
                     self.hint_scratch.push((item, surplus));
                 }
             }
@@ -634,7 +747,11 @@ impl VmEndpoint {
             return false;
         }
         self.ack_owed[peer] = false;
-        let ack = self.chan(peer).accepted_in;
+        let ack = {
+            let chan = self.chan(peer);
+            chan.ack_sent = chan.ack_sent.max(chan.accepted_in);
+            chan.accepted_in
+        };
         self.outbox.push((peer, Frame::Ack { ack }));
         self.stats.ack_frames_sent += 1;
         self.stats.bytes_sent += ACK_FRAME_LEN as u64;
@@ -735,6 +852,12 @@ impl VmEndpoint {
         for h in &mut self.hint_sent {
             h.clear();
         }
+        for p in &mut self.peer_hints {
+            p.clear();
+        }
+        self.peer_hints_set.fill(false);
+        self.hint_window_start = 0;
+        self.hint_window_used = 0;
         // `next_datagram` survives: it is pure wire-level numbering, and
         // keeping it monotone means datagram ids in a trace never repeat
         // for a (site, peer) pair across crashes.
@@ -1302,6 +1425,57 @@ mod tests {
         let d = dgrams[0].1.decode();
         assert_eq!(d.frames, vec![Frame::Ack { ack: 2 }]);
         assert_eq!(r.stats().ack_frames_sent, 1);
+    }
+
+    #[test]
+    fn data_carried_ack_advance_counts_without_an_owed_ack() {
+        // Piggyback-only mode (eager acks off): acks ride data frames
+        // exclusively and nothing is ever *owed*, yet the refreshed
+        // cumulative cursor on reverse data is the peer's only ack
+        // channel. Each datagram that advances the on-wire cursor avoids
+        // the standalone frame an eager configuration would have sent —
+        // the saving the stat measures.
+        let piggyback_only = || VmConfig {
+            eager_acks: false,
+            ..coalescing_cfg()
+        };
+        let mut s = VmEndpoint::new(0, piggyback_only());
+        let mut r = VmEndpoint::new(1, piggyback_only());
+        let _ = s.create(1, b("a"));
+        for receipt in flush_datagrams(&mut s, &mut r) {
+            if let Receipt::Fresh { seq, .. } = receipt {
+                r.commit_accept(0, seq);
+            }
+        }
+        assert!(!r.has_owed_ack(0), "piggyback-only mode owes nothing");
+        // Reverse data carries ack=1: an advance over the never-sent 0.
+        let _ = r.create(0, b("reverse"));
+        let mut dgrams = Vec::new();
+        r.drain_datagrams_into(0, &mut dgrams);
+        assert_eq!(
+            r.stats().bytes_acked_piggyback,
+            ACK_FRAME_LEN as u64,
+            "the advanced cursor is one avoided standalone ack frame"
+        );
+        assert_eq!(r.stats().ack_frames_sent, 0);
+        match &dgrams[0].1.decode().frames[0] {
+            Frame::Data { ack, .. } => assert_eq!(*ack, 1),
+            other => panic!("expected data frame, got {other:?}"),
+        }
+        // A retransmission re-ships the same cursor: no advance, no
+        // additional saving — the stat counts frames avoided, not
+        // datagrams that happen to carry an ack. (Two ticks: the first
+        // only lifts the fresh frame's one-tick retransmit grace.)
+        r.tick();
+        r.tick();
+        dgrams.clear();
+        r.drain_datagrams_into(0, &mut dgrams);
+        assert_eq!(dgrams.len(), 1, "retransmission went out");
+        assert_eq!(
+            r.stats().bytes_acked_piggyback,
+            ACK_FRAME_LEN as u64,
+            "an unchanged cursor is not counted again"
+        );
     }
 
     #[test]

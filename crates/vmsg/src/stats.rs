@@ -32,11 +32,15 @@ pub struct VmStats {
     /// Total encoded wire bytes sent: every frame's encoded size, plus
     /// one datagram header per datagram when coalescing.
     pub bytes_sent: u64,
-    /// Wire bytes *saved* by piggybacking acks: folding an owed
-    /// standalone ack into an outgoing data datagram, or merging a
-    /// second ack obligation into one already owed (the cumulative
-    /// cursor covers both, so one frame services two acks). Each saving
-    /// avoids one encoded ack frame.
+    /// Wire bytes *saved* by piggybacking acks — each saving is one
+    /// avoided encoded standalone ack frame
+    /// ([`ACK_FRAME_LEN`](crate::codec::ACK_FRAME_LEN) bytes). Three
+    /// channels: a data-bearing datagram whose refreshed cumulative
+    /// cursor *advances* what this endpoint last put on the wire toward
+    /// the peer (the routine case — the ack rides the data for free), an
+    /// owed standalone ack folded into an outgoing data datagram, and a
+    /// second ack obligation merged into one already owed (the
+    /// cumulative cursor covers both).
     pub bytes_acked_piggyback: u64,
     /// Availability-hint entries piggybacked on outgoing datagrams
     /// (adaptive placement gossip; 0 otherwise).
